@@ -1,0 +1,27 @@
+//! Criterion bench for E7 (Fig. 10): the monotone-SUM weighted basket
+//! flock, direct vs. the a-priori plan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qf_bench::experiments::e7_weighted::weighted_flock;
+use qf_bench::workloads::weighted_basket_db;
+use qf_bench::Scale;
+use qf_core::{evaluate_direct, execute_plan, single_param_plan, JoinOrderStrategy};
+
+fn bench(c: &mut Criterion) {
+    let db = weighted_basket_db(Scale::Small);
+    let flock = weighted_flock(300);
+    let plan = single_param_plan(&flock, &db).unwrap();
+
+    let mut group = c.benchmark_group("fig10_weighted");
+    group.sample_size(10);
+    group.bench_function("direct", |b| {
+        b.iter(|| evaluate_direct(&flock, &db, JoinOrderStrategy::Greedy).unwrap())
+    });
+    group.bench_function("apriori_plan", |b| {
+        b.iter(|| execute_plan(&plan, &db, JoinOrderStrategy::Greedy).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for E1 (§1.3, Fig. 1): direct evaluation vs. the
+//! a-priori rewrite on Zipf word pairs at the paper's threshold of 20.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qf_bench::experiments::e1_apriori_speedup::pair_flock;
+use qf_bench::workloads::{words_db, PAPER_THRESHOLD};
+use qf_bench::Scale;
+use qf_core::{evaluate_direct, execute_plan, single_param_plan, JoinOrderStrategy};
+
+fn bench(c: &mut Criterion) {
+    let db = words_db(Scale::Small);
+    let flock = pair_flock(PAPER_THRESHOLD);
+    let plan = single_param_plan(&flock, &db).unwrap();
+
+    let mut group = c.benchmark_group("fig1_apriori_speedup");
+    group.sample_size(10);
+    group.bench_function("direct_as_written", |b| {
+        b.iter(|| evaluate_direct(&flock, &db, JoinOrderStrategy::AsWritten).unwrap())
+    });
+    group.bench_function("apriori_rewrite", |b| {
+        b.iter(|| execute_plan(&plan, &db, JoinOrderStrategy::Greedy).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for E2 (Fig. 2): the market-basket flock three ways —
+//! direct, planned, and the classic file-based a-priori miner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qf_bench::workloads::{basket_data, PAPER_THRESHOLD};
+use qf_bench::Scale;
+use qf_core::{evaluate_direct, execute_plan, single_param_plan, JoinOrderStrategy, QueryFlock};
+use qf_mine::mine_apriori;
+
+fn bench(c: &mut Criterion) {
+    let data = basket_data(Scale::Small);
+    let mut db = qf_storage::Database::new();
+    db.insert(data.baskets.clone());
+    let txns: Vec<Vec<u32>> = data
+        .transactions
+        .iter()
+        .map(|t| t.iter().map(|&i| i as u32).collect())
+        .collect();
+    let flock = QueryFlock::with_support(
+        "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+        PAPER_THRESHOLD,
+    )
+    .unwrap();
+    let plan = single_param_plan(&flock, &db).unwrap();
+
+    let mut group = c.benchmark_group("fig2_basket_flock");
+    group.sample_size(10);
+    group.bench_function("flock_direct", |b| {
+        b.iter(|| evaluate_direct(&flock, &db, JoinOrderStrategy::Greedy).unwrap())
+    });
+    group.bench_function("flock_plan", |b| {
+        b.iter(|| execute_plan(&plan, &db, JoinOrderStrategy::Greedy).unwrap())
+    });
+    group.bench_function("classic_apriori_k2", |b| {
+        b.iter(|| mine_apriori(&txns, PAPER_THRESHOLD as u64, 2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

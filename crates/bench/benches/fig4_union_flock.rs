@@ -1,0 +1,33 @@
+//! Criterion bench for E4 (Fig. 4): the union flock, direct vs. the
+//! Ex. 3.3 union-of-subqueries prefilter plan.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qf_bench::experiments::e4_union_flock::fig4_flock;
+use qf_bench::workloads::web_data;
+use qf_bench::Scale;
+use qf_core::{evaluate_direct, execute_plan, param_set_plan, JoinOrderStrategy};
+use qf_storage::Symbol;
+
+fn bench(c: &mut Criterion) {
+    let data = web_data(Scale::Small);
+    let db = &data.db;
+    let flock = fig4_flock(10);
+    let p1: BTreeSet<Symbol> = [Symbol::intern("1")].into_iter().collect();
+    let p2: BTreeSet<Symbol> = [Symbol::intern("2")].into_iter().collect();
+    let plan = param_set_plan(&flock, db, &[p1, p2]).unwrap();
+
+    let mut group = c.benchmark_group("fig4_union_flock");
+    group.sample_size(10);
+    group.bench_function("direct_union", |b| {
+        b.iter(|| evaluate_direct(&flock, db, JoinOrderStrategy::Greedy).unwrap())
+    });
+    group.bench_function("union_prefiltered", |b| {
+        b.iter(|| execute_plan(&plan, db, JoinOrderStrategy::Greedy).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for E3 (Figs. 3 & 5): the four static plans for the
+//! medical side-effects flock.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qf_bench::experiments::e3_medical_plans::medical_flock;
+use qf_bench::workloads::{medical_data, PAPER_THRESHOLD};
+use qf_bench::Scale;
+use qf_core::{direct_plan, execute_plan, param_set_plan, JoinOrderStrategy};
+use qf_storage::Symbol;
+
+fn bench(c: &mut Criterion) {
+    let data = medical_data(Scale::Small, 0.3);
+    let db = &data.db;
+    let flock = medical_flock(PAPER_THRESHOLD);
+    let s: BTreeSet<Symbol> = [Symbol::intern("s")].into_iter().collect();
+    let m: BTreeSet<Symbol> = [Symbol::intern("m")].into_iter().collect();
+    let plans = [
+        ("direct", direct_plan(&flock).unwrap()),
+        ("okS", param_set_plan(&flock, db, std::slice::from_ref(&s)).unwrap()),
+        ("okM", param_set_plan(&flock, db, std::slice::from_ref(&m)).unwrap()),
+        ("fig5_okS_okM", param_set_plan(&flock, db, &[s.clone(), m.clone()]).unwrap()),
+    ];
+
+    let mut group = c.benchmark_group("fig5_medical_plan");
+    group.sample_size(10);
+    for (name, plan) in &plans {
+        group.bench_function(*name, |b| {
+            b.iter(|| execute_plan(plan, db, JoinOrderStrategy::Greedy).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

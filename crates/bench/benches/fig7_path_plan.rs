@@ -1,0 +1,27 @@
+//! Criterion bench for E5 (Figs. 6–7): the path flock at n=3, direct
+//! vs. the (n+1)-step chain plan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qf_bench::experiments::e5_path_chain::path_flock;
+use qf_bench::workloads::graph_db;
+use qf_bench::Scale;
+use qf_core::{chain_plan, evaluate_direct, execute_plan, JoinOrderStrategy};
+
+fn bench(c: &mut Criterion) {
+    let db = graph_db(Scale::Small);
+    let flock = path_flock(3, 10);
+    let plan = chain_plan(&flock).unwrap();
+
+    let mut group = c.benchmark_group("fig7_path_plan");
+    group.sample_size(10);
+    group.bench_function("direct", |b| {
+        b.iter(|| evaluate_direct(&flock, &db, JoinOrderStrategy::AsWritten).unwrap())
+    });
+    group.bench_function("chain_plan", |b| {
+        b.iter(|| execute_plan(&plan, &db, JoinOrderStrategy::AsWritten).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for E6 (Figs. 8–9): dynamic filter selection vs. the
+//! static Fig. 5 plan and the direct plan.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qf_bench::experiments::e3_medical_plans::medical_flock;
+use qf_bench::workloads::{medical_data, PAPER_THRESHOLD};
+use qf_bench::Scale;
+use qf_core::{
+    direct_plan, evaluate_dynamic, execute_plan, param_set_plan, DynamicConfig,
+    JoinOrderStrategy,
+};
+use qf_storage::Symbol;
+
+fn bench(c: &mut Criterion) {
+    let data = medical_data(Scale::Small, 0.5);
+    let db = &data.db;
+    let flock = medical_flock(PAPER_THRESHOLD);
+    let s: BTreeSet<Symbol> = [Symbol::intern("s")].into_iter().collect();
+    let m: BTreeSet<Symbol> = [Symbol::intern("m")].into_iter().collect();
+    let static_plan = param_set_plan(&flock, db, &[s, m]).unwrap();
+    let direct = direct_plan(&flock).unwrap();
+    let config = DynamicConfig::default();
+
+    let mut group = c.benchmark_group("fig9_dynamic");
+    group.sample_size(10);
+    group.bench_function("direct", |b| {
+        b.iter(|| execute_plan(&direct, db, JoinOrderStrategy::Greedy).unwrap())
+    });
+    group.bench_function("static_fig5", |b| {
+        b.iter(|| execute_plan(&static_plan, db, JoinOrderStrategy::Greedy).unwrap())
+    });
+    group.bench_function("dynamic", |b| {
+        b.iter(|| evaluate_dynamic(&flock, db, &config).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

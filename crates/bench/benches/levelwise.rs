@@ -1,0 +1,31 @@
+//! Criterion bench for E8 (§4.3 option 2): levelwise flock mining vs.
+//! the classic file-based a-priori algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qf_bench::workloads::basket_data;
+use qf_bench::Scale;
+use qf_mine::{mine_apriori, mine_flockwise};
+
+fn bench(c: &mut Criterion) {
+    let data = basket_data(Scale::Small);
+    let mut db = qf_storage::Database::new();
+    db.insert(data.baskets.clone());
+    let txns: Vec<Vec<u32>> = data
+        .transactions
+        .iter()
+        .map(|t| t.iter().map(|&i| i as u32).collect())
+        .collect();
+
+    let mut group = c.benchmark_group("levelwise");
+    group.sample_size(10);
+    group.bench_function("flock_sequence_k3", |b| {
+        b.iter(|| mine_flockwise(&db, 15, 3).unwrap())
+    });
+    group.bench_function("classic_apriori_k3", |b| {
+        b.iter(|| mine_apriori(&txns, 15, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

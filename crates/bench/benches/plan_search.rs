@@ -1,0 +1,34 @@
+//! Criterion bench for E9 (§4.2–4.3 ablation): the price of plan
+//! search — exhaustive enumeration + cost model vs. the Fig. 5
+//! heuristic — and the cost model itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qf_bench::experiments::e3_medical_plans::medical_flock;
+use qf_bench::workloads::{medical_data, PAPER_THRESHOLD};
+use qf_bench::Scale;
+use qf_core::{
+    best_plan, direct_plan, estimate_plan_cost, single_param_plan, JoinOrderStrategy,
+};
+
+fn bench(c: &mut Criterion) {
+    let data = medical_data(Scale::Small, 0.3);
+    let db = &data.db;
+    let flock = medical_flock(PAPER_THRESHOLD);
+    let plan = direct_plan(&flock).unwrap();
+
+    let mut group = c.benchmark_group("plan_search");
+    group.sample_size(10);
+    group.bench_function("exhaustive_best_plan", |b| {
+        b.iter(|| best_plan(&flock, db).unwrap())
+    });
+    group.bench_function("fig5_heuristic", |b| {
+        b.iter(|| single_param_plan(&flock, db).unwrap())
+    });
+    group.bench_function("cost_model_single_plan", |b| {
+        b.iter(|| estimate_plan_cost(&plan, db, JoinOrderStrategy::Greedy).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! `reproduce` — regenerate every experiment table from the paper.
+//!
+//! ```text
+//! reproduce all            # every experiment at small scale
+//! reproduce e1 e5          # selected experiments
+//! reproduce all --scale full    # the EXPERIMENTS.md configuration
+//! reproduce all --markdown      # emit Markdown instead of plain text
+//! ```
+
+use qf_bench::{run_experiment, Scale, EXPERIMENT_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Small;
+    let mut markdown = false;
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| die("--scale needs `small` or `full`"));
+            }
+            "--markdown" => markdown = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: reproduce [all | e1..e9 ...] [--scale small|full] [--markdown]"
+                );
+                return;
+            }
+            "all" => ids.extend(EXPERIMENT_IDS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        ids.extend(EXPERIMENT_IDS.iter().map(|s| s.to_string()));
+    }
+    ids.dedup();
+
+    for id in &ids {
+        eprintln!("running {id} ({scale:?}) …");
+        let Some(tables) = run_experiment(id, scale) else {
+            die(&format!("unknown experiment `{id}` (e1..e9)"));
+        };
+        for t in tables {
+            if markdown {
+                println!("{}", t.markdown());
+            } else {
+                println!("{}", t.render());
+            }
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

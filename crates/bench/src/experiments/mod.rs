@@ -1,0 +1,12 @@
+//! The nine reproduction experiments (see crate docs and
+//! `EXPERIMENTS.md` for the mapping to the paper's figures).
+
+pub mod e1_apriori_speedup;
+pub mod e2_basket_flock;
+pub mod e3_medical_plans;
+pub mod e4_union_flock;
+pub mod e5_path_chain;
+pub mod e6_dynamic;
+pub mod e7_weighted;
+pub mod e8_levelwise;
+pub mod e9_plan_search;

@@ -1,0 +1,74 @@
+//! # qf-bench — the reproduction harness
+//!
+//! One module per experiment in `EXPERIMENTS.md`, each regenerating a
+//! figure or quantified claim of the paper:
+//!
+//! | Experiment | Paper artifact |
+//! |---|---|
+//! | [`experiments::e1_apriori_speedup`] | §1.3 claim + Fig. 1 (≈20× rewrite speedup) |
+//! | [`experiments::e2_basket_flock`] | Fig. 2 (market-basket flock) |
+//! | [`experiments::e3_medical_plans`] | Figs. 3 & 5, Ex. 3.2/4.1 |
+//! | [`experiments::e4_union_flock`] | Fig. 4, Ex. 3.3 |
+//! | [`experiments::e5_path_chain`] | Figs. 6 & 7, Ex. 4.3 |
+//! | [`experiments::e6_dynamic`] | Figs. 8 & 9, Ex. 4.4 |
+//! | [`experiments::e7_weighted`] | Fig. 10 (monotone SUM filter) |
+//! | [`experiments::e8_levelwise`] | §4.3 option 2 vs. classic a-priori |
+//! | [`experiments::e9_plan_search`] | §4.2–4.3 ablation: search strategies & cost model |
+//!
+//! Run everything with the `reproduce` binary:
+//!
+//! ```text
+//! cargo run --release -p qf-bench --bin reproduce -- all --scale full
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+pub mod timing;
+pub mod workloads;
+
+pub use table::Table;
+
+/// Experiment scale: `Small` finishes in seconds (CI, tests); `Full` is
+/// the scale recorded in `EXPERIMENTS.md`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale smoke configuration.
+    Small,
+    /// The configuration whose numbers are recorded in EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Parse `small`/`full`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+}
+
+/// Run one experiment by id (`e1`…`e9`), returning its report tables.
+pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
+    use experiments::*;
+    Some(match id {
+        "e1" => e1_apriori_speedup::run(scale),
+        "e2" => e2_basket_flock::run(scale),
+        "e3" => e3_medical_plans::run(scale),
+        "e4" => e4_union_flock::run(scale),
+        "e5" => e5_path_chain::run(scale),
+        "e6" => e6_dynamic::run(scale),
+        "e7" => e7_weighted::run(scale),
+        "e8" => e8_levelwise::run(scale),
+        "e9" => e9_plan_search::run(scale),
+        _ => return None,
+    })
+}
+
+/// All experiment ids, in order.
+pub const EXPERIMENT_IDS: [&str; 9] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
+];

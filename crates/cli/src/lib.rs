@@ -1,0 +1,432 @@
+//! # qf-cli — the `qfsh` interactive shell
+//!
+//! A small line-oriented shell over the query-flocks system: load TSV
+//! relations (or generate demo workloads), define a flock in the
+//! paper's notation, and run it under any evaluation strategy.
+//!
+//! ```text
+//! qf> gen baskets
+//! generated baskets: 1000 baskets
+//! qf> flock QUERY: answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2 FILTER: COUNT(answer.B) >= 20
+//! flock set (2 parameters)
+//! qf> run auto
+//! strategy: dynamic (2 voluntary filters)
+//! 12 result(s) …
+//! ```
+//!
+//! The interpreter lives in [`Session`] so it is unit-testable; the
+//! `qfsh` binary is a thin stdin loop around it.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use qf_core::{
+    best_plan, evaluate_dynamic, to_sql, DynamicConfig, FlockProgram, JoinOrderStrategy,
+    Optimizer, QueryFlock, Strategy,
+};
+use qf_storage::{tsv, Database, Relation};
+
+/// Interactive session state: the working database and current program
+/// (views + flock; a plain flock is a program with no views).
+#[derive(Default)]
+pub struct Session {
+    /// Loaded/generated relations.
+    pub db: Database,
+    /// The current flock program, if one was defined.
+    pub program: Option<FlockProgram>,
+}
+
+impl Session {
+    /// Fresh session with an empty database.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Execute one command line, returning the text to print.
+    pub fn execute_line(&mut self, line: &str) -> Result<String, String> {
+        let line = line.trim();
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd {
+            "" => Ok(String::new()),
+            "help" | "?" => Ok(HELP.to_string()),
+            "load" => self.load(rest),
+            "save" => self.save(rest),
+            "rels" => Ok(self.rels()),
+            "show" => self.show(rest),
+            "gen" => self.generate(rest),
+            "flock" => self.set_flock(rest),
+            "run" => self.run(rest),
+            "plan" => self.plan(),
+            "sql" => self.sql(),
+            "explain" => self.explain(),
+            "quit" | "exit" => Err("quit".to_string()),
+            other => Err(format!("unknown command `{other}` (try `help`)")),
+        }
+    }
+
+    fn load(&mut self, path: &str) -> Result<String, String> {
+        if path.is_empty() {
+            return Err("usage: load <file.tsv>".to_string());
+        }
+        let rel = tsv::load_tsv(path).map_err(|e| e.to_string())?;
+        let msg = format!("loaded {} [{} tuples]", rel.schema(), rel.len());
+        self.db.insert(rel);
+        Ok(msg)
+    }
+
+    fn save(&mut self, rest: &str) -> Result<String, String> {
+        let (name, path) = rest
+            .split_once(char::is_whitespace)
+            .ok_or("usage: save <relation> <file.tsv>")?;
+        let rel = self.db.get(name.trim()).map_err(|e| e.to_string())?;
+        tsv::save_tsv(rel, path.trim()).map_err(|e| e.to_string())?;
+        Ok(format!("saved {} tuples to {}", rel.len(), path.trim()))
+    }
+
+    fn rels(&self) -> String {
+        if self.db.is_empty() {
+            return "no relations loaded (try `gen baskets` or `load <file>`)".to_string();
+        }
+        let mut out = String::new();
+        for r in self.db.iter() {
+            let _ = writeln!(out, "{} [{} tuples]", r.schema(), r.len());
+        }
+        out.trim_end().to_string()
+    }
+
+    fn show(&self, rest: &str) -> Result<String, String> {
+        let mut parts = rest.split_whitespace();
+        let name = parts.next().ok_or("usage: show <relation> [n]")?;
+        let n: usize = parts
+            .next()
+            .map(|s| s.parse().map_err(|_| "bad row count".to_string()))
+            .transpose()?
+            .unwrap_or(10);
+        let rel = self.db.get(name).map_err(|e| e.to_string())?;
+        let mut out = format!("{} [{} tuples]\n", rel.schema(), rel.len());
+        for t in rel.iter().take(n) {
+            let _ = writeln!(out, "  {t}");
+        }
+        if rel.len() > n {
+            let _ = writeln!(out, "  … {} more", rel.len() - n);
+        }
+        Ok(out.trim_end().to_string())
+    }
+
+    fn generate(&mut self, rest: &str) -> Result<String, String> {
+        let mut parts = rest.split_whitespace();
+        let what = parts.next().unwrap_or("");
+        let seed: u64 = parts
+            .next()
+            .map(|s| s.parse().map_err(|_| "bad seed".to_string()))
+            .transpose()?
+            .unwrap_or(1);
+        match what {
+            "baskets" => {
+                let config = qf_datagen::BasketConfig { seed, ..Default::default() };
+                let data = qf_datagen::baskets::generate(&config);
+                let n = data.baskets.distinct(0);
+                self.db.insert(data.baskets);
+                self.db
+                    .insert(qf_datagen::baskets::importance(&config, 50));
+                Ok(format!("generated baskets ({n} baskets) and importance weights"))
+            }
+            "words" => {
+                let rel = qf_datagen::words::generate(&qf_datagen::WordsConfig {
+                    seed,
+                    ..Default::default()
+                });
+                let msg = format!("generated baskets (word occurrences, {} tuples)", rel.len());
+                self.db.insert(rel);
+                Ok(msg)
+            }
+            "medical" => {
+                let data = qf_datagen::medical::generate(&qf_datagen::MedicalConfig {
+                    seed,
+                    ..Default::default()
+                });
+                for rel in data.db.iter() {
+                    self.db.insert(rel.clone());
+                }
+                Ok(format!(
+                    "generated medical db (planted side-effects: {:?})",
+                    data.planted
+                ))
+            }
+            "web" => {
+                let data = qf_datagen::web::generate(&qf_datagen::WebConfig {
+                    seed,
+                    ..Default::default()
+                });
+                for rel in data.db.iter() {
+                    self.db.insert(rel.clone());
+                }
+                Ok(format!(
+                    "generated web corpus (planted pairs: {:?})",
+                    data.planted
+                ))
+            }
+            "graph" => {
+                let rel = qf_datagen::graph::generate(&qf_datagen::GraphConfig {
+                    seed,
+                    ..Default::default()
+                });
+                let msg = format!("generated arc ({} arcs)", rel.len());
+                self.db.insert(rel);
+                Ok(msg)
+            }
+            _ => Err("usage: gen <baskets|words|medical|web|graph> [seed]".to_string()),
+        }
+    }
+
+    fn set_flock(&mut self, text: &str) -> Result<String, String> {
+        if text.is_empty() {
+            return match &self.program {
+                Some(p) => Ok(p.flock().render()),
+                None => Err("no flock set; usage: flock [views…] QUERY: … FILTER: …".to_string()),
+            };
+        }
+        let program = FlockProgram::parse(text).map_err(|e| e.to_string())?;
+        let n = program.flock().params().len();
+        let v = program.views().len();
+        self.program = Some(program);
+        if v > 0 {
+            Ok(format!("flock set ({n} parameters, {v} view rule(s))"))
+        } else {
+            Ok(format!("flock set ({n} parameters)"))
+        }
+    }
+
+    fn current_program(&self) -> Result<&FlockProgram, String> {
+        self.program
+            .as_ref()
+            .ok_or_else(|| "no flock set (use `flock QUERY: … FILTER: …`)".to_string())
+    }
+
+    fn current_flock(&self) -> Result<&QueryFlock, String> {
+        Ok(self.current_program()?.flock())
+    }
+
+    fn run(&mut self, rest: &str) -> Result<String, String> {
+        let strategy = match rest {
+            "" | "auto" => Strategy::Auto,
+            "direct" => Strategy::Direct,
+            "static" => Strategy::BestStatic,
+            "dynamic" => Strategy::Dynamic,
+            other => return Err(format!("unknown strategy `{other}`")),
+        };
+        let program = self.current_program()?.clone();
+        let start = std::time::Instant::now();
+        let evaluation = program
+            .evaluate_with(&self.db, &Optimizer::with_strategy(strategy))
+            .map_err(|e| e.to_string())?;
+        let elapsed = start.elapsed();
+        let mut out = format!(
+            "strategy: {} ({elapsed:?})\n{} result(s)",
+            evaluation.strategy_used,
+            evaluation.result.len()
+        );
+        for t in evaluation.result.iter().take(20) {
+            let _ = write!(out, "\n  {t}");
+        }
+        if evaluation.result.len() > 20 {
+            let _ = write!(out, "\n  … {} more", evaluation.result.len() - 20);
+        }
+        Ok(out)
+    }
+
+    fn plan(&self) -> Result<String, String> {
+        let program = self.current_program()?;
+        let working = program
+            .materialize_views(&self.db, JoinOrderStrategy::Greedy)
+            .map_err(|e| e.to_string())?;
+        let flock = program.flock();
+        let (plan, cost) = best_plan(flock, &working).map_err(|e| e.to_string())?;
+        let report = qf_core::estimate_plan_report(&plan, &working, JoinOrderStrategy::Greedy)
+            .map_err(|e| e.to_string())?;
+        Ok(format!(
+            "-- estimated cost: {cost:.0} tuples\n{plan}\n\n{}",
+            report.render()
+        ))
+    }
+
+    fn sql(&self) -> Result<String, String> {
+        let flock = self.current_flock()?;
+        to_sql(flock).map_err(|e| e.to_string())
+    }
+
+    fn explain(&self) -> Result<String, String> {
+        let program = self.current_program()?;
+        let working = program
+            .materialize_views(&self.db, JoinOrderStrategy::Greedy)
+            .map_err(|e| e.to_string())?;
+        let flock = program.flock();
+        let compiled =
+            qf_core::compile_answer(flock.query(), &working, JoinOrderStrategy::Greedy)
+                .map_err(|e| e.to_string())?;
+        let mut out = compiled.plan.explain();
+        if let Ok(est) = qf_engine::estimate(&compiled.plan, &working) {
+            let _ = write!(out, "-- estimated answer tuples: {:.0}", est.rows);
+        }
+        // For single-rule COUNT flocks, also show the dynamic trace.
+        if flock.query().is_single() {
+            if let Ok(report) =
+                evaluate_dynamic(flock, &working, &DynamicConfig::default())
+            {
+                let _ = write!(out, "\n-- dynamic decisions:");
+                for d in &report.decisions {
+                    let _ = write!(
+                        out,
+                        "\n--   after {}: {}",
+                        d.after_subgoal,
+                        if d.filtered { "FILTER" } else { "skip" }
+                    );
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reference to a loaded relation (test helper).
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.db.get(name).ok()
+    }
+}
+
+/// Help text for the shell.
+pub const HELP: &str = "\
+commands:
+  gen <baskets|words|medical|web|graph> [seed]   generate a demo workload
+  load <file.tsv>                                load a relation (header: name<TAB>cols…)
+  save <relation> <file.tsv>                     write a relation
+  rels                                           list relations
+  show <relation> [n]                            preview tuples
+  flock [view rules…] QUERY: … FILTER: …         define the current flock (views optional)
+  run [auto|direct|static|dynamic]               evaluate the flock
+  plan                                           show the cost-based best plan
+  sql                                            render the flock as SQL
+  explain                                        physical plan + dynamic trace
+  quit";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flock_cmd() -> &'static str {
+        "flock QUERY: answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2 \
+         FILTER: COUNT(answer.B) >= 20"
+    }
+
+    #[test]
+    fn gen_flock_run_pipeline() {
+        let mut s = Session::new();
+        let msg = s.execute_line("gen baskets").unwrap();
+        assert!(msg.contains("generated baskets"));
+        assert!(s.relation("baskets").is_some());
+
+        let msg = s.execute_line(flock_cmd()).unwrap();
+        assert_eq!(msg, "flock set (2 parameters)");
+
+        for strat in ["run", "run direct", "run static", "run dynamic"] {
+            let out = s.execute_line(strat).unwrap();
+            assert!(out.contains("result(s)"), "{strat}: {out}");
+        }
+    }
+
+    #[test]
+    fn plan_sql_explain_require_flock() {
+        let mut s = Session::new();
+        for cmd in ["run", "plan", "sql", "explain"] {
+            assert!(s.execute_line(cmd).is_err(), "{cmd} without flock");
+        }
+        s.execute_line("gen baskets").unwrap();
+        s.execute_line(flock_cmd()).unwrap();
+        assert!(s.execute_line("plan").unwrap().contains("FILTER"));
+        assert!(s.execute_line("sql").unwrap().contains("GROUP BY"));
+        assert!(s.execute_line("explain").unwrap().contains("Scan baskets"));
+    }
+
+    #[test]
+    fn rels_and_show() {
+        let mut s = Session::new();
+        assert!(s.execute_line("rels").unwrap().contains("no relations"));
+        s.execute_line("gen graph 7").unwrap();
+        assert!(s.execute_line("rels").unwrap().contains("arc"));
+        let out = s.execute_line("show arc 3").unwrap();
+        assert!(out.contains("more"), "{out}");
+        assert!(s.execute_line("show nope").is_err());
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let mut s = Session::new();
+        s.execute_line("gen baskets").unwrap();
+        let dir = std::env::temp_dir().join(format!("qfsh-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("b.tsv");
+        let path_str = path.to_str().unwrap();
+        s.execute_line(&format!("save baskets {path_str}")).unwrap();
+        let mut s2 = Session::new();
+        s2.execute_line(&format!("load {path_str}")).unwrap();
+        assert_eq!(
+            s.relation("baskets").unwrap().tuples(),
+            s2.relation("baskets").unwrap().tuples()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut s = Session::new();
+        assert!(s.execute_line("load /no/such/file.tsv").is_err());
+        assert!(s.execute_line("gen nothing").is_err());
+        assert!(s.execute_line("bogus").is_err());
+        assert!(s.execute_line("flock QUERY: broken").is_err());
+        // quit signals the loop to stop.
+        assert_eq!(s.execute_line("quit").unwrap_err(), "quit");
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let mut s = Session::new();
+        let help = s.execute_line("help").unwrap();
+        for cmd in ["gen", "load", "flock", "run", "plan", "sql", "explain"] {
+            assert!(help.contains(cmd), "missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn views_through_shell() {
+        let mut s = Session::new();
+        s.execute_line("gen medical").unwrap();
+        let msg = s
+            .execute_line(
+                "flock explained(P,S) :- diagnoses(P,D) AND causes(D,S) \
+                 QUERY: answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND \
+                 NOT explained(P,$s) FILTER: COUNT(answer.P) >= 20",
+            )
+            .unwrap();
+        assert!(msg.contains("1 view rule"), "{msg}");
+        let out = s.execute_line("run").unwrap();
+        assert!(out.contains("result(s)"), "{out}");
+        assert!(out.contains("sideeffect"), "{out}");
+    }
+
+    #[test]
+    fn medical_end_to_end_through_shell() {
+        let mut s = Session::new();
+        s.execute_line("gen medical").unwrap();
+        s.execute_line(
+            "flock QUERY: answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND \
+             diagnoses(P,D) AND NOT causes(D,$s) FILTER: COUNT(answer.P) >= 20",
+        )
+        .unwrap();
+        let out = s.execute_line("run auto").unwrap();
+        assert!(out.contains("dynamic"), "{out}");
+        assert!(out.contains("sideeffect"), "planted pair should appear: {out}");
+    }
+}

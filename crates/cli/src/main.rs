@@ -1,0 +1,49 @@
+//! `qfsh` — the query-flocks shell. See [`qf_cli`] for the command set.
+
+use std::io::{BufRead, Write};
+
+use qf_cli::Session;
+
+fn main() {
+    let mut session = Session::new();
+
+    // Non-interactive: execute arguments joined as one command, then exit
+    // (`qfsh gen baskets` etc. for scripting).
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if !args.is_empty() {
+        match session.execute_line(&args.join(" ")) {
+            Ok(out) => println!("{out}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    println!("qfsh — query flocks shell (type `help`)");
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("qf> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        match session.execute_line(&line) {
+            Ok(out) => {
+                if !out.is_empty() {
+                    println!("{out}");
+                }
+            }
+            Err(e) if e == "quit" => break,
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! Query-plan execution.
+//!
+//! Runs a [`QueryPlan`] step by step: each `FILTER` step evaluates its
+//! query (against base relations plus previous steps' outputs), groups
+//! by the step's parameters, applies the flock's filter condition, and
+//! materializes the surviving parameter assignments as a new relation
+//! in the working database — exactly the operational reading of
+//! `R(P) := FILTER(P, Q, C)` (§4.1).
+//!
+//! Execution is instrumented: every step reports its answer size, group
+//! count, survivor count, and wall-clock time, which is what the
+//! experiments (and the paper's intuition about "smaller relations …
+//! subsequent join steps take less time") need to show.
+
+use std::time::Instant;
+
+use qf_datalog::param_isomorphism;
+use qf_engine::execute;
+use qf_storage::{Database, Relation, Schema, Symbol, Tuple};
+
+use crate::compile::{compile_answer, filter_answer, JoinOrderStrategy};
+use crate::error::Result;
+use crate::eval::as_flock_result;
+use crate::filter::FilterAgg;
+use crate::plan::QueryPlan;
+
+/// Instrumentation for one executed `FILTER` step.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// Step (output relation) name.
+    pub name: String,
+    /// Tuples in the step query's extended answer (before grouping).
+    pub answer_tuples: usize,
+    /// Distinct parameter assignments seen (groups).
+    pub groups: usize,
+    /// Assignments surviving the filter (output tuples).
+    pub survivors: usize,
+    /// Wall-clock time for the step.
+    pub elapsed: std::time::Duration,
+    /// True when the step was answered by renaming an earlier step's
+    /// result instead of evaluating (parameter symmetry, §4.3 fn. 3).
+    pub reused: bool,
+}
+
+impl StepReport {
+    /// Fraction of assignments the filter eliminated.
+    pub fn elimination_rate(&self) -> f64 {
+        if self.groups == 0 {
+            0.0
+        } else {
+            1.0 - self.survivors as f64 / self.groups as f64
+        }
+    }
+}
+
+/// The outcome of executing a [`QueryPlan`].
+#[derive(Clone, Debug)]
+pub struct PlanExecution {
+    /// The flock result: surviving parameter assignments, columns named
+    /// after the parameters.
+    pub result: Relation,
+    /// Per-step instrumentation, in execution order.
+    pub steps: Vec<StepReport>,
+}
+
+impl PlanExecution {
+    /// Total wall-clock time across steps.
+    pub fn total_elapsed(&self) -> std::time::Duration {
+        self.steps.iter().map(|s| s.elapsed).sum()
+    }
+
+    /// Total tuples materialized by step answers (a proxy for work done).
+    pub fn total_answer_tuples(&self) -> usize {
+        self.steps.iter().map(|s| s.answer_tuples).sum()
+    }
+}
+
+/// Execute a validated plan against `db`.
+///
+/// `db` is not mutated; step outputs live in a working copy (relation
+/// clones are reference-count bumps, so the copy is cheap).
+pub fn execute_plan(
+    plan: &QueryPlan,
+    db: &Database,
+    strategy: JoinOrderStrategy,
+) -> Result<PlanExecution> {
+    let mut working = db.clone();
+    let mut reports = Vec::with_capacity(plan.steps.len());
+    let mut result: Option<Relation> = None;
+    // Executed reduction steps, for parameter-symmetry reuse (§4.3
+    // footnote 3: the single-parameter basket subqueries are "exactly
+    // the same" up to renaming — evaluate once, rename the result).
+    let mut executed: Vec<(&crate::plan::FilterStep, Relation)> = Vec::new();
+
+    for step in &plan.steps {
+        let start = Instant::now();
+        if let Some(renamed) = try_symmetric_reuse(step, &executed) {
+            reports.push(StepReport {
+                name: step.output.clone(),
+                answer_tuples: 0,
+                groups: 0,
+                survivors: renamed.len(),
+                elapsed: start.elapsed(),
+                reused: true,
+            });
+            working.insert(renamed.clone());
+            executed.push((step, renamed.clone()));
+            result = Some(renamed);
+            continue;
+        }
+        let answer = compile_answer(&step.query, &working, strategy)?;
+        let answer_rel = execute(&answer.plan, &working)?;
+        // SUM-filter monotonicity precondition: no negative weights.
+        if let FilterAgg::Sum(v) = plan.flock.filter().agg {
+            let rule0 = &step.query.rules()[0];
+            if let Some(pos) = rule0
+                .head
+                .args
+                .iter()
+                .position(|&t| t == qf_datalog::Term::Var(v))
+            {
+                let col = answer.n_params + pos;
+                if let Some(min) = answer_rel.stats().column(col).min {
+                    if min < qf_storage::Value::int(0) {
+                        return Err(crate::error::FlockError::NegativeWeight {
+                            detail: format!(
+                                "step `{}`: minimum weight {min}",
+                                step.output
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Group by parameters, apply the flock's condition, keep params.
+        let filtered = filter_answer_rel(plan, step, &answer, &answer_rel, &working)?;
+        let groups = count_groups(&answer_rel, answer.n_params);
+        reports.push(StepReport {
+            name: step.output.clone(),
+            answer_tuples: answer_rel.len(),
+            groups,
+            survivors: filtered.len(),
+            elapsed: start.elapsed(),
+            reused: false,
+        });
+
+        // Materialize under the step's name with parameter column names.
+        let named = Relation::from_sorted_dedup(
+            Schema::from_columns(
+                step.output.clone(),
+                step.params.iter().map(|p| p.to_string()).collect(),
+            ),
+            filtered.tuples().to_vec(),
+        );
+        working.insert(named.clone());
+        executed.push((step, named.clone()));
+        result = Some(named);
+    }
+
+    let result = result.expect("validated plans are non-empty");
+    Ok(PlanExecution {
+        result: as_flock_result(&plan.flock, &result),
+        steps: reports,
+    })
+}
+
+/// If `step`'s query is isomorphic to an already-executed step's query
+/// under a parameter bijection, produce its result by renaming columns
+/// of the earlier result. Single-rule step queries only (union
+/// symmetry would need one consistent bijection across branches).
+fn try_symmetric_reuse(
+    step: &crate::plan::FilterStep,
+    executed: &[(&crate::plan::FilterStep, Relation)],
+) -> Option<Relation> {
+    if step.query.rules().len() != 1 {
+        return None;
+    }
+    for (prev, rel) in executed {
+        if prev.query.rules().len() != 1 || prev.params.len() != step.params.len() {
+            continue;
+        }
+        let Some(mapping) =
+            param_isomorphism(&prev.query.rules()[0], &step.query.rules()[0])
+        else {
+            continue;
+        };
+        // Column i of the new relation holds step.params[i]; find which
+        // previous column maps onto it.
+        let mut proj = Vec::with_capacity(step.params.len());
+        for &new_param in &step.params {
+            let old_param: Symbol = mapping
+                .iter()
+                .find(|(_, to)| *to == new_param)
+                .map(|(from, _)| *from)?;
+            proj.push(prev.params.iter().position(|&p| p == old_param)?);
+        }
+        let tuples: Vec<Tuple> = rel.iter().map(|t| t.project(&proj)).collect();
+        let schema = Schema::from_columns(
+            step.output.clone(),
+            step.params.iter().map(|p| p.to_string()).collect(),
+        );
+        return Some(Relation::from_tuples(schema, tuples));
+    }
+    None
+}
+
+/// Apply the flock's filter to an already-materialized extended answer.
+fn filter_answer_rel(
+    plan: &QueryPlan,
+    step: &crate::plan::FilterStep,
+    answer: &crate::compile::CompiledRule,
+    answer_rel: &Relation,
+    working: &Database,
+) -> Result<Relation> {
+    // Reuse the compiled-plan path by wrapping the materialized answer
+    // as a scan: insert it under a reserved name.
+    let mut tmp = working.clone();
+    const TMP: &str = "__step_answer";
+    tmp.insert(answer_rel.renamed(TMP));
+    let wrapped = crate::compile::CompiledRule {
+        plan: qf_engine::PhysicalPlan::scan(TMP),
+        n_params: answer.n_params,
+        n_head: answer.n_head,
+    };
+    let filter_plan = filter_answer(&wrapped, &step.query.rules()[0], plan.flock.filter())?;
+    Ok(execute(&filter_plan, &tmp)?)
+}
+
+/// Distinct parameter prefixes in the extended answer.
+fn count_groups(answer_rel: &Relation, n_params: usize) -> usize {
+    let cols: Vec<usize> = (0..n_params).collect();
+    let mut seen = qf_storage::FastSet::default();
+    for t in answer_rel.iter() {
+        seen.insert(t.project(&cols));
+    }
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{final_step, FilterStep};
+    use crate::plangen::direct_plan;
+    use crate::QueryFlock;
+    use qf_datalog::parse_query;
+    use qf_storage::Value;
+
+    /// Medical data where exactly one (symptom, medicine) pair is an
+    /// unexplained side-effect with support ≥ 2.
+    fn medical_db() -> Database {
+        let mut db = Database::new();
+        let mut diagnoses = Vec::new();
+        let mut exhibits = Vec::new();
+        let mut treatments = Vec::new();
+        // Patients 1..=3: take "zorix", exhibit "headache", have "flu";
+        // flu does not cause headache → unexplained, support 3.
+        for p in 1..=3i64 {
+            diagnoses.push(vec![Value::int(p), Value::str("flu")]);
+            exhibits.push(vec![Value::int(p), Value::str("headache")]);
+            treatments.push(vec![Value::int(p), Value::str("zorix")]);
+        }
+        // Patients 4..=5: take "zorix", exhibit "fever", have "flu";
+        // flu causes fever → explained.
+        for p in 4..=5i64 {
+            diagnoses.push(vec![Value::int(p), Value::str("flu")]);
+            exhibits.push(vec![Value::int(p), Value::str("fever")]);
+            treatments.push(vec![Value::int(p), Value::str("zorix")]);
+        }
+        // Patient 6: rare symptom, rare medicine (below support).
+        diagnoses.push(vec![Value::int(6), Value::str("flu")]);
+        exhibits.push(vec![Value::int(6), Value::str("twitch")]);
+        treatments.push(vec![Value::int(6), Value::str("obscurol")]);
+        db.insert(Relation::from_rows(
+            Schema::new("diagnoses", &["p", "d"]),
+            diagnoses,
+        ));
+        db.insert(Relation::from_rows(
+            Schema::new("exhibits", &["p", "s"]),
+            exhibits,
+        ));
+        db.insert(Relation::from_rows(
+            Schema::new("treatments", &["p", "m"]),
+            treatments,
+        ));
+        db.insert(Relation::from_rows(
+            Schema::new("causes", &["d", "s"]),
+            vec![vec![Value::str("flu"), Value::str("fever")]],
+        ));
+        db
+    }
+
+    fn medical_flock(threshold: i64) -> QueryFlock {
+        QueryFlock::with_support(
+            "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND \
+             diagnoses(P,D) AND NOT causes(D,$s)",
+            threshold,
+        )
+        .unwrap()
+    }
+
+    fn fig5_plan(threshold: i64) -> QueryPlan {
+        let flock = medical_flock(threshold);
+        let ok_s = FilterStep::new("okS", parse_query("answer(P) :- exhibits(P,$s)").unwrap());
+        let ok_m = FilterStep::new(
+            "okM",
+            parse_query("answer(P) :- treatments(P,$m)").unwrap(),
+        );
+        let final_ = final_step(&flock, &[ok_s.clone(), ok_m.clone()], "ok").unwrap();
+        QueryPlan::new(flock, vec![ok_s, ok_m, final_]).unwrap()
+    }
+
+    #[test]
+    fn fig5_plan_equals_direct() {
+        let db = medical_db();
+        for threshold in [1, 2, 3, 4] {
+            let plan = fig5_plan(threshold);
+            let run = execute_plan(&plan, &db, JoinOrderStrategy::Greedy).unwrap();
+            let direct = crate::eval::evaluate_direct(
+                &medical_flock(threshold),
+                &db,
+                JoinOrderStrategy::Greedy,
+            )
+            .unwrap();
+            assert_eq!(
+                run.result.tuples(),
+                direct.tuples(),
+                "threshold {threshold}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_side_effect_found() {
+        let db = medical_db();
+        let run = execute_plan(&fig5_plan(2), &db, JoinOrderStrategy::Greedy).unwrap();
+        assert_eq!(run.result.len(), 1);
+        let t = &run.result.tuples()[0];
+        // Columns sorted by param name: $m, $s.
+        assert_eq!(t.get(0), Value::str("zorix"));
+        assert_eq!(t.get(1), Value::str("headache"));
+    }
+
+    #[test]
+    fn prefilters_prune_candidates() {
+        let db = medical_db();
+        let run = execute_plan(&fig5_plan(2), &db, JoinOrderStrategy::Greedy).unwrap();
+        assert_eq!(run.steps.len(), 3);
+        let ok_s = &run.steps[0];
+        // Symptoms: headache(3), fever(2), twitch(1) → twitch eliminated.
+        assert_eq!(ok_s.groups, 3);
+        assert_eq!(ok_s.survivors, 2);
+        assert!(ok_s.elimination_rate() > 0.0);
+        let ok_m = &run.steps[1];
+        // Medicines: zorix(5), obscurol(1) → obscurol eliminated.
+        assert_eq!(ok_m.groups, 2);
+        assert_eq!(ok_m.survivors, 1);
+    }
+
+    #[test]
+    fn direct_plan_execution_matches_eval() {
+        let db = medical_db();
+        let flock = medical_flock(2);
+        let plan = direct_plan(&flock).unwrap();
+        let run = execute_plan(&plan, &db, JoinOrderStrategy::Greedy).unwrap();
+        let direct =
+            crate::eval::evaluate_direct(&flock, &db, JoinOrderStrategy::Greedy).unwrap();
+        assert_eq!(run.result.tuples(), direct.tuples());
+        assert_eq!(run.steps.len(), 1);
+    }
+
+    #[test]
+    fn symmetric_steps_are_reused() {
+        // The basket flock's ok_1/ok_2 are isomorphic modulo $1 ↔ $2:
+        // the second must be answered by renaming, not re-evaluation.
+        let mut db = Database::new();
+        let mut rows = Vec::new();
+        for b in 0..30i64 {
+            rows.push(vec![Value::int(b), Value::str("hot1")]);
+            rows.push(vec![Value::int(b), Value::str("hot2")]);
+            rows.push(vec![Value::int(b), Value::str(&format!("noise{b}"))]);
+        }
+        db.insert(Relation::from_rows(
+            Schema::new("baskets", &["bid", "item"]),
+            rows,
+        ));
+        let flock = QueryFlock::with_support(
+            "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            20,
+        )
+        .unwrap();
+        let plan = crate::plangen::single_param_plan(&flock, &db).unwrap();
+        let run = execute_plan(&plan, &db, JoinOrderStrategy::Greedy).unwrap();
+        assert!(!run.steps[0].reused);
+        assert!(run.steps[1].reused, "ok_2 should reuse ok_1: {:?}", run.steps);
+        assert!(!run.steps[2].reused);
+        // And the result is still the right one.
+        let direct =
+            crate::eval::evaluate_direct(&flock, &db, JoinOrderStrategy::Greedy).unwrap();
+        assert_eq!(run.result.tuples(), direct.tuples());
+    }
+
+    #[test]
+    fn asymmetric_steps_not_reused() {
+        let db = medical_db();
+        let run = execute_plan(&fig5_plan(2), &db, JoinOrderStrategy::Greedy).unwrap();
+        // okS (exhibits) and okM (treatments) are structurally different.
+        assert!(run.steps.iter().all(|s| !s.reused), "{:?}", run.steps);
+    }
+
+    #[test]
+    fn working_database_is_not_leaked() {
+        let db = medical_db();
+        execute_plan(&fig5_plan(2), &db, JoinOrderStrategy::Greedy).unwrap();
+        assert!(!db.contains("okS"));
+        assert!(!db.contains("okM"));
+        assert!(!db.contains("ok"));
+    }
+
+    #[test]
+    fn result_columns_named_after_params() {
+        let db = medical_db();
+        let run = execute_plan(&fig5_plan(2), &db, JoinOrderStrategy::Greedy).unwrap();
+        assert_eq!(
+            run.result.schema().columns(),
+            &["m".to_string(), "s".to_string()]
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! The query flock itself.
+
+use std::collections::BTreeSet;
+
+use qf_datalog::{check_safety, parse_query, ConjunctiveQuery, UnionQuery};
+use qf_storage::Symbol;
+
+use crate::error::{FlockError, Result};
+use crate::filter::FilterCondition;
+
+/// A query flock: a parametrized query plus a filter on its result (§2).
+///
+/// "Remember: a query flock is a query about its *parameters*. The
+/// result of the flock is not the result of the parametrized query."
+/// Evaluating a flock yields the set of parameter assignments for which
+/// the instantiated query's answer passes the filter.
+///
+/// ```
+/// use qf_core::QueryFlock;
+///
+/// // Fig. 2, exactly as the paper writes it.
+/// let flock = QueryFlock::parse(
+///     "QUERY:
+///      answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+///      FILTER:
+///      COUNT(answer.B) >= 20",
+/// ).unwrap();
+/// assert_eq!(flock.param_names(), vec!["1", "2"]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryFlock {
+    query: UnionQuery,
+    filter: FilterCondition,
+}
+
+impl QueryFlock {
+    /// Build a flock from a validated union query and filter, checking:
+    ///
+    /// * every rule is safe (the full flock query must have finite
+    ///   answers to aggregate);
+    /// * the filter's head variable (for `SUM`/`MIN`/`MAX`) is an
+    ///   actual head variable of the query.
+    pub fn new(query: UnionQuery, filter: FilterCondition) -> Result<QueryFlock> {
+        for rule in query.rules() {
+            check_safety(rule).map_err(|v| FlockError::UnsafeQuery {
+                violation: v.to_string(),
+            })?;
+        }
+        if let Some(var) = filter.agg.head_var() {
+            for rule in query.rules() {
+                if !rule.head_vars().contains(&var) {
+                    return Err(FlockError::FilterVarUnknown {
+                        var: format!("{var}"),
+                    });
+                }
+            }
+        }
+        Ok(QueryFlock { query, filter })
+    }
+
+    /// Build a flock with the standard support filter from query text.
+    pub fn with_support(query_text: &str, threshold: i64) -> Result<QueryFlock> {
+        QueryFlock::new(parse_query(query_text)?, FilterCondition::support(threshold))
+    }
+
+    /// Parse the paper's two-section notation:
+    ///
+    /// ```text
+    /// QUERY:
+    ///   answer(B) :- baskets(B,$1) AND baskets(B,$2)
+    /// FILTER:
+    ///   COUNT(answer.B) >= 20
+    /// ```
+    pub fn parse(input: &str) -> Result<QueryFlock> {
+        let upper = input.to_ascii_uppercase();
+        let q_at = upper.find("QUERY:").ok_or_else(|| FlockError::FilterParse {
+            input: input.chars().take(40).collect(),
+            detail: "missing `QUERY:` section".to_string(),
+        })?;
+        let f_at = upper.find("FILTER:").ok_or_else(|| FlockError::FilterParse {
+            input: input.chars().take(40).collect(),
+            detail: "missing `FILTER:` section".to_string(),
+        })?;
+        if f_at < q_at {
+            return Err(FlockError::FilterParse {
+                input: input.chars().take(40).collect(),
+                detail: "`FILTER:` must follow `QUERY:`".to_string(),
+            });
+        }
+        let query_text = &input[q_at + "QUERY:".len()..f_at];
+        let filter_text = &input[f_at + "FILTER:".len()..];
+        let query = parse_query(query_text)?;
+        let filter = FilterCondition::parse(filter_text)?;
+        QueryFlock::new(query, filter)
+    }
+
+    /// The parametrized query.
+    pub fn query(&self) -> &UnionQuery {
+        &self.query
+    }
+
+    /// The filter condition.
+    pub fn filter(&self) -> &FilterCondition {
+        &self.filter
+    }
+
+    /// The flock's parameters, sorted by name. This is the schema of
+    /// the flock's result.
+    pub fn params(&self) -> BTreeSet<Symbol> {
+        self.query.params()
+    }
+
+    /// Parameter names in result-column order.
+    pub fn param_names(&self) -> Vec<String> {
+        self.params().iter().map(|p| p.to_string()).collect()
+    }
+
+    /// Shorthand: the single rule of a non-union flock.
+    pub fn single_rule(&self) -> Option<&ConjunctiveQuery> {
+        if self.query.is_single() {
+            Some(&self.query.rules()[0])
+        } else {
+            None
+        }
+    }
+
+    /// Render in the paper's `QUERY:`/`FILTER:` notation.
+    pub fn render(&self) -> String {
+        format!(
+            "QUERY:\n{}\nFILTER:\n{}",
+            self.query,
+            self.filter.render(&self.query.head_pred().to_string())
+        )
+    }
+}
+
+impl std::fmt::Display for QueryFlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_parses() {
+        let flock = QueryFlock::parse(
+            "QUERY: answer(B) :- baskets(B,$1) AND baskets(B,$2) FILTER: COUNT(answer.B) >= 20",
+        )
+        .unwrap();
+        assert_eq!(flock.filter(), &FilterCondition::support(20));
+        assert_eq!(flock.param_names(), vec!["1", "2"]);
+    }
+
+    #[test]
+    fn fig3_medical_parses() {
+        let flock = QueryFlock::parse(
+            "QUERY:
+             answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND
+                          diagnoses(P,D) AND NOT causes(D,$s)
+             FILTER:
+             COUNT(answer.P) >= 20",
+        )
+        .unwrap();
+        assert_eq!(flock.param_names(), vec!["m", "s"]);
+    }
+
+    #[test]
+    fn fig4_union_parses() {
+        let flock = QueryFlock::parse(
+            "QUERY:
+             answer(D) :- inTitle(D,$1) AND inTitle(D,$2) AND $1 < $2
+             answer(A) :- link(A,D1,D2) AND inAnchor(A,$1) AND inTitle(D2,$2) AND $1 < $2
+             answer(A) :- link(A,D1,D2) AND inAnchor(A,$2) AND inTitle(D2,$1) AND $1 < $2
+             FILTER:
+             COUNT(answer(*)) >= 20",
+        )
+        .unwrap();
+        assert_eq!(flock.query().rules().len(), 3);
+    }
+
+    #[test]
+    fn fig10_weighted_parses() {
+        let flock = QueryFlock::parse(
+            "QUERY:
+             answer(B,W) :- baskets(B,$1) AND baskets(B,$2) AND importance(B,W)
+             FILTER:
+             SUM(answer.W) >= 20",
+        )
+        .unwrap();
+        assert!(flock.filter().is_monotone());
+    }
+
+    #[test]
+    fn unsafe_flock_rejected() {
+        let err = QueryFlock::with_support("answer(B) :- baskets(B,$1) AND $1 < $2", 20)
+            .unwrap_err();
+        assert!(matches!(err, FlockError::UnsafeQuery { .. }));
+    }
+
+    #[test]
+    fn filter_var_must_be_in_head() {
+        let err = QueryFlock::parse(
+            "QUERY: answer(B) :- baskets(B,$1) AND baskets(B,$2)
+             FILTER: SUM(answer.W) >= 20",
+        )
+        .unwrap_err();
+        assert!(matches!(err, FlockError::FilterVarUnknown { .. }));
+    }
+
+    #[test]
+    fn missing_sections_rejected() {
+        assert!(QueryFlock::parse("answer(B) :- r(B,$1)").is_err());
+        assert!(QueryFlock::parse("FILTER: COUNT(answer.B) >= 2 QUERY: answer(B) :- r(B,$1)")
+            .is_err());
+    }
+
+    #[test]
+    fn render_mentions_both_sections() {
+        let flock =
+            QueryFlock::with_support("answer(B) :- baskets(B,$1) AND baskets(B,$2)", 20).unwrap();
+        let text = flock.render();
+        assert!(text.contains("QUERY:"));
+        assert!(text.contains("FILTER:"));
+        // Round-trip.
+        let again = QueryFlock::parse(&text).unwrap();
+        assert_eq!(again, flock);
+    }
+}

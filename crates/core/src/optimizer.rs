@@ -1,0 +1,238 @@
+//! The flock optimizer facade.
+//!
+//! The paper positions query flocks as something "used either in a
+//! general-purpose mining system or in a next generation of
+//! conventional query optimizers" (§1). This module is that front
+//! door: hand it a flock and a database, and it picks an evaluation
+//! strategy — static cost-based plan search (§4.2–4.3), dynamic filter
+//! selection (§4.4), or plain direct evaluation — runs it, and reports
+//! what it did.
+
+use qf_storage::{Database, Relation};
+
+use crate::compile::JoinOrderStrategy;
+use crate::dynamic::{evaluate_dynamic, DynamicConfig};
+use crate::error::Result;
+use crate::eval::evaluate_direct;
+use crate::exec::execute_plan;
+use crate::filter::FilterAgg;
+use crate::flock::QueryFlock;
+use crate::plangen::best_plan;
+
+/// Which evaluation machinery to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// One monolithic plan, no a-priori pruning.
+    Direct,
+    /// Enumerate legal static plans, cost them, run the cheapest.
+    BestStatic,
+    /// §4.4 dynamic filter selection (single-rule flocks only).
+    Dynamic,
+    /// Choose automatically: dynamic for single-rule flocks with a
+    /// `COUNT` support filter (where its decisions are defined),
+    /// cost-based static search otherwise.
+    #[default]
+    Auto,
+}
+
+/// Configuration for the [`Optimizer`].
+#[derive(Clone, Debug, Default)]
+pub struct OptimizerConfig {
+    /// Strategy selection.
+    pub strategy: Strategy,
+    /// Join-order strategy for compiled plans.
+    pub join_order: JoinOrderStrategy,
+    /// Tuning for the dynamic evaluator.
+    pub dynamic: DynamicConfig,
+}
+
+/// What the optimizer did and what it produced.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// The flock result (parameter assignments).
+    pub result: Relation,
+    /// Human-readable description of the executed strategy.
+    pub strategy_used: String,
+    /// Estimated cost of the chosen static plan, when one was searched.
+    pub estimated_cost: Option<f64>,
+    /// Number of voluntary `FILTER` applications (static reductions or
+    /// dynamic decisions).
+    pub filters_applied: usize,
+}
+
+/// The flock optimizer.
+#[derive(Clone, Debug, Default)]
+pub struct Optimizer {
+    /// Configuration.
+    pub config: OptimizerConfig,
+}
+
+impl Optimizer {
+    /// Optimizer with default configuration ([`Strategy::Auto`]).
+    pub fn new() -> Optimizer {
+        Optimizer::default()
+    }
+
+    /// Optimizer with a fixed strategy.
+    pub fn with_strategy(strategy: Strategy) -> Optimizer {
+        Optimizer {
+            config: OptimizerConfig {
+                strategy,
+                ..OptimizerConfig::default()
+            },
+        }
+    }
+
+    /// Evaluate `flock` against `db` under the configured strategy.
+    pub fn evaluate(&self, flock: &QueryFlock, db: &Database) -> Result<Evaluation> {
+        let strategy = match self.config.strategy {
+            Strategy::Auto => {
+                let dynamic_applicable = flock.query().is_single()
+                    && matches!(flock.filter().agg, FilterAgg::Count)
+                    && flock.filter().is_monotone();
+                if dynamic_applicable {
+                    Strategy::Dynamic
+                } else if flock.filter().is_monotone() {
+                    Strategy::BestStatic
+                } else {
+                    // Non-monotone filters admit no sound pruning.
+                    Strategy::Direct
+                }
+            }
+            s => s,
+        };
+        match strategy {
+            Strategy::Direct => {
+                let result = evaluate_direct(flock, db, self.config.join_order)?;
+                Ok(Evaluation {
+                    result,
+                    strategy_used: "direct".to_string(),
+                    estimated_cost: None,
+                    filters_applied: 0,
+                })
+            }
+            Strategy::BestStatic => {
+                let (plan, cost) = best_plan(flock, db)?;
+                let reductions = plan.len() - 1;
+                let label = if reductions == 0 {
+                    "best-static: direct".to_string()
+                } else {
+                    format!("best-static: {}", plan.reduction_names().join("+"))
+                };
+                let run = execute_plan(&plan, db, self.config.join_order)?;
+                Ok(Evaluation {
+                    result: run.result,
+                    strategy_used: label,
+                    estimated_cost: Some(cost),
+                    filters_applied: reductions,
+                })
+            }
+            Strategy::Dynamic => {
+                let report = evaluate_dynamic(flock, db, &self.config.dynamic)?;
+                let voluntary = report
+                    .decisions
+                    .iter()
+                    .filter(|d| {
+                        d.filtered
+                            && d.reason != crate::dynamic::DecisionReason::FinalMandatory
+                    })
+                    .count();
+                Ok(Evaluation {
+                    result: report.result,
+                    strategy_used: format!("dynamic ({voluntary} voluntary filters)"),
+                    estimated_cost: None,
+                    filters_applied: voluntary,
+                })
+            }
+            Strategy::Auto => unreachable!("resolved above"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qf_storage::{Schema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut rows = Vec::new();
+        for b in 0..30i64 {
+            rows.push(vec![Value::int(b), Value::str("hot1")]);
+            rows.push(vec![Value::int(b), Value::str("hot2")]);
+            rows.push(vec![Value::int(b), Value::str(&format!("noise{b}"))]);
+        }
+        db.insert(Relation::from_rows(
+            Schema::new("baskets", &["bid", "item"]),
+            rows,
+        ));
+        db
+    }
+
+    fn flock() -> QueryFlock {
+        QueryFlock::with_support(
+            "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            20,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let db = db();
+        let flock = flock();
+        let reference = Optimizer::with_strategy(Strategy::Direct)
+            .evaluate(&flock, &db)
+            .unwrap();
+        for s in [Strategy::BestStatic, Strategy::Dynamic, Strategy::Auto] {
+            let e = Optimizer::with_strategy(s).evaluate(&flock, &db).unwrap();
+            assert_eq!(e.result.tuples(), reference.result.tuples(), "{s:?}");
+        }
+        assert_eq!(reference.result.len(), 1);
+    }
+
+    #[test]
+    fn auto_picks_dynamic_for_single_rule_count() {
+        let e = Optimizer::new().evaluate(&flock(), &db()).unwrap();
+        assert!(e.strategy_used.starts_with("dynamic"), "{}", e.strategy_used);
+    }
+
+    #[test]
+    fn auto_picks_static_for_unions() {
+        let mut db = db();
+        db.insert(Relation::from_rows(
+            Schema::new("carts", &["bid", "item"]),
+            vec![vec![Value::int(1), Value::str("hot1")]],
+        ));
+        let flock = QueryFlock::parse(
+            "QUERY:
+             answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+             answer(B) :- carts(B,$1) AND carts(B,$2) AND $1 < $2
+             FILTER: COUNT(answer(*)) >= 20",
+        )
+        .unwrap();
+        let e = Optimizer::new().evaluate(&flock, &db).unwrap();
+        assert!(e.strategy_used.starts_with("best-static"), "{}", e.strategy_used);
+        assert!(e.estimated_cost.is_some());
+    }
+
+    #[test]
+    fn auto_refuses_pruning_for_non_monotone() {
+        let flock = QueryFlock::parse(
+            "QUERY: answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+             FILTER: COUNT(answer.B) < 5",
+        )
+        .unwrap();
+        let e = Optimizer::new().evaluate(&flock, &db()).unwrap();
+        assert_eq!(e.strategy_used, "direct");
+        assert_eq!(e.filters_applied, 0);
+    }
+
+    #[test]
+    fn best_static_reports_cost_and_filters() {
+        let e = Optimizer::with_strategy(Strategy::BestStatic)
+            .evaluate(&flock(), &db())
+            .unwrap();
+        assert!(e.estimated_cost.unwrap() > 0.0);
+    }
+}

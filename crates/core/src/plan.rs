@@ -1,0 +1,427 @@
+//! `FILTER`-step query plans (§4.1) and the legality rule (§4.2).
+//!
+//! The paper's plan notation:
+//!
+//! ```text
+//! R(P) := FILTER(P, Q, C)
+//! ```
+//!
+//! "Create relation `R` to consist of one tuple for each assignment of
+//! values for the parameters `P` such that with those parameter values
+//! the result of query `Q` meets the condition `C`." A query plan is a
+//! sequence of such steps; each step's query may use base relations and
+//! the outputs of earlier steps.
+//!
+//! The **Rule for Generating Query Plans** (§4.2) constrains legal
+//! plans; [`QueryPlan::validate`] enforces it literally:
+//!
+//! 1. every step uses the flock's own filter condition (structural here:
+//!    steps do not carry conditions at all);
+//! 2. every step defines a uniquely named relation;
+//! 3. each step's query derives from the flock's by adding heads of
+//!    previous steps as subgoals, then deleting subgoals while staying
+//!    safe;
+//! 4. the final step deletes nothing.
+
+use std::collections::BTreeSet;
+
+use qf_datalog::{is_safe, Atom, ConjunctiveQuery, Literal, Term, UnionQuery};
+use qf_storage::Symbol;
+
+use crate::error::{FlockError, Result};
+use crate::flock::QueryFlock;
+
+/// One `FILTER` step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FilterStep {
+    /// Name of the relation the step defines (`okS`, `temp1`, …).
+    pub output: String,
+    /// The parameters `P` restricted by this step, sorted by name. They
+    /// are the columns of the output relation.
+    pub params: Vec<Symbol>,
+    /// The step's query; its rules may reference earlier steps' outputs
+    /// as ordinary subgoals (with parameter arguments).
+    pub query: UnionQuery,
+}
+
+impl FilterStep {
+    /// Build a step; `params` must equal the query's parameter set.
+    pub fn new(output: impl Into<String>, query: UnionQuery) -> FilterStep {
+        let params = query.params().into_iter().collect();
+        FilterStep {
+            output: output.into(),
+            params,
+            query,
+        }
+    }
+
+    /// The subgoal later steps add to reference this step's output:
+    /// `output($p1, …, $pk)`.
+    pub fn head_subgoal(&self) -> Literal {
+        Literal::Pos(Atom::new(
+            &self.output,
+            self.params.iter().map(|&p| Term::Param(p)).collect(),
+        ))
+    }
+
+    /// Render in the paper's `R(P) := FILTER(P, Q, C)` notation.
+    pub fn render(&self, condition: &str) -> String {
+        let params: Vec<String> = self.params.iter().map(|p| format!("${p}")).collect();
+        let mut q = String::new();
+        for (i, rule) in self.query.rules().iter().enumerate() {
+            if i > 0 {
+                q.push_str("\n   ");
+            }
+            q.push_str(&rule.to_string());
+        }
+        format!(
+            "{}({}) := FILTER(({}),\n   {q},\n   {condition}\n)",
+            self.output,
+            params.join(","),
+            params.join(","),
+        )
+    }
+}
+
+/// A sequence of `FILTER` steps computing a flock.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryPlan {
+    /// The flock this plan computes.
+    pub flock: QueryFlock,
+    /// The steps, in execution order. The last step produces the flock
+    /// result.
+    pub steps: Vec<FilterStep>,
+}
+
+impl QueryPlan {
+    /// Build and validate a plan against the §4.2 rule.
+    pub fn new(flock: QueryFlock, steps: Vec<FilterStep>) -> Result<QueryPlan> {
+        let plan = QueryPlan { flock, steps };
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if the plan has no steps (never valid).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Names of the reduction steps (all but the final step).
+    pub fn reduction_names(&self) -> Vec<&str> {
+        self.steps[..self.steps.len() - 1]
+            .iter()
+            .map(|s| s.output.as_str())
+            .collect()
+    }
+
+    /// Enforce the Rule for Generating Query Plans (§4.2).
+    pub fn validate(&self) -> Result<()> {
+        if self.steps.is_empty() {
+            return Err(FlockError::IllegalPlan {
+                detail: "a plan must have at least one step".to_string(),
+            });
+        }
+        // Pruning with subquery upper bounds needs a monotone filter.
+        if self.steps.len() > 1 && !self.flock.filter().is_monotone() {
+            return Err(FlockError::NonMonotoneFilter);
+        }
+
+        // Rule 2: unique names, none colliding with base predicates.
+        let mut names = BTreeSet::new();
+        for step in &self.steps {
+            if !names.insert(step.output.as_str()) {
+                return Err(FlockError::IllegalPlan {
+                    detail: format!("step name `{}` defined twice", step.output),
+                });
+            }
+        }
+        let base_preds = self.flock.query().predicates();
+        for step in &self.steps {
+            if base_preds.contains(&Symbol::intern(&step.output)) {
+                return Err(FlockError::IllegalPlan {
+                    detail: format!(
+                        "step name `{}` collides with a base relation",
+                        step.output
+                    ),
+                });
+            }
+        }
+
+        // Rule 3 per step; rule 4 for the last.
+        let original = self.flock.query();
+        let mut prior: Vec<&FilterStep> = Vec::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            let is_final = i == self.steps.len() - 1;
+            self.validate_step(step, original, &prior, is_final)?;
+            prior.push(step);
+        }
+
+        // The final step must restrict exactly the flock's parameters.
+        let last = self.steps.last().unwrap();
+        let flock_params: Vec<Symbol> = self.flock.params().into_iter().collect();
+        if last.params != flock_params {
+            return Err(FlockError::IllegalPlan {
+                detail: format!(
+                    "final step restricts [{}] but the flock's parameters are [{}]",
+                    join_params(&last.params),
+                    join_params(&flock_params)
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Check one step against rule 3 (and rule 4 when final): each of
+    /// its rules must consist of literals drawn from the corresponding
+    /// original rule plus prior-step head subgoals, must be safe, and —
+    /// if final — must retain every original literal.
+    fn validate_step(
+        &self,
+        step: &FilterStep,
+        original: &UnionQuery,
+        prior: &[&FilterStep],
+        is_final: bool,
+    ) -> Result<()> {
+        if step.query.rules().len() != original.rules().len() {
+            return Err(FlockError::IllegalPlan {
+                detail: format!(
+                    "step `{}` has {} rules but the flock has {} (a subquery must be \
+                     formed per union branch, §3.4)",
+                    step.output,
+                    step.query.rules().len(),
+                    original.rules().len()
+                ),
+            });
+        }
+        let prior_heads: Vec<Literal> = prior.iter().map(|s| s.head_subgoal()).collect();
+        for (rule, orig) in step.query.rules().iter().zip(original.rules()) {
+            if rule.head != orig.head {
+                return Err(FlockError::IllegalPlan {
+                    detail: format!(
+                        "step `{}` changes a rule head from `{}` to `{}`",
+                        step.output, orig.head, rule.head
+                    ),
+                });
+            }
+            for lit in &rule.body {
+                let from_original = orig.body.contains(lit);
+                let from_prior = prior_heads.contains(lit);
+                if !from_original && !from_prior {
+                    return Err(FlockError::IllegalPlan {
+                        detail: format!(
+                            "step `{}` uses subgoal `{lit}` which is neither in the \
+                             original rule nor a previous step's head",
+                            step.output
+                        ),
+                    });
+                }
+            }
+            if is_final {
+                for lit in &orig.body {
+                    if !rule.body.contains(lit) {
+                        return Err(FlockError::IllegalPlan {
+                            detail: format!(
+                                "final step `{}` deleted original subgoal `{lit}` (rule 4)",
+                                step.output
+                            ),
+                        });
+                    }
+                }
+            }
+            if !is_safe(rule) {
+                return Err(FlockError::IllegalPlan {
+                    detail: format!("step `{}` rule `{rule}` is not safe", step.output),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the whole plan in the paper's notation (Fig. 5 style).
+    pub fn render(&self) -> String {
+        let cond = self
+            .flock
+            .filter()
+            .render(&self.flock.query().head_pred().to_string());
+        self.steps
+            .iter()
+            .map(|s| s.render(&cond))
+            .collect::<Vec<_>>()
+            .join(";\n")
+    }
+}
+
+impl std::fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+fn join_params(params: &[Symbol]) -> String {
+    params
+        .iter()
+        .map(|p| format!("${p}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Build the final step of any plan: the original query plus the heads
+/// of the given reduction steps (§4.2 rules 3b & 4).
+pub(crate) fn final_step(
+    flock: &QueryFlock,
+    reductions: &[FilterStep],
+    name: &str,
+) -> Result<FilterStep> {
+    let extra: Vec<Literal> = reductions.iter().map(|s| s.head_subgoal()).collect();
+    let rules: Vec<ConjunctiveQuery> = flock
+        .query()
+        .rules()
+        .iter()
+        .map(|r| r.with_extra(extra.clone()))
+        .collect();
+    Ok(FilterStep::new(name, UnionQuery::new(rules)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qf_datalog::parse_query;
+
+    fn medical_flock() -> QueryFlock {
+        QueryFlock::with_support(
+            "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND \
+             diagnoses(P,D) AND NOT causes(D,$s)",
+            20,
+        )
+        .unwrap()
+    }
+
+    /// The Fig. 5 plan: okS, okM, then the full query + both reductions.
+    fn fig5_plan() -> QueryPlan {
+        let flock = medical_flock();
+        let ok_s = FilterStep::new(
+            "okS",
+            parse_query("answer(P) :- exhibits(P,$s)").unwrap(),
+        );
+        let ok_m = FilterStep::new(
+            "okM",
+            parse_query("answer(P) :- treatments(P,$m)").unwrap(),
+        );
+        let final_ = final_step(&flock, &[ok_s.clone(), ok_m.clone()], "ok").unwrap();
+        QueryPlan::new(flock, vec![ok_s, ok_m, final_]).unwrap()
+    }
+
+    #[test]
+    fn fig5_plan_is_legal() {
+        let plan = fig5_plan();
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.reduction_names(), vec!["okS", "okM"]);
+        let text = plan.render();
+        assert!(text.contains("okS($s) := FILTER(($s)"));
+        assert!(text.contains("COUNT(answer.P) >= 20")
+            || text.contains("COUNT(answer(*)) >= 20"));
+    }
+
+    #[test]
+    fn final_step_adds_prior_heads() {
+        let plan = fig5_plan();
+        let last = plan.steps.last().unwrap();
+        let body_text = last.query.rules()[0].to_string();
+        assert!(body_text.contains("okS($s)"));
+        assert!(body_text.contains("okM($m)"));
+        assert!(body_text.contains("NOT causes(D,$s)"));
+    }
+
+    #[test]
+    fn duplicate_step_names_rejected() {
+        let flock = medical_flock();
+        let s1 = FilterStep::new("ok", parse_query("answer(P) :- exhibits(P,$s)").unwrap());
+        let s2 = FilterStep::new("ok", parse_query("answer(P) :- treatments(P,$m)").unwrap());
+        let final_ = final_step(&flock, &[s1.clone(), s2.clone()], "result").unwrap();
+        let err = QueryPlan::new(flock, vec![s1, s2, final_]).unwrap_err();
+        assert!(matches!(err, FlockError::IllegalPlan { .. }));
+    }
+
+    #[test]
+    fn foreign_subgoals_rejected() {
+        let flock = medical_flock();
+        // A step using a subgoal that is not in the original query.
+        let bad = FilterStep::new(
+            "bad",
+            parse_query("answer(P) :- visits(P,$s)").unwrap(),
+        );
+        let final_ = final_step(&flock, &[bad.clone()], "ok").unwrap();
+        let err = QueryPlan::new(flock, vec![bad, final_]).unwrap_err();
+        assert!(matches!(err, FlockError::IllegalPlan { .. }));
+    }
+
+    #[test]
+    fn unsafe_step_rejected() {
+        let flock = medical_flock();
+        // diagnoses alone has no parameters → its param set is {} and a
+        // FILTER on it is pointless but *safe*; instead use a step whose
+        // rule is unsafe: NOT causes with partial bindings.
+        let unsafe_step = FilterStep::new(
+            "bad",
+            parse_query("answer(P) :- exhibits(P,$s) AND NOT causes(D,$s)").unwrap(),
+        );
+        let final_ = final_step(&flock, &[unsafe_step.clone()], "ok").unwrap();
+        let err = QueryPlan::new(flock, vec![unsafe_step, final_]).unwrap_err();
+        assert!(matches!(err, FlockError::IllegalPlan { .. }));
+    }
+
+    #[test]
+    fn final_step_must_keep_all_subgoals() {
+        let flock = medical_flock();
+        // Final step missing the negated subgoal.
+        let truncated = FilterStep::new(
+            "ok",
+            parse_query(
+                "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND diagnoses(P,D)",
+            )
+            .unwrap(),
+        );
+        let err = QueryPlan::new(flock, vec![truncated]).unwrap_err();
+        assert!(matches!(err, FlockError::IllegalPlan { .. }));
+    }
+
+    #[test]
+    fn step_name_may_not_shadow_base_relation() {
+        let flock = medical_flock();
+        let shadow = FilterStep::new(
+            "exhibits",
+            parse_query("answer(P) :- exhibits(P,$s)").unwrap(),
+        );
+        let final_ = final_step(&flock, &[shadow.clone()], "ok").unwrap();
+        let err = QueryPlan::new(flock, vec![shadow, final_]).unwrap_err();
+        assert!(matches!(err, FlockError::IllegalPlan { .. }));
+    }
+
+    #[test]
+    fn non_monotone_filter_cannot_be_pruned() {
+        let flock = QueryFlock::parse(
+            "QUERY: answer(P) :- exhibits(P,$s) AND treatments(P,$m)
+             FILTER: COUNT(answer.P) < 5",
+        )
+        .unwrap();
+        let s = FilterStep::new("okS", parse_query("answer(P) :- exhibits(P,$s)").unwrap());
+        let final_ = final_step(&flock, &[s.clone()], "ok").unwrap();
+        let err = QueryPlan::new(flock.clone(), vec![s, final_]).unwrap_err();
+        assert!(matches!(err, FlockError::NonMonotoneFilter));
+        // The single-step (direct) plan is still fine.
+        let only = final_step(&flock, &[], "ok").unwrap();
+        assert!(QueryPlan::new(flock, vec![only]).is_ok());
+    }
+
+    #[test]
+    fn display_renders_paper_notation() {
+        let text = fig5_plan().to_string();
+        assert!(text.contains(":= FILTER"));
+        assert!(text.lines().count() >= 3);
+    }
+}

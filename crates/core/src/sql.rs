@@ -1,0 +1,328 @@
+//! SQL rendering of flocks and plans.
+//!
+//! §1.3 shows the market-basket flock as SQL (Fig. 1) and §2.1 promises
+//! that "each of the advantages mentioned above can be translated to SQL
+//! terms". This module performs that translation: a flock becomes a
+//! `SELECT … GROUP BY … HAVING` statement (negated subgoals become
+//! `NOT EXISTS`), and a query plan becomes a script of
+//! `CREATE TABLE … AS SELECT` statements — one per `FILTER` step — the
+//! shape a SQL DBMS would need to exploit the a-priori trick.
+
+use std::fmt::Write;
+
+use qf_datalog::{Atom, ConjunctiveQuery, Literal, Term};
+
+use crate::error::{FlockError, Result};
+use crate::filter::FilterAgg;
+use crate::flock::QueryFlock;
+use crate::plan::QueryPlan;
+
+/// Render a flock as a single SQL statement (Fig. 1 shape). Union
+/// flocks render as a `UNION` of subselects wrapped in an outer
+/// aggregation.
+pub fn to_sql(flock: &QueryFlock) -> Result<String> {
+    let rules = flock.query().rules();
+    let params: Vec<String> = flock.param_names();
+    let filter = flock.filter();
+
+    // The aggregate expression over the answer column(s).
+    let agg_sql = |head_expr: &str| -> String {
+        match filter.agg {
+            FilterAgg::Count => format!("COUNT(DISTINCT {head_expr})"),
+            FilterAgg::Sum(_) => format!("SUM(DISTINCT_WEIGHT({head_expr}))"),
+            FilterAgg::Min(_) => format!("MIN({head_expr})"),
+            FilterAgg::Max(_) => format!("MAX({head_expr})"),
+        }
+    };
+
+    if rules.len() == 1 {
+        let body = rule_to_select(&rules[0], &params)?;
+        let head_expr = head_expression(&rules[0], &body)?;
+        let mut sql = body.select_clause(&params);
+        write!(
+            sql,
+            "\nGROUP BY {}\nHAVING {} {} {}",
+            body.param_exprs(&params).join(", "),
+            agg_sql(&head_expr),
+            filter.op.symbol(),
+            filter.threshold
+        )
+        .unwrap();
+        Ok(sql)
+    } else {
+        // Union flock: inner UNION of per-rule selects producing
+        // (params…, answer), outer group-by over the union.
+        let mut inner = Vec::new();
+        for rule in rules {
+            let body = rule_to_select(rule, &params)?;
+            let head_expr = head_expression(rule, &body)?;
+            let mut cols: Vec<String> = body
+                .param_exprs(&params)
+                .iter()
+                .zip(&params)
+                .map(|(e, p)| format!("{e} AS p{p}"))
+                .collect();
+            cols.push(format!("{head_expr} AS answer"));
+            inner.push(format!(
+                "SELECT DISTINCT {}\n{}",
+                cols.join(", "),
+                body.render_from_where()
+            ));
+        }
+        let param_cols: Vec<String> = params.iter().map(|p| format!("p{p}")).collect();
+        Ok(format!(
+            "SELECT {}\nFROM (\n{}\n) u\nGROUP BY {}\nHAVING {} {} {}",
+            param_cols.join(", "),
+            inner.join("\nUNION\n"),
+            param_cols.join(", "),
+            agg_sql("answer"),
+            filter.op.symbol(),
+            filter.threshold
+        ))
+    }
+}
+
+/// Render a query plan as a SQL script: one `CREATE TABLE` per
+/// reduction step and a final `SELECT`.
+pub fn plan_to_sql(plan: &QueryPlan) -> Result<String> {
+    let mut out = String::new();
+    let n = plan.steps.len();
+    for (i, step) in plan.steps.iter().enumerate() {
+        let step_flock = QueryFlock::new(step.query.clone(), *plan.flock.filter())?;
+        let body = to_sql(&step_flock)?;
+        if i + 1 < n {
+            writeln!(out, "CREATE TABLE {} AS\n{};\n", step.output, body).unwrap();
+        } else {
+            writeln!(out, "-- final step\n{};", body).unwrap();
+        }
+    }
+    Ok(out)
+}
+
+/// Alias and predicate bookkeeping for one rule's `FROM`/`WHERE`.
+struct SelectBody {
+    from: Vec<String>,
+    wheres: Vec<String>,
+    /// term rendered as `alias.col`, first occurrence.
+    term_expr: Vec<(Term, String)>,
+}
+
+impl SelectBody {
+    fn expr_of(&self, t: Term) -> Option<&str> {
+        self.term_expr
+            .iter()
+            .find(|(u, _)| *u == t)
+            .map(|(_, e)| e.as_str())
+    }
+
+    fn param_exprs(&self, params: &[String]) -> Vec<String> {
+        params
+            .iter()
+            .map(|p| {
+                self.expr_of(Term::param(p))
+                    .expect("validated parameter binding")
+                    .to_string()
+            })
+            .collect()
+    }
+
+    fn render_from_where(&self) -> String {
+        let mut s = format!("FROM {}", self.from.join(", "));
+        if !self.wheres.is_empty() {
+            write!(s, "\nWHERE {}", self.wheres.join("\n  AND ")).unwrap();
+        }
+        s
+    }
+
+    fn select_clause(&self, params: &[String]) -> String {
+        format!(
+            "SELECT {}\n{}",
+            self.param_exprs(params)
+                .iter()
+                .zip(params)
+                .map(|(e, p)| format!("{e} AS p{p}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.render_from_where()
+        )
+    }
+}
+
+/// Column name for position `i` of relation `pred` — the SQL rendering
+/// does not know base schemas, so columns are positional (`c1`, `c2`…).
+fn col_name(i: usize) -> String {
+    format!("c{}", i + 1)
+}
+
+fn rule_to_select(rule: &ConjunctiveQuery, _params: &[String]) -> Result<SelectBody> {
+    let mut body = SelectBody {
+        from: Vec::new(),
+        wheres: Vec::new(),
+        term_expr: Vec::new(),
+    };
+    let mut alias_n = 0;
+    for lit in &rule.body {
+        match lit {
+            Literal::Pos(atom) => {
+                alias_n += 1;
+                let alias = format!("t{alias_n}");
+                body.from.push(format!("{} {alias}", atom.pred));
+                bind_atom(&mut body, atom, &alias);
+            }
+            Literal::Neg(atom) => {
+                let inner_alias = "n";
+                let mut conds = Vec::new();
+                for (i, &arg) in atom.args.iter().enumerate() {
+                    let col = format!("{inner_alias}.{}", col_name(i));
+                    match arg {
+                        Term::Const(v) => conds.push(format!("{col} = {}", sql_value(v))),
+                        open => {
+                            let outer =
+                                body.expr_of(open).ok_or_else(|| FlockError::UnsafeQuery {
+                                    violation: format!(
+                                        "negated subgoal term {open} unbound in SQL rendering"
+                                    ),
+                                })?;
+                            conds.push(format!("{col} = {outer}"));
+                        }
+                    }
+                }
+                body.wheres.push(format!(
+                    "NOT EXISTS (SELECT 1 FROM {} {inner_alias} WHERE {})",
+                    atom.pred,
+                    conds.join(" AND ")
+                ));
+            }
+            Literal::Cmp(c) => {
+                let render = |t: Term| -> Result<String> {
+                    match t {
+                        Term::Const(v) => Ok(sql_value(v)),
+                        open => body
+                            .expr_of(open)
+                            .map(str::to_string)
+                            .ok_or_else(|| FlockError::UnsafeQuery {
+                                violation: format!(
+                                    "arithmetic term {open} unbound in SQL rendering"
+                                ),
+                            }),
+                    }
+                };
+                let l = render(c.lhs)?;
+                let r = render(c.rhs)?;
+                body.wheres.push(format!("{l} {} {r}", c.op.symbol()));
+            }
+        }
+    }
+    Ok(body)
+}
+
+fn bind_atom(body: &mut SelectBody, atom: &Atom, alias: &str) {
+    for (i, &arg) in atom.args.iter().enumerate() {
+        let expr = format!("{alias}.{}", col_name(i));
+        match arg {
+            Term::Const(v) => body.wheres.push(format!("{expr} = {}", sql_value(v))),
+            open => match body.expr_of(open) {
+                Some(prev) => body.wheres.push(format!("{prev} = {expr}")),
+                None => body.term_expr.push((open, expr)),
+            },
+        }
+    }
+}
+
+fn head_expression(rule: &ConjunctiveQuery, body: &SelectBody) -> Result<String> {
+    // COUNT(DISTINCT a || b) style for multi-var heads; single var is
+    // the common case.
+    let exprs: Vec<String> = rule
+        .head
+        .args
+        .iter()
+        .map(|&t| {
+            body.expr_of(t)
+                .map(str::to_string)
+                .ok_or_else(|| FlockError::UnsafeQuery {
+                    violation: format!("head term {t} unbound in SQL rendering"),
+                })
+        })
+        .collect::<Result<_>>()?;
+    Ok(exprs.join(" || '|' || "))
+}
+
+fn sql_value(v: qf_storage::Value) -> String {
+    match v {
+        qf_storage::Value::Int(i) => i.to_string(),
+        qf_storage::Value::Sym(s) => format!("'{}'", s.as_str().replace('\'', "''")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plangen::direct_plan;
+
+    #[test]
+    fn fig1_shape() {
+        // The Fig. 1 SQL: self-join, item inequality, GROUP BY, HAVING.
+        let flock = QueryFlock::with_support(
+            "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            20,
+        )
+        .unwrap();
+        let sql = to_sql(&flock).unwrap();
+        assert!(sql.contains("FROM baskets t1, baskets t2"), "{sql}");
+        assert!(sql.contains("t1.c1 = t2.c1"), "join on basket id: {sql}");
+        assert!(sql.contains("t1.c2 < t2.c2"), "item order: {sql}");
+        assert!(sql.contains("GROUP BY t1.c2, t2.c2"), "{sql}");
+        assert!(sql.contains("HAVING COUNT(DISTINCT t1.c1) >= 20"), "{sql}");
+    }
+
+    #[test]
+    fn negation_renders_not_exists() {
+        let flock = QueryFlock::with_support(
+            "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND \
+             diagnoses(P,D) AND NOT causes(D,$s)",
+            20,
+        )
+        .unwrap();
+        let sql = to_sql(&flock).unwrap();
+        assert!(sql.contains("NOT EXISTS (SELECT 1 FROM causes n WHERE"), "{sql}");
+    }
+
+    #[test]
+    fn union_renders_union(){
+        let flock = QueryFlock::parse(
+            "QUERY:
+             answer(D) :- inTitle(D,$1) AND inTitle(D,$2) AND $1 < $2
+             answer(A) :- link(A,D1,D2) AND inAnchor(A,$1) AND inTitle(D2,$2) AND $1 < $2
+             answer(A) :- link(A,D1,D2) AND inAnchor(A,$2) AND inTitle(D2,$1) AND $1 < $2
+             FILTER: COUNT(answer(*)) >= 20",
+        )
+        .unwrap();
+        let sql = to_sql(&flock).unwrap();
+        assert_eq!(sql.matches("UNION").count(), 2, "{sql}");
+        assert!(sql.contains("GROUP BY p1, p2"), "{sql}");
+    }
+
+    #[test]
+    fn plan_renders_create_tables() {
+        let flock = QueryFlock::with_support(
+            "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            20,
+        )
+        .unwrap();
+        let plan = direct_plan(&flock).unwrap();
+        let sql = plan_to_sql(&plan).unwrap();
+        assert!(sql.contains("-- final step"), "{sql}");
+        assert!(!sql.contains("CREATE TABLE"), "direct plan has no reductions: {sql}");
+    }
+
+    #[test]
+    fn string_constants_escaped() {
+        let flock = QueryFlock::with_support(
+            "answer(B) :- baskets(B,$1) AND baskets(B,\"o'brien\")",
+            5,
+        )
+        .unwrap();
+        let sql = to_sql(&flock).unwrap();
+        assert!(sql.contains("'o''brien'"), "{sql}");
+    }
+}

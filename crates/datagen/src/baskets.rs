@@ -1,0 +1,208 @@
+//! IBM-Quest-style market-basket generator.
+//!
+//! Follows the synthetic-data methodology of \[AS94\] (the a-priori
+//! paper): draw a pool of *potentially frequent itemsets*, then assemble
+//! each basket from a few of those patterns plus random noise items.
+//! The result has the two properties mining workloads live on: a small
+//! set of genuinely associated item groups, buried in a long tail of
+//! items that never reach support.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qf_storage::{Relation, Schema, Value};
+
+use crate::zipf::Zipf;
+
+/// Parameters for the basket generator (names follow \[AS94\]: `|D|`
+/// transactions, `|T|` average size, `|I|` pattern size, `N` items,
+/// `|L|` patterns).
+#[derive(Clone, Debug)]
+pub struct BasketConfig {
+    /// Number of baskets (transactions), `|D|`.
+    pub n_baskets: usize,
+    /// Average items per basket, `|T|`.
+    pub avg_basket_size: usize,
+    /// Total distinct items, `N`.
+    pub n_items: usize,
+    /// Number of potentially frequent patterns, `|L|`.
+    pub n_patterns: usize,
+    /// Average items per pattern, `|I|`.
+    pub avg_pattern_size: usize,
+    /// Probability a basket draws from a pattern (vs. pure noise).
+    pub pattern_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BasketConfig {
+    fn default() -> Self {
+        BasketConfig {
+            n_baskets: 1000,
+            avg_basket_size: 10,
+            n_items: 500,
+            n_patterns: 20,
+            avg_pattern_size: 4,
+            pattern_prob: 0.7,
+            seed: 1,
+        }
+    }
+}
+
+/// Generated basket data.
+#[derive(Clone, Debug)]
+pub struct BasketData {
+    /// The `baskets(BID, Item)` relation.
+    pub baskets: Relation,
+    /// The embedded patterns (ground truth for tests): item ids per
+    /// pattern.
+    pub patterns: Vec<Vec<usize>>,
+    /// Raw transactions (basket id order, item ids), for file-based
+    /// miners that skip the relational layer.
+    pub transactions: Vec<Vec<usize>>,
+}
+
+/// Item id → interned item name (`item0001`).
+pub fn item_name(id: usize) -> String {
+    format!("item{id:04}")
+}
+
+/// Generate basket data.
+pub fn generate(config: &BasketConfig) -> BasketData {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Patterns pick their items Zipf-skewed so some patterns share items.
+    let zipf = Zipf::new(config.n_items, 0.8);
+    let mut patterns: Vec<Vec<usize>> = Vec::with_capacity(config.n_patterns);
+    for _ in 0..config.n_patterns {
+        let size = sample_size(&mut rng, config.avg_pattern_size, 2);
+        let mut items: Vec<usize> = Vec::with_capacity(size);
+        while items.len() < size {
+            let item = zipf.sample(&mut rng);
+            if !items.contains(&item) {
+                items.push(item);
+            }
+        }
+        items.sort_unstable();
+        patterns.push(items);
+    }
+    // Pattern popularity is itself skewed.
+    let pattern_pick = Zipf::new(config.n_patterns.max(1), 1.0);
+
+    let mut transactions: Vec<Vec<usize>> = Vec::with_capacity(config.n_baskets);
+    for _ in 0..config.n_baskets {
+        let size = sample_size(&mut rng, config.avg_basket_size, 1);
+        let mut basket: Vec<usize> = Vec::with_capacity(size);
+        while basket.len() < size {
+            if !patterns.is_empty() && rng.gen_bool(config.pattern_prob) {
+                let p = &patterns[pattern_pick.sample(&mut rng)];
+                for &item in p {
+                    if basket.len() >= size {
+                        break;
+                    }
+                    if !basket.contains(&item) {
+                        basket.push(item);
+                    }
+                }
+            } else {
+                let item = rng.gen_range(0..config.n_items);
+                if !basket.contains(&item) {
+                    basket.push(item);
+                }
+            }
+        }
+        basket.sort_unstable();
+        transactions.push(basket);
+    }
+
+    let mut rows = Vec::new();
+    for (bid, items) in transactions.iter().enumerate() {
+        for &item in items {
+            rows.push(vec![Value::int(bid as i64), Value::str(&item_name(item))]);
+        }
+    }
+    BasketData {
+        baskets: Relation::from_rows(Schema::new("baskets", &["bid", "item"]), rows),
+        patterns,
+        transactions,
+    }
+}
+
+/// Basket weights for the Fig. 10 monotone-SUM flock: an
+/// `importance(BID, W)` relation with non-negative weights, skewed so a
+/// few baskets carry most of the mass.
+pub fn importance(config: &BasketConfig, max_weight: i64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9e3779b97f4a7c15);
+    let rows: Vec<Vec<Value>> = (0..config.n_baskets)
+        .map(|bid| {
+            // Squared uniform → right-skewed in [1, max].
+            let u: f64 = rng.gen();
+            let w = 1 + (u * u * (max_weight - 1) as f64) as i64;
+            vec![Value::int(bid as i64), Value::int(w)]
+        })
+        .collect();
+    Relation::from_rows(Schema::new("importance", &["bid", "w"]), rows)
+}
+
+/// Poisson-ish size: geometric jitter around a mean with a floor.
+fn sample_size(rng: &mut StdRng, mean: usize, floor: usize) -> usize {
+    let jitter: f64 = rng.gen_range(0.5..1.5);
+    ((mean as f64 * jitter).round() as usize).max(floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let c = BasketConfig::default();
+        let a = generate(&c);
+        let b = generate(&c);
+        assert_eq!(a.baskets, b.baskets);
+        assert_eq!(a.patterns, b.patterns);
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let c = BasketConfig {
+            n_baskets: 200,
+            avg_basket_size: 8,
+            ..BasketConfig::default()
+        };
+        let d = generate(&c);
+        let bids = d.baskets.distinct(0);
+        assert!(bids > 190, "almost all baskets non-empty, got {bids}");
+        let avg = d.baskets.len() as f64 / bids as f64;
+        assert!((4.0..=14.0).contains(&avg), "avg basket size {avg}");
+    }
+
+    #[test]
+    fn patterns_are_frequent() {
+        let c = BasketConfig::default();
+        let d = generate(&c);
+        // The most popular pattern's first pair should co-occur in far
+        // more baskets than a random pair would.
+        let p = &d.patterns[0];
+        if p.len() >= 2 {
+            let co = d
+                .transactions
+                .iter()
+                .filter(|t| t.contains(&p[0]) && t.contains(&p[1]))
+                .count();
+            assert!(co >= 10, "pattern pair co-occurs only {co} times");
+        }
+    }
+
+    #[test]
+    fn importance_nonnegative_and_deterministic() {
+        let c = BasketConfig::default();
+        let w1 = importance(&c, 100);
+        let w2 = importance(&c, 100);
+        assert_eq!(w1, w2);
+        assert_eq!(w1.len(), c.n_baskets);
+        for t in w1.iter() {
+            let w = t.get(1).as_int().unwrap();
+            assert!((1..=100).contains(&w));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Random digraphs for the Ex. 4.3 "pathological" path flock.
+//!
+//! The Fig. 6 flock asks, for each node `$1`, whether at least `c`
+//! successors have a length-`n` path extending from them. Its (n+1)-step
+//! chain plan (Fig. 7) wins when out-degrees are skewed: most nodes fail
+//! the degree test immediately and never participate in the long join.
+//! The generator plants exactly that structure — a few high-out-degree
+//! "hubs" whose successors chain onward, against a sparse background.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qf_storage::{Relation, Schema, Value};
+
+/// Parameters for the digraph generator.
+#[derive(Clone, Debug)]
+pub struct GraphConfig {
+    /// Number of nodes.
+    pub n_nodes: usize,
+    /// Background random arcs.
+    pub n_random_arcs: usize,
+    /// Number of hub nodes (high out-degree, chains extending onward).
+    pub n_hubs: usize,
+    /// Out-degree of each hub.
+    pub hub_degree: usize,
+    /// Length of the chain planted after each hub successor.
+    pub chain_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig {
+            n_nodes: 2000,
+            n_random_arcs: 4000,
+            n_hubs: 5,
+            hub_degree: 30,
+            chain_len: 6,
+            seed: 1,
+        }
+    }
+}
+
+/// Generate an `arc(Src, Dst)` relation.
+pub fn generate(config: &GraphConfig) -> Relation {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rows = Vec::new();
+    let n = config.n_nodes as i64;
+
+    // Background sparse arcs.
+    for _ in 0..config.n_random_arcs {
+        let s = rng.gen_range(0..n);
+        let t = rng.gen_range(0..n);
+        rows.push(vec![Value::int(s), Value::int(t)]);
+    }
+
+    // Hubs: node h has `hub_degree` successors; each successor starts a
+    // planted chain of length `chain_len` (nodes allocated above n to
+    // keep chains disjoint from the background).
+    let mut next_fresh = n;
+    for h in 0..config.n_hubs as i64 {
+        for d in 0..config.hub_degree {
+            let succ = next_fresh;
+            next_fresh += 1;
+            rows.push(vec![Value::int(h), Value::int(succ)]);
+            let mut prev = succ;
+            for _ in 0..config.chain_len {
+                let node = next_fresh;
+                next_fresh += 1;
+                rows.push(vec![Value::int(prev), Value::int(node)]);
+                prev = node;
+            }
+            let _ = d;
+        }
+    }
+
+    Relation::from_rows(Schema::new("arc", &["src", "dst"]), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let c = GraphConfig::default();
+        assert_eq!(generate(&c), generate(&c));
+    }
+
+    #[test]
+    fn hubs_have_high_out_degree() {
+        let c = GraphConfig::default();
+        let arcs = generate(&c);
+        for h in 0..c.n_hubs as i64 {
+            let deg = arcs.iter().filter(|t| t.get(0) == Value::int(h)).count();
+            assert!(
+                deg >= c.hub_degree,
+                "hub {h} has out-degree {deg} < {}",
+                c.hub_degree
+            );
+        }
+    }
+
+    #[test]
+    fn chains_extend_from_hub_successors() {
+        let c = GraphConfig {
+            n_nodes: 100,
+            n_random_arcs: 50,
+            n_hubs: 1,
+            hub_degree: 3,
+            chain_len: 4,
+            ..GraphConfig::default()
+        };
+        let arcs = generate(&c);
+        // Follow one hub successor's chain.
+        let succ = arcs
+            .iter()
+            .find(|t| t.get(0) == Value::int(0) && t.get(1).as_int().unwrap() >= 100)
+            .expect("hub successor")
+            .get(1);
+        let mut cur = succ;
+        for step in 0..c.chain_len {
+            let next = arcs.iter().find(|t| t.get(0) == cur);
+            assert!(next.is_some(), "chain broken at step {step}");
+            cur = next.unwrap().get(1);
+        }
+    }
+}

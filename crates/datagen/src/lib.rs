@@ -1,0 +1,35 @@
+//! # qf-datagen — synthetic workloads for the query-flocks experiments
+//!
+//! The paper evaluates its ideas on data we cannot ship: word
+//! occurrences in newspaper articles (§1.3), retail market baskets,
+//! medical records (Ex. 2.2), and an HTML crawl (Ex. 2.3). This crate
+//! generates statistically faithful stand-ins:
+//!
+//! * [`baskets`] — IBM-Quest-style market baskets (frequent patterns
+//!   embedded in noise) plus basket weights for the Fig. 10 flock;
+//! * [`words`] — Zipf-distributed word/document data matching the skew
+//!   of natural-language token frequencies (the regime where the paper
+//!   observed its 20× speedup);
+//! * [`medical`] — the Ex. 2.2 schema with selectivity knobs for rare
+//!   symptoms/medicines (the §3.2 trade-off discussion);
+//! * [`web`] — the Ex. 2.3 schema (`inTitle`/`inAnchor`/`link`);
+//! * [`graph`] — random digraphs for the Ex. 4.3 path flock;
+//! * [`zipf`] — the shared Zipf sampler.
+//!
+//! All generators take an explicit seed and are deterministic.
+
+#![warn(missing_docs)]
+
+pub mod baskets;
+pub mod graph;
+pub mod medical;
+pub mod web;
+pub mod words;
+pub mod zipf;
+
+pub use baskets::{BasketConfig, BasketData};
+pub use graph::GraphConfig;
+pub use medical::{MedicalConfig, MedicalData};
+pub use web::{WebConfig, WebData};
+pub use words::WordsConfig;
+pub use zipf::Zipf;

@@ -1,0 +1,226 @@
+//! The Ex. 2.2 medical database generator.
+//!
+//! Produces the four relations of the side-effects flock —
+//! `diagnoses(Patient, Disease)`, `exhibits(Patient, Symptom)`,
+//! `treatments(Patient, Medicine)`, `causes(Disease, Symptom)` — with
+//! the selectivity knobs the §3.2 discussion turns on: "whether it is
+//! worth basing a preliminary step on (1) and/or (2) depends on the
+//! density of rare symptoms and medicines."
+//!
+//! Each patient has exactly one disease (the paper's simplifying
+//! assumption). A configurable fraction of symptom/medicine mass goes
+//! to per-patient rare values that can never reach support; the rest is
+//! drawn Zipf-style from common pools, including disease-caused
+//! symptoms (which the `NOT causes` subgoal must explain away) and a
+//! planted unexplained side-effect per popular medicine.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qf_storage::{Database, Relation, Schema, Value};
+
+use crate::zipf::Zipf;
+
+/// Parameters for the medical generator.
+#[derive(Clone, Debug)]
+pub struct MedicalConfig {
+    /// Number of patients.
+    pub n_patients: usize,
+    /// Number of diseases.
+    pub n_diseases: usize,
+    /// Number of common symptoms.
+    pub n_symptoms: usize,
+    /// Number of medicines.
+    pub n_medicines: usize,
+    /// Symptoms exhibited per patient (before dedup).
+    pub symptoms_per_patient: usize,
+    /// Medicines taken per patient (before dedup).
+    pub medicines_per_patient: usize,
+    /// Fraction of symptom/medicine draws that produce a per-patient
+    /// rare value (below any support threshold). This is the §3.2
+    /// "density of rare symptoms and medicines" knob.
+    pub rare_fraction: f64,
+    /// Symptoms each disease is known to cause.
+    pub causes_per_disease: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MedicalConfig {
+    fn default() -> Self {
+        MedicalConfig {
+            n_patients: 2000,
+            n_diseases: 50,
+            n_symptoms: 200,
+            n_medicines: 100,
+            symptoms_per_patient: 3,
+            medicines_per_patient: 2,
+            rare_fraction: 0.3,
+            causes_per_disease: 4,
+            seed: 1,
+        }
+    }
+}
+
+/// Generated medical data plus ground truth.
+#[derive(Clone, Debug)]
+pub struct MedicalData {
+    /// Database with `diagnoses`, `exhibits`, `treatments`, `causes`.
+    pub db: Database,
+    /// Planted (medicine, unexplained symptom) side-effect pairs.
+    pub planted: Vec<(String, String)>,
+}
+
+fn disease(i: usize) -> String {
+    format!("disease{i:03}")
+}
+fn symptom(i: usize) -> String {
+    format!("symptom{i:03}")
+}
+fn medicine(i: usize) -> String {
+    format!("med{i:03}")
+}
+
+/// Generate the medical database.
+pub fn generate(config: &MedicalConfig) -> MedicalData {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let disease_pick = Zipf::new(config.n_diseases, 0.8);
+    let symptom_pick = Zipf::new(config.n_symptoms, 1.0);
+    let medicine_pick = Zipf::new(config.n_medicines, 1.0);
+
+    // causes(Disease, Symptom): each disease causes a few symptoms from
+    // the common pool (skewed, so popular symptoms are often explained).
+    let mut causes_rows = Vec::new();
+    let mut caused: Vec<Vec<usize>> = vec![Vec::new(); config.n_diseases];
+    for (d, caused_d) in caused.iter_mut().enumerate() {
+        while caused_d.len() < config.causes_per_disease {
+            let s = symptom_pick.sample(&mut rng);
+            if !caused_d.contains(&s) {
+                caused_d.push(s);
+                causes_rows.push(vec![Value::str(&disease(d)), Value::str(&symptom(s))]);
+            }
+        }
+    }
+
+    // Planted side-effects: medicine m (popular ranks) reliably produces
+    // symptom `sideeffect_of_m` which no disease causes.
+    let n_planted = (config.n_medicines / 20).max(1);
+    let mut planted = Vec::new();
+    for m in 0..n_planted {
+        planted.push((medicine(m), format!("sideeffect{m:02}")));
+    }
+
+    let mut diagnoses_rows = Vec::new();
+    let mut exhibits_rows = Vec::new();
+    let mut treatments_rows = Vec::new();
+    for p in 0..config.n_patients {
+        let pid = Value::int(p as i64);
+        let d = disease_pick.sample(&mut rng);
+        diagnoses_rows.push(vec![pid, Value::str(&disease(d))]);
+
+        // Symptoms: disease-caused ones (explained), commons, rares.
+        for _ in 0..config.symptoms_per_patient {
+            let roll: f64 = rng.gen();
+            let name = if roll < config.rare_fraction {
+                format!("raresym_p{p}_{}", rng.gen_range(0..10))
+            } else if roll < config.rare_fraction + 0.3 && !caused[d].is_empty() {
+                symptom(caused[d][rng.gen_range(0..caused[d].len())])
+            } else {
+                symptom(symptom_pick.sample(&mut rng))
+            };
+            exhibits_rows.push(vec![pid, Value::str(&name)]);
+        }
+
+        // Medicines, with the planted side-effect wired in.
+        for _ in 0..config.medicines_per_patient {
+            let roll: f64 = rng.gen();
+            if roll < config.rare_fraction {
+                let name = format!("raremed_p{p}_{}", rng.gen_range(0..10));
+                treatments_rows.push(vec![pid, Value::str(&name)]);
+            } else {
+                let m = medicine_pick.sample(&mut rng);
+                treatments_rows.push(vec![pid, Value::str(&medicine(m))]);
+                if m < n_planted && rng.gen_bool(0.8) {
+                    exhibits_rows
+                        .push(vec![pid, Value::str(&format!("sideeffect{m:02}"))]);
+                }
+            }
+        }
+    }
+
+    let mut db = Database::new();
+    db.insert(Relation::from_rows(
+        Schema::new("diagnoses", &["patient", "disease"]),
+        diagnoses_rows,
+    ));
+    db.insert(Relation::from_rows(
+        Schema::new("exhibits", &["patient", "symptom"]),
+        exhibits_rows,
+    ));
+    db.insert(Relation::from_rows(
+        Schema::new("treatments", &["patient", "medicine"]),
+        treatments_rows,
+    ));
+    db.insert(Relation::from_rows(
+        Schema::new("causes", &["disease", "symptom"]),
+        causes_rows,
+    ));
+    MedicalData { db, planted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qf_core::{evaluate_direct, JoinOrderStrategy, QueryFlock};
+
+    #[test]
+    fn deterministic() {
+        let c = MedicalConfig::default();
+        let a = generate(&c);
+        let b = generate(&c);
+        assert_eq!(a.db.get("exhibits").unwrap(), b.db.get("exhibits").unwrap());
+    }
+
+    #[test]
+    fn schema_complete() {
+        let d = generate(&MedicalConfig::default());
+        for name in ["diagnoses", "exhibits", "treatments", "causes"] {
+            assert!(d.db.contains(name), "missing {name}");
+        }
+        assert_eq!(d.db.get("diagnoses").unwrap().len(), 2000);
+    }
+
+    #[test]
+    fn planted_side_effects_are_discoverable() {
+        let config = MedicalConfig {
+            n_patients: 1500,
+            ..MedicalConfig::default()
+        };
+        let data = generate(&config);
+        let flock = QueryFlock::with_support(
+            "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND \
+             diagnoses(P,D) AND NOT causes(D,$s)",
+            20,
+        )
+        .unwrap();
+        let result = evaluate_direct(&flock, &data.db, JoinOrderStrategy::Greedy).unwrap();
+        // Every planted pair must be found (columns: $m, $s).
+        for (med, sym) in &data.planted {
+            let found = result.iter().any(|t| {
+                t.get(0) == Value::str(med) && t.get(1) == Value::str(sym)
+            });
+            assert!(found, "planted pair ({med}, {sym}) not mined; got {result:?}");
+        }
+    }
+
+    #[test]
+    fn rare_values_exist() {
+        let d = generate(&MedicalConfig::default());
+        let exhibits = d.db.get("exhibits").unwrap();
+        let rare = exhibits
+            .iter()
+            .filter(|t| t.get(1).to_string().starts_with("raresym"))
+            .count();
+        assert!(rare > 100, "rare symptoms missing: {rare}");
+    }
+}

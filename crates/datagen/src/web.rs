@@ -1,0 +1,197 @@
+//! The Ex. 2.3 HTML-corpus generator.
+//!
+//! Produces `inTitle(Doc, Word)`, `inAnchor(Anchor, Word)`, and
+//! `link(Anchor, SrcDoc, DstDoc)` with planted strongly-connected word
+//! pairs: pairs that co-occur in titles *and* appear split across
+//! anchor/target-title — the two relationships the Fig. 4 union flock
+//! counts together. Anchor ids and document ids are drawn from disjoint
+//! ranges, honouring the paper's "no values in common between these two
+//! types of ID's" assumption.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qf_storage::{Database, Relation, Schema, Value};
+
+use crate::zipf::Zipf;
+
+/// Parameters for the web-corpus generator.
+#[derive(Clone, Debug)]
+pub struct WebConfig {
+    /// Number of documents.
+    pub n_docs: usize,
+    /// Number of anchors (links).
+    pub n_anchors: usize,
+    /// Vocabulary size.
+    pub vocabulary: usize,
+    /// Words per title.
+    pub words_per_title: usize,
+    /// Words per anchor text.
+    pub words_per_anchor: usize,
+    /// Number of planted strongly-connected word pairs.
+    pub n_planted: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WebConfig {
+    fn default() -> Self {
+        WebConfig {
+            n_docs: 800,
+            n_anchors: 1600,
+            vocabulary: 2000,
+            words_per_title: 5,
+            words_per_anchor: 3,
+            n_planted: 3,
+            seed: 1,
+        }
+    }
+}
+
+/// Generated web corpus plus ground truth.
+#[derive(Clone, Debug)]
+pub struct WebData {
+    /// Database with `inTitle`, `inAnchor`, `link`.
+    pub db: Database,
+    /// Planted strongly-connected word pairs (lexicographically ordered).
+    pub planted: Vec<(String, String)>,
+}
+
+fn word(i: usize) -> String {
+    format!("w{i:05}")
+}
+
+/// Anchor ids live above this offset so they never collide with doc ids.
+pub const ANCHOR_ID_BASE: i64 = 1_000_000;
+
+/// Generate the corpus.
+pub fn generate(config: &WebConfig) -> WebData {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let zipf = Zipf::new(config.vocabulary, 1.0);
+
+    // Planted pairs use two dedicated words each, placed together often.
+    let planted: Vec<(usize, usize)> = (0..config.n_planted)
+        .map(|i| (config.vocabulary + 2 * i, config.vocabulary + 2 * i + 1))
+        .collect();
+
+    let mut in_title = Vec::new();
+    for doc in 0..config.n_docs {
+        let did = Value::int(doc as i64);
+        for _ in 0..config.words_per_title {
+            in_title.push(vec![did, Value::str(&word(zipf.sample(&mut rng)))]);
+        }
+        // Sprinkle planted pairs into ~5% of titles each.
+        for &(a, b) in &planted {
+            if rng.gen_bool(0.05) {
+                in_title.push(vec![did, Value::str(&word(a))]);
+                in_title.push(vec![did, Value::str(&word(b))]);
+            }
+        }
+    }
+
+    let mut in_anchor = Vec::new();
+    let mut link = Vec::new();
+    for anchor in 0..config.n_anchors {
+        let aid = Value::int(ANCHOR_ID_BASE + anchor as i64);
+        let src = rng.gen_range(0..config.n_docs) as i64;
+        let dst = rng.gen_range(0..config.n_docs) as i64;
+        link.push(vec![aid, Value::int(src), Value::int(dst)]);
+        for _ in 0..config.words_per_anchor {
+            in_anchor.push(vec![aid, Value::str(&word(zipf.sample(&mut rng)))]);
+        }
+        // Planted: anchor holds word a, target title holds word b (and
+        // vice versa on other anchors).
+        for &(a, b) in &planted {
+            if rng.gen_bool(0.04) {
+                let (wa, wt) = if rng.gen_bool(0.5) { (a, b) } else { (b, a) };
+                in_anchor.push(vec![aid, Value::str(&word(wa))]);
+                in_title.push(vec![Value::int(dst), Value::str(&word(wt))]);
+            }
+        }
+    }
+
+    let mut db = Database::new();
+    db.insert(Relation::from_rows(
+        Schema::new("inTitle", &["doc", "word"]),
+        in_title,
+    ));
+    db.insert(Relation::from_rows(
+        Schema::new("inAnchor", &["anchor", "word"]),
+        in_anchor,
+    ));
+    db.insert(Relation::from_rows(
+        Schema::new("link", &["anchor", "src", "dst"]),
+        link,
+    ));
+    WebData {
+        db,
+        planted: planted
+            .into_iter()
+            .map(|(a, b)| {
+                let (a, b) = (word(a), word(b));
+                if a < b {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qf_core::{evaluate_direct, JoinOrderStrategy, QueryFlock};
+
+    #[test]
+    fn deterministic() {
+        let c = WebConfig::default();
+        let a = generate(&c);
+        let b = generate(&c);
+        assert_eq!(a.db.get("inTitle").unwrap(), b.db.get("inTitle").unwrap());
+        assert_eq!(a.planted, b.planted);
+    }
+
+    #[test]
+    fn id_spaces_disjoint() {
+        let d = generate(&WebConfig::default());
+        let max_doc = d
+            .db
+            .get("inTitle")
+            .unwrap()
+            .stats()
+            .column(0)
+            .max
+            .unwrap();
+        let min_anchor = d
+            .db
+            .get("inAnchor")
+            .unwrap()
+            .stats()
+            .column(0)
+            .min
+            .unwrap();
+        assert!(max_doc < min_anchor, "{max_doc:?} vs {min_anchor:?}");
+    }
+
+    #[test]
+    fn planted_pairs_mined_by_fig4_flock() {
+        let data = generate(&WebConfig::default());
+        let flock = QueryFlock::parse(
+            "QUERY:
+             answer(D) :- inTitle(D,$1) AND inTitle(D,$2) AND $1 < $2
+             answer(A) :- link(A,D1,D2) AND inAnchor(A,$1) AND inTitle(D2,$2) AND $1 < $2
+             answer(A) :- link(A,D1,D2) AND inAnchor(A,$2) AND inTitle(D2,$1) AND $1 < $2
+             FILTER: COUNT(answer(*)) >= 20",
+        )
+        .unwrap();
+        let result = evaluate_direct(&flock, &data.db, JoinOrderStrategy::Greedy).unwrap();
+        for (a, b) in &data.planted {
+            let found = result
+                .iter()
+                .any(|t| t.get(0) == Value::str(a) && t.get(1) == Value::str(b));
+            assert!(found, "planted pair ({a},{b}) missing from {result:?}");
+        }
+    }
+}

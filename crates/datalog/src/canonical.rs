@@ -1,0 +1,290 @@
+//! Canonical renaming and isomorphism of conjunctive queries.
+//!
+//! Example 3.1 observes that the two single-parameter subqueries of the
+//! basket flock are "exactly the same … by symmetry" — the optimizer
+//! can evaluate one and reuse it. Detecting such symmetry is query
+//! isomorphism: equality up to a consistent renaming of variables
+//! (parameters and constants stay fixed — a flock's parameters are its
+//! output columns, so `$1` and `$2` are *not* interchangeable within a
+//! single flock's plan; symmetry is exploited by the caller renaming
+//! results, as classic a-priori does, §4.3 footnote 3).
+
+use qf_storage::{FastMap, Symbol};
+
+
+use crate::ast::{Atom, Comparison, ConjunctiveQuery, Literal, Term};
+
+/// Rename the query's variables to canonical names `V0`, `V1`, … in
+/// first-occurrence order (head first, then body, left to right).
+/// Parameters and constants are untouched. Two queries that differ only
+/// by variable names canonicalize identically.
+pub fn canonicalize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut map: FastMap<Symbol, Symbol> = FastMap::default();
+    let mut next = 0usize;
+    let mut rename = |t: Term| -> Term {
+        match t {
+            Term::Var(v) => {
+                let entry = map.entry(v).or_insert_with(|| {
+                    let name = format!("V{next}");
+                    next += 1;
+                    Symbol::intern(&name)
+                });
+                Term::Var(*entry)
+            }
+            other => other,
+        }
+    };
+    let head = Atom {
+        pred: q.head.pred,
+        args: q.head.args.iter().map(|&t| rename(t)).collect(),
+    };
+    let body = q
+        .body
+        .iter()
+        .map(|l| match l {
+            Literal::Pos(a) => Literal::Pos(Atom {
+                pred: a.pred,
+                args: a.args.iter().map(|&t| rename(t)).collect(),
+            }),
+            Literal::Neg(a) => Literal::Neg(Atom {
+                pred: a.pred,
+                args: a.args.iter().map(|&t| rename(t)).collect(),
+            }),
+            Literal::Cmp(c) => {
+                Literal::Cmp(Comparison::new(rename(c.lhs), c.op, rename(c.rhs)))
+            }
+        })
+        .collect();
+    ConjunctiveQuery::new(head, body)
+}
+
+/// Syntactic isomorphism: equal after canonical renaming **and** body
+/// reordering. Sound (isomorphic queries are equivalent) but not
+/// complete for semantic equivalence — use
+/// [`crate::containment::equivalent`] for that on pure CQs. Unlike
+/// `equivalent`, this handles negation, since renaming is semantics-
+/// preserving regardless of literal polarity.
+pub fn is_isomorphic(a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> bool {
+    if a.body.len() != b.body.len() {
+        return false;
+    }
+    let mut ca = canonicalize(a);
+    let mut cb = canonicalize(b);
+    // Canonical form depends on body order; sort bodies by display text
+    // after renaming and re-canonicalize to settle ordering-induced
+    // naming differences. Two passes reach a fixpoint for the small
+    // queries flocks use; fall back to direct comparison after that.
+    for _ in 0..2 {
+        ca.body.sort_by_key(|l| l.to_string());
+        cb.body.sort_by_key(|l| l.to_string());
+        if ca == cb {
+            return true;
+        }
+        ca = canonicalize(&ca);
+        cb = canonicalize(&cb);
+    }
+    ca == cb
+}
+
+/// Find a bijection between the parameter sets of `a` and `b` under
+/// which the queries are isomorphic — the symmetry classic a-priori
+/// exploits (§4.3 footnote 3: "the a-priori method takes advantage of
+/// symmetry among the parameters"). Returns pairs `(param of a,
+/// param of b)` or `None`.
+///
+/// The search tries every bijection; flocks have at most a handful of
+/// parameters, so the factorial is tiny.
+pub fn param_isomorphism(
+    a: &ConjunctiveQuery,
+    b: &ConjunctiveQuery,
+) -> Option<Vec<(Symbol, Symbol)>> {
+    let pa: Vec<Symbol> = a.params().into_iter().collect();
+    let pb: Vec<Symbol> = b.params().into_iter().collect();
+    if pa.len() != pb.len() || a.body.len() != b.body.len() {
+        return None;
+    }
+    let mut perm: Vec<usize> = (0..pb.len()).collect();
+    // Heap's-algorithm-free permutation enumeration via sorted stream.
+    loop {
+        let mapping: Vec<(Symbol, Symbol)> = pa
+            .iter()
+            .zip(perm.iter())
+            .map(|(&x, &i)| (x, pb[i]))
+            .collect();
+        let renamed = substitute_params(a, &mapping);
+        if is_isomorphic(&renamed, b) {
+            return Some(mapping);
+        }
+        if !next_permutation(&mut perm) {
+            return None;
+        }
+    }
+}
+
+/// Rename parameters of `q` according to `mapping` pairs.
+pub fn substitute_params(
+    q: &ConjunctiveQuery,
+    mapping: &[(Symbol, Symbol)],
+) -> ConjunctiveQuery {
+    let subst = |t: Term| -> Term {
+        if let Term::Param(p) = t {
+            if let Some(&(_, to)) = mapping.iter().find(|(from, _)| *from == p) {
+                return Term::Param(to);
+            }
+        }
+        t
+    };
+    let head = Atom {
+        pred: q.head.pred,
+        args: q.head.args.iter().map(|&t| subst(t)).collect(),
+    };
+    let body = q
+        .body
+        .iter()
+        .map(|l| match l {
+            Literal::Pos(a) => Literal::Pos(Atom {
+                pred: a.pred,
+                args: a.args.iter().map(|&t| subst(t)).collect(),
+            }),
+            Literal::Neg(a) => Literal::Neg(Atom {
+                pred: a.pred,
+                args: a.args.iter().map(|&t| subst(t)).collect(),
+            }),
+            Literal::Cmp(c) => Literal::Cmp(Comparison::new(subst(c.lhs), c.op, subst(c.rhs))),
+        })
+        .collect();
+    ConjunctiveQuery::new(head, body)
+}
+
+/// Advance `perm` to the next lexicographic permutation; false at the
+/// last one.
+fn next_permutation(perm: &mut [usize]) -> bool {
+    if perm.len() < 2 {
+        return false;
+    }
+    let mut i = perm.len() - 1;
+    while i > 0 && perm[i - 1] >= perm[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = perm.len() - 1;
+    while perm[j] <= perm[i - 1] {
+        j -= 1;
+    }
+    perm.swap(i - 1, j);
+    perm[i..].reverse();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+
+    fn q(s: &str) -> ConjunctiveQuery {
+        parse_rule(s).unwrap()
+    }
+
+    #[test]
+    fn renaming_detected() {
+        let a = q("answer(X) :- r(X,Y) AND s(Y,$p)");
+        let b = q("answer(U) :- r(U,W) AND s(W,$p)");
+        assert!(is_isomorphic(&a, &b));
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+    }
+
+    #[test]
+    fn body_order_ignored() {
+        let a = q("answer(X) :- r(X,Y) AND s(Y)");
+        let b = q("answer(X) :- s(Y) AND r(X,Y)");
+        assert!(is_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn params_are_not_interchangeable() {
+        let a = q("answer(B) :- baskets(B,$1)");
+        let b = q("answer(B) :- baskets(B,$2)");
+        assert!(!is_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn different_structure_rejected() {
+        let a = q("answer(X) :- r(X,Y) AND r(Y,X)");
+        let b = q("answer(X) :- r(X,Y) AND r(X,Y)");
+        assert!(!is_isomorphic(&a, &b));
+        let c = q("answer(X) :- r(X,Y)");
+        assert!(!is_isomorphic(&a, &c));
+    }
+
+    #[test]
+    fn negation_supported() {
+        let a = q("answer(P) :- d(P,X) AND NOT c(X,$s)");
+        let b = q("answer(Q) :- d(Q,Z) AND NOT c(Z,$s)");
+        assert!(is_isomorphic(&a, &b));
+        let c = q("answer(P) :- d(P,X) AND c(X,$s)");
+        assert!(!is_isomorphic(&a, &c));
+    }
+
+    #[test]
+    fn canonical_names_are_stable() {
+        let a = q("answer(Zed) :- r(Zed,Alpha) AND s(Alpha)");
+        let c = canonicalize(&a);
+        assert_eq!(c.to_string(), "answer(V0) :- r(V0,V1) AND s(V1)");
+    }
+
+    #[test]
+    fn param_symmetry_detected() {
+        // Example 3.1: the two single-parameter basket subqueries are
+        // "exactly the same" up to renaming $1 ↔ $2.
+        let a = q("answer(B) :- baskets(B,$1)");
+        let b = q("answer(B) :- baskets(B,$2)");
+        let mapping = param_isomorphism(&a, &b).expect("symmetric");
+        assert_eq!(mapping.len(), 1);
+        assert_eq!(mapping[0].0.to_string(), "1");
+        assert_eq!(mapping[0].1.to_string(), "2");
+    }
+
+    #[test]
+    fn param_symmetry_respects_structure() {
+        // exhibits vs treatments: no renaming makes these isomorphic.
+        let a = q("answer(P) :- exhibits(P,$s)");
+        let b = q("answer(P) :- treatments(P,$m)");
+        assert!(param_isomorphism(&a, &b).is_none());
+    }
+
+    #[test]
+    fn multi_param_bijection() {
+        let a = q("answer(B) :- r(B,$x) AND s(B,$y)");
+        let b = q("answer(B) :- s(B,$p) AND r(B,$q)");
+        let mapping = param_isomorphism(&a, &b).expect("bijection exists");
+        // $x must map to $q (both in r), $y to $p (both in s).
+        let get = |from: &str| {
+            mapping
+                .iter()
+                .find(|(f, _)| f.to_string() == from)
+                .map(|(_, t)| t.to_string())
+                .unwrap()
+        };
+        assert_eq!(get("x"), "q");
+        assert_eq!(get("y"), "p");
+    }
+
+    #[test]
+    fn substitute_params_renames_everywhere() {
+        let a = q("answer(B) :- r(B,$x) AND $x < 5");
+        let renamed = substitute_params(
+            &a,
+            &[(Symbol::intern("x"), Symbol::intern("z"))],
+        );
+        assert_eq!(renamed.to_string(), "answer(B) :- r(B,$z) AND $z < 5");
+    }
+
+    #[test]
+    fn constants_fixed() {
+        let a = q("answer(X) :- r(X,beer)");
+        let b = q("answer(X) :- r(X,wine)");
+        assert!(!is_isomorphic(&a, &b));
+    }
+}

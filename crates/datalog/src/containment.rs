@@ -1,0 +1,339 @@
+//! Conjunctive-query containment via containment mappings (\[CM77\]).
+//!
+//! §3.1: "for conjunctive queries, this containment is decidable, using
+//! the technique of containment mappings … the only way Q2 ⊆ Q1 can
+//! hold is if Q1 is constructed from Q2 by (1) taking a subset of the
+//! subgoals of Q2, and (2) splitting zero or more variables". This
+//! module decides Q2 ⊆ Q1 by searching for a homomorphism from Q1 to
+//! Q2 that fixes the head — which is exactly what justifies using
+//! subgoal-subset subqueries as a-priori upper bounds.
+//!
+//! Scope: pure positive-relational bodies, with two extensions the flock
+//! language needs:
+//!
+//! * **Parameters** behave as constants (they denote one fixed value in
+//!   every instantiated member of the flock), so a homomorphism must map
+//!   each parameter to itself.
+//! * **Arithmetic subgoals** are handled soundly but incompletely: every
+//!   arithmetic subgoal of the containing query must map onto an
+//!   arithmetic subgoal of the contained query that implies it
+//!   (identical, or stronger operator over the same operands). The full
+//!   decision procedures the paper cites (\[Klu82\], \[ZO93\]) are not
+//!   required for the optimization, which only ever *removes* subgoals.
+//!
+//! **Negation** is rejected ([`DatalogError::UnsupportedNegation`]);
+//! the paper likewise avoids relying on \[LS93\]'s general test and keeps
+//! to subgoal subsets for extended queries (§3.3).
+
+use qf_storage::{CmpOp, FastMap, Symbol};
+
+use crate::ast::{Atom, Comparison, ConjunctiveQuery, Term};
+use crate::error::{DatalogError, Result};
+
+/// Decide `sub ⊆ sup`: every database's answer to `sub` is contained in
+/// its answer to `sup`. Returns an error if either query uses negation.
+pub fn contained_in(sub: &ConjunctiveQuery, sup: &ConjunctiveQuery) -> Result<bool> {
+    if sub.negated_atoms().next().is_some() || sup.negated_atoms().next().is_some() {
+        return Err(DatalogError::UnsupportedNegation);
+    }
+    if sup.head.pred != sub.head.pred || sup.head.arity() != sub.head.arity() {
+        return Ok(false);
+    }
+    // Search for a homomorphism h : terms(sup) → terms(sub) with
+    // h(head of sup) = head of sub and h(body of sup) ⊆ body of sub.
+    let sup_atoms: Vec<&Atom> = sup.positive_atoms().collect();
+    let sub_atoms: Vec<&Atom> = sub.positive_atoms().collect();
+
+    let mut h = Mapping::default();
+    // The head must map exactly.
+    for (s, t) in sup.head.args.iter().zip(sub.head.args.iter()) {
+        if !h.bind(*s, *t) {
+            return Ok(false);
+        }
+    }
+    Ok(extend(&mut h, &sup_atoms, &sub_atoms, 0, sup, sub))
+}
+
+/// Decide query equivalence (mutual containment).
+pub fn equivalent(a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> Result<bool> {
+    Ok(contained_in(a, b)? && contained_in(b, a)?)
+}
+
+/// Minimize a pure conjunctive query: repeatedly delete a positive
+/// subgoal when the reduced query is still equivalent to the original
+/// (the classical core computation). Arithmetic subgoals are never
+/// deleted. Returns an error if the query uses negation.
+pub fn minimize(q: &ConjunctiveQuery) -> Result<ConjunctiveQuery> {
+    if q.negated_atoms().next().is_some() {
+        return Err(DatalogError::UnsupportedNegation);
+    }
+    let mut current = q.clone();
+    loop {
+        let mut reduced = None;
+        for (i, l) in current.body.iter().enumerate() {
+            if !l.is_positive() {
+                continue;
+            }
+            let keep: Vec<usize> = (0..current.body.len()).filter(|&j| j != i).collect();
+            let candidate = current.restrict(&keep);
+            // Dropping subgoals only enlarges the result (candidate ⊇
+            // current); equivalence needs candidate ⊆ current, i.e. a
+            // homomorphism from current to candidate.
+            if contained_in(&candidate, &current)? {
+                reduced = Some(candidate);
+                break;
+            }
+        }
+        match reduced {
+            Some(r) => current = r,
+            None => return Ok(current),
+        }
+    }
+}
+
+/// A partial homomorphism from the containing query's terms to the
+/// contained query's terms. Constants and parameters are fixed points;
+/// only variables get entries.
+#[derive(Default, Clone)]
+struct Mapping {
+    vars: FastMap<Symbol, Term>,
+}
+
+impl Mapping {
+    /// Bind `from` (a term of the containing query) to `to`; false if
+    /// inconsistent with existing bindings or with constant/parameter
+    /// fixity.
+    fn bind(&mut self, from: Term, to: Term) -> bool {
+        match from {
+            Term::Const(_) | Term::Param(_) => from == to,
+            Term::Var(v) => match self.vars.get(&v) {
+                Some(&existing) => existing == to,
+                None => {
+                    self.vars.insert(v, to);
+                    true
+                }
+            },
+        }
+    }
+
+    fn apply(&self, t: Term) -> Option<Term> {
+        match t {
+            Term::Const(_) | Term::Param(_) => Some(t),
+            Term::Var(v) => self.vars.get(&v).copied(),
+        }
+    }
+}
+
+/// Backtracking search: map each atom of `sup` (from index `i`) onto
+/// some atom of `sub`; when all are mapped, check arithmetic implication.
+fn extend(
+    h: &mut Mapping,
+    sup_atoms: &[&Atom],
+    sub_atoms: &[&Atom],
+    i: usize,
+    sup: &ConjunctiveQuery,
+    sub: &ConjunctiveQuery,
+) -> bool {
+    if i == sup_atoms.len() {
+        return arithmetic_implied(h, sup, sub);
+    }
+    let target = sup_atoms[i];
+    for cand in sub_atoms {
+        if cand.pred != target.pred || cand.arity() != target.arity() {
+            continue;
+        }
+        let saved = h.clone();
+        let mut ok = true;
+        for (s, t) in target.args.iter().zip(cand.args.iter()) {
+            if !h.bind(*s, *t) {
+                ok = false;
+                break;
+            }
+        }
+        if ok && extend(h, sup_atoms, sub_atoms, i + 1, sup, sub) {
+            return true;
+        }
+        *h = saved;
+    }
+    false
+}
+
+/// Check that every arithmetic subgoal of `sup`, after mapping, is
+/// implied by some arithmetic subgoal of `sub` (syntactic implication:
+/// same operands with an operator at least as strong, in either
+/// orientation). Sound, not complete.
+fn arithmetic_implied(h: &Mapping, sup: &ConjunctiveQuery, sub: &ConjunctiveQuery) -> bool {
+    'outer: for c in sup.comparisons() {
+        let (Some(lhs), Some(rhs)) = (h.apply(c.lhs), h.apply(c.rhs)) else {
+            // An arithmetic-only variable with no binding: cannot verify.
+            return false;
+        };
+        // Constant-constant comparisons decide themselves.
+        if let (Term::Const(a), Term::Const(b)) = (lhs, rhs) {
+            if c.op.eval(a.cmp(&b)) {
+                continue 'outer;
+            }
+            return false;
+        }
+        for d in sub.comparisons() {
+            if implies(d, &Comparison::new(lhs, c.op, rhs)) {
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Does comparison `a` syntactically imply comparison `b`?
+fn implies(a: &Comparison, b: &Comparison) -> bool {
+    let aligned = if a.lhs == b.lhs && a.rhs == b.rhs {
+        Some(a.op)
+    } else if a.lhs == b.rhs && a.rhs == b.lhs {
+        Some(a.op.flipped())
+    } else {
+        None
+    };
+    let Some(op) = aligned else { return false };
+    if op == b.op {
+        return true;
+    }
+    // Strict implies non-strict; equality implies both non-stricts.
+    matches!(
+        (op, b.op),
+        (CmpOp::Lt, CmpOp::Le | CmpOp::Ne)
+            | (CmpOp::Gt, CmpOp::Ge | CmpOp::Ne)
+            | (CmpOp::Eq, CmpOp::Le | CmpOp::Ge)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+
+    fn q(s: &str) -> ConjunctiveQuery {
+        parse_rule(s).unwrap()
+    }
+
+    #[test]
+    fn subgoal_subset_contains_original() {
+        // §3.1: deleting a subgoal can only enlarge the answer.
+        let full = q("answer(B) :- baskets(B,$1) AND baskets(B,$2)");
+        let sub1 = q("answer(B) :- baskets(B,$1)");
+        assert!(contained_in(&full, &sub1).unwrap());
+        // …and not conversely (on a database where $2 never co-occurs).
+        assert!(!contained_in(&sub1, &full).unwrap());
+    }
+
+    #[test]
+    fn identical_queries_equivalent() {
+        let a = q("answer(X) :- r(X,Y) AND s(Y)");
+        let b = q("answer(X) :- r(X,Y) AND s(Y)");
+        assert!(equivalent(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn variable_renaming_equivalent() {
+        let a = q("answer(X) :- r(X,Y) AND s(Y)");
+        let b = q("answer(U) :- r(U,V) AND s(V)");
+        assert!(equivalent(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn classic_redundant_subgoal() {
+        // r(X,Y) AND r(X,Z) is equivalent to r(X,Y): fold Z into Y.
+        let redundant = q("answer(X) :- r(X,Y) AND r(X,Z)");
+        let minimal = q("answer(X) :- r(X,Y)");
+        assert!(equivalent(&redundant, &minimal).unwrap());
+        let m = minimize(&redundant).unwrap();
+        assert_eq!(m.body.len(), 1);
+    }
+
+    #[test]
+    fn head_fixes_mapping() {
+        // answer(X,Y) over r(X,Y) is NOT equivalent to answer(X,Y) over
+        // r(Y,X): the head pins the variables.
+        let a = q("answer(X,Y) :- r(X,Y)");
+        let b = q("answer(X,Y) :- r(Y,X)");
+        assert!(!contained_in(&a, &b).unwrap());
+        assert!(!contained_in(&b, &a).unwrap());
+    }
+
+    #[test]
+    fn params_are_rigid() {
+        // baskets(B,$1) does not contain baskets(B,$2): a mapping may
+        // not send $1 to $2 (different parameters, different columns of
+        // the flock result).
+        let a = q("answer(B) :- baskets(B,$1)");
+        let b = q("answer(B) :- baskets(B,$2)");
+        assert!(!contained_in(&a, &b).unwrap());
+        assert!(!contained_in(&b, &a).unwrap());
+    }
+
+    #[test]
+    fn constants_must_match() {
+        let a = q("answer(B) :- baskets(B,beer)");
+        let b = q("answer(B) :- baskets(B,wine)");
+        assert!(!contained_in(&a, &b).unwrap());
+        let c = q("answer(B) :- baskets(B,X)");
+        // a ⊆ c (beer is a special case); c ⊄ a.
+        assert!(contained_in(&a, &c).unwrap());
+        assert!(!contained_in(&c, &a).unwrap());
+    }
+
+    #[test]
+    fn path_queries_chain() {
+        // Longer path ⊆ shorter path on the same start.
+        let p2 = q("answer(X) :- arc(X,Y) AND arc(Y,Z)");
+        let p1 = q("answer(X) :- arc(X,Y)");
+        assert!(contained_in(&p2, &p1).unwrap());
+        assert!(!contained_in(&p1, &p2).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_soundness() {
+        let strict = q("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2");
+        let loose = q("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 <= $2");
+        // strict ⊆ loose (< implies <=).
+        assert!(contained_in(&strict, &loose).unwrap());
+        // loose ⊄ strict under our sound test.
+        assert!(!contained_in(&loose, &strict).unwrap());
+        // Dropping the comparison contains the original.
+        let none = q("answer(B) :- baskets(B,$1) AND baskets(B,$2)");
+        assert!(contained_in(&strict, &none).unwrap());
+        assert!(!contained_in(&none, &strict).unwrap());
+    }
+
+    #[test]
+    fn negation_rejected() {
+        let a = q("answer(P) :- r(P,D) AND NOT c(D)");
+        let b = q("answer(P) :- r(P,D)");
+        assert!(matches!(
+            contained_in(&a, &b),
+            Err(DatalogError::UnsupportedNegation)
+        ));
+        assert!(matches!(
+            minimize(&a),
+            Err(DatalogError::UnsupportedNegation)
+        ));
+    }
+
+    #[test]
+    fn minimize_preserves_arithmetic() {
+        let r = q("answer(X) :- r(X,Y) AND r(X,Z) AND X < Y");
+        let m = minimize(&r).unwrap();
+        // r(X,Z) folds into r(X,Y) — but only the subgoal NOT involved
+        // in the comparison can go.
+        assert_eq!(m.comparisons().count(), 1);
+        assert_eq!(m.positive_atoms().count(), 1);
+        assert!(equivalent(&m, &r).unwrap());
+    }
+
+    #[test]
+    fn different_head_predicates_not_contained() {
+        let a = q("answer(X) :- r(X)");
+        let b = q("other(X) :- r(X)");
+        assert!(!contained_in(&a, &b).unwrap());
+    }
+}

@@ -1,0 +1,68 @@
+//! Errors for the Datalog frontend.
+
+/// Errors raised while parsing or validating flock queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// Lexical or syntactic error with position context.
+    Parse {
+        /// Byte offset in the input.
+        offset: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A head argument was not a variable, or similar head malformation.
+    InvalidHead {
+        /// Description.
+        detail: String,
+    },
+    /// A union query with zero rules.
+    EmptyUnion,
+    /// Union rules disagree on head predicate or arity.
+    HeadMismatch {
+        /// First rule's head.
+        first: String,
+        /// Mismatching rule's head.
+        other: String,
+    },
+    /// Union rules disagree on their parameter sets (§3.4 requires the
+    /// flock's parameters to be shared across the union).
+    ParamMismatch {
+        /// First rule's parameters.
+        first: String,
+        /// Mismatching rule's parameters.
+        other: String,
+    },
+    /// An operation only defined for pure conjunctive queries was asked
+    /// of a query with negation (containment/minimization; see
+    /// \[LS93\] for the general decision procedure the paper cites but
+    /// does not require).
+    UnsupportedNegation,
+}
+
+impl std::fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatalogError::Parse { offset, detail } => {
+                write!(f, "parse error at byte {offset}: {detail}")
+            }
+            DatalogError::InvalidHead { detail } => write!(f, "invalid head: {detail}"),
+            DatalogError::EmptyUnion => write!(f, "union query must have at least one rule"),
+            DatalogError::HeadMismatch { first, other } => {
+                write!(f, "union rules have different heads: `{first}` vs `{other}`")
+            }
+            DatalogError::ParamMismatch { first, other } => write!(
+                f,
+                "union rules have different parameter sets: [{first}] vs [{other}]"
+            ),
+            DatalogError::UnsupportedNegation => write!(
+                f,
+                "containment with negated subgoals is not supported (pure CQs only)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+/// Convenience alias for Datalog results.
+pub type Result<T> = std::result::Result<T, DatalogError>;

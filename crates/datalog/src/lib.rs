@@ -1,0 +1,52 @@
+//! # qf-datalog — the Datalog frontend
+//!
+//! The query language of query flocks. The paper chooses Datalog over
+//! SQL because "the notion of 'safe query' for Datalog figures into
+//! potential optimizations" and "the set of options for adapting the
+//! a-priori trick to arbitrary flocks is most easily expressed in
+//! Datalog" (§2.1). This crate supplies that machinery:
+//!
+//! * **AST** ([`ast`]): terms (variables, `$`-parameters, constants),
+//!   atoms, positive/negated/arithmetic literals, extended conjunctive
+//!   queries, and unions of them — the flock language of §2.3/§3.4.
+//! * **Parser** ([`parser`]): the paper's concrete syntax,
+//!   `answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2`.
+//! * **Safety** ([`safety`]): the three conditions of §3.3 (\[UW97\]),
+//!   with parameters treated as variables for conditions 2 and 3.
+//! * **Containment** ([`containment`]): containment mappings for
+//!   conjunctive queries (\[CM77\]) — the theory licensing the subgoal-
+//!   subset rule (§3.1) — plus CQ equivalence and minimization.
+//! * **Subquery enumeration** ([`subquery`]): the safe subgoal subsets
+//!   that are the candidate `FILTER` steps of the generalized a-priori
+//!   optimization.
+//!
+//! ```
+//! use qf_datalog::{parse_query, safety::is_safe, subquery::safe_subqueries};
+//!
+//! let flock_query = parse_query(
+//!     "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND \
+//!      diagnoses(P,D) AND NOT causes(D,$s)",
+//! ).unwrap();
+//! let cq = &flock_query.rules()[0];
+//! assert!(is_safe(cq));
+//! // Example 3.2: exactly 8 of the 14 nontrivial subsets are safe.
+//! assert_eq!(safe_subqueries(cq).len(), 8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod canonical;
+pub mod containment;
+pub mod error;
+pub mod parser;
+pub mod safety;
+pub mod subquery;
+
+pub use ast::{Atom, Comparison, ConjunctiveQuery, Literal, Term, UnionQuery};
+pub use canonical::{canonicalize, is_isomorphic, param_isomorphism, substitute_params};
+pub use containment::{contained_in, equivalent, minimize};
+pub use error::{DatalogError, Result};
+pub use parser::{parse_query, parse_rule};
+pub use safety::{check_safety, is_safe, SafetyViolation};
+pub use subquery::{safe_subqueries, safe_subqueries_with_params, Subquery};

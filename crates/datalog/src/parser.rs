@@ -1,0 +1,436 @@
+//! Parser for the paper's concrete Datalog syntax.
+//!
+//! Grammar (examples straight from the paper's figures):
+//!
+//! ```text
+//! query   := rule+                      -- a union of rules (Fig. 4)
+//! rule    := atom ":-" body ("." | ";")?
+//! body    := literal (("AND" | ",") literal)*
+//! literal := "NOT" atom | atom | term cmp term
+//! atom    := pred "(" term ("," term)* ")"
+//! term    := VARIABLE | "$" name | constant
+//! cmp     := "<" | "<=" | "=" | "!=" | ">=" | ">"
+//! ```
+//!
+//! Identifiers starting with an uppercase letter are variables (Prolog
+//! convention; the paper writes `B`, `P`, `D`, `Y1`); lowercase
+//! identifiers in argument position are symbolic constants; `$`-prefixed
+//! names are flock parameters. Integers and single/double-quoted strings
+//! are constants. Keywords `AND`/`NOT` are case-insensitive.
+
+use qf_storage::CmpOp;
+
+use crate::ast::{Atom, Comparison, ConjunctiveQuery, Literal, Term, UnionQuery};
+use crate::error::{DatalogError, Result};
+
+/// Parse one or more rules into a validated [`UnionQuery`].
+pub fn parse_query(input: &str) -> Result<UnionQuery> {
+    let mut p = Parser::new(input)?;
+    let mut rules = Vec::new();
+    while !p.at_end() {
+        rules.push(p.rule()?);
+    }
+    UnionQuery::new(rules)
+}
+
+/// Parse exactly one rule.
+pub fn parse_rule(input: &str) -> Result<ConjunctiveQuery> {
+    let mut p = Parser::new(input)?;
+    let rule = p.rule()?;
+    if !p.at_end() {
+        return Err(p.error("expected end of input after rule"));
+    }
+    Ok(rule)
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Param(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Implies,
+    Cmp(CmpOp),
+    Dot,
+    Semi,
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Parser> {
+        Ok(Parser {
+            toks: lex(input)?,
+            pos: 0,
+            len: input.len(),
+        })
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map(|(o, _)| *o).unwrap_or(self.len)
+    }
+
+    fn error(&self, detail: impl Into<String>) -> DatalogError {
+        DatalogError::Parse {
+            offset: self.offset(),
+            detail: detail.into(),
+        }
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<()> {
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            Some(t) => Err(DatalogError::Parse {
+                offset: self.toks[self.pos - 1].0,
+                detail: format!("expected {what}, found {t:?}"),
+            }),
+            None => Err(self.error(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn rule(&mut self) -> Result<ConjunctiveQuery> {
+        let head = self.atom()?;
+        self.expect(Tok::Implies, "`:-`")?;
+        let mut body = vec![self.literal()?];
+        loop {
+            match self.peek() {
+                Some(Tok::Comma) => {
+                    self.pos += 1;
+                    body.push(self.literal()?);
+                }
+                Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("and") => {
+                    self.pos += 1;
+                    body.push(self.literal()?);
+                }
+                _ => break,
+            }
+        }
+        // Optional rule terminator.
+        if matches!(self.peek(), Some(Tok::Dot) | Some(Tok::Semi)) {
+            self.pos += 1;
+        }
+        let rule = ConjunctiveQuery::new(head, body);
+        rule.validate()?;
+        Ok(rule)
+    }
+
+    fn literal(&mut self) -> Result<Literal> {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case("not") {
+                self.pos += 1;
+                return Ok(Literal::Neg(self.atom()?));
+            }
+        }
+        // Could be an atom `p(...)` or a comparison `term op term`.
+        // Disambiguate: an identifier followed by `(` begins an atom.
+        let is_atom = matches!(
+            (self.peek(), self.toks.get(self.pos + 1).map(|(_, t)| t)),
+            (Some(Tok::Ident(_)), Some(Tok::LParen))
+        );
+        if is_atom {
+            return Ok(Literal::Pos(self.atom()?));
+        }
+        let lhs = self.term()?;
+        let op = match self.next() {
+            Some(Tok::Cmp(op)) => op,
+            other => {
+                return Err(self.error(format!(
+                    "expected comparison operator after `{lhs}`, found {other:?}"
+                )))
+            }
+        };
+        let rhs = self.term()?;
+        Ok(Literal::Cmp(Comparison::new(lhs, op, rhs)))
+    }
+
+    fn atom(&mut self) -> Result<Atom> {
+        let pred = match self.next() {
+            Some(Tok::Ident(s)) => s,
+            other => return Err(self.error(format!("expected predicate name, found {other:?}"))),
+        };
+        self.expect(Tok::LParen, "`(`")?;
+        let mut args = vec![self.term()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.pos += 1;
+            args.push(self.term()?);
+        }
+        self.expect(Tok::RParen, "`)`")?;
+        Ok(Atom::new(&pred, args))
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        match self.next() {
+            Some(Tok::Ident(s)) => {
+                let first = s.chars().next().unwrap_or('a');
+                if first.is_ascii_uppercase() || first == '_' {
+                    Ok(Term::var(&s))
+                } else {
+                    Ok(Term::constant(s.as_str()))
+                }
+            }
+            Some(Tok::Param(s)) => Ok(Term::param(&s)),
+            Some(Tok::Int(v)) => Ok(Term::constant(v)),
+            Some(Tok::Str(s)) => Ok(Term::constant(s.as_str())),
+            other => Err(self.error(format!("expected a term, found {other:?}"))),
+        }
+    }
+}
+
+fn lex(input: &str) -> Result<Vec<(usize, Tok)>> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '%' | '#' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                toks.push((start, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                toks.push((start, Tok::RParen));
+                i += 1;
+            }
+            ',' => {
+                toks.push((start, Tok::Comma));
+                i += 1;
+            }
+            '.' => {
+                toks.push((start, Tok::Dot));
+                i += 1;
+            }
+            ';' => {
+                toks.push((start, Tok::Semi));
+                i += 1;
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    toks.push((start, Tok::Implies));
+                    i += 2;
+                } else {
+                    return Err(lex_err(start, "expected `:-`"));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((start, Tok::Cmp(CmpOp::Le)));
+                    i += 2;
+                } else {
+                    toks.push((start, Tok::Cmp(CmpOp::Lt)));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((start, Tok::Cmp(CmpOp::Ge)));
+                    i += 2;
+                } else {
+                    toks.push((start, Tok::Cmp(CmpOp::Gt)));
+                    i += 1;
+                }
+            }
+            '=' => {
+                toks.push((start, Tok::Cmp(CmpOp::Eq)));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((start, Tok::Cmp(CmpOp::Ne)));
+                    i += 2;
+                } else {
+                    return Err(lex_err(start, "expected `!=`"));
+                }
+            }
+            '$' => {
+                i += 1;
+                let name_start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                if i == name_start {
+                    return Err(lex_err(start, "`$` must be followed by a parameter name"));
+                }
+                toks.push((start, Tok::Param(input[name_start..i].to_string())));
+            }
+            '"' | '\'' => {
+                let quote = bytes[i];
+                i += 1;
+                let str_start = i;
+                while i < bytes.len() && bytes[i] != quote {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(lex_err(start, "unterminated string literal"));
+                }
+                toks.push((start, Tok::Str(input[str_start..i].to_string())));
+                i += 1;
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| lex_err(start, format!("bad integer `{text}`")))?;
+                toks.push((start, Tok::Int(v)));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push((start, Tok::Ident(input[start..i].to_string())));
+            }
+            other => return Err(lex_err(start, format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(toks)
+}
+
+fn lex_err(offset: usize, detail: impl Into<String>) -> DatalogError {
+    DatalogError::Parse {
+        offset,
+        detail: detail.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_market_basket() {
+        let q = parse_rule("answer(B) :- baskets(B,$1) AND baskets(B,$2)").unwrap();
+        assert_eq!(q.to_string(), "answer(B) :- baskets(B,$1) AND baskets(B,$2)");
+        assert_eq!(q.params().len(), 2);
+    }
+
+    #[test]
+    fn lexicographic_restriction() {
+        let q =
+            parse_rule("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2").unwrap();
+        assert_eq!(q.comparisons().count(), 1);
+    }
+
+    #[test]
+    fn fig3_medical_with_negation() {
+        let q = parse_rule(
+            "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND \
+             diagnoses(P,D) AND NOT causes(D,$s)",
+        )
+        .unwrap();
+        assert_eq!(q.negated_atoms().count(), 1);
+        assert_eq!(q.positive_atoms().count(), 3);
+        let params: Vec<String> = q.params().iter().map(|p| p.to_string()).collect();
+        assert_eq!(params, vec!["m", "s"]);
+    }
+
+    #[test]
+    fn fig4_union_of_three_rules() {
+        let q = parse_query(
+            "answer(D) :- inTitle(D,$1) AND inTitle(D,$2) AND $1 < $2
+             answer(A) :- link(A,D1,D2) AND inAnchor(A,$1) AND inTitle(D2,$2) AND $1 < $2
+             answer(A) :- link(A,D1,D2) AND inAnchor(A,$2) AND inTitle(D2,$1) AND $1 < $2",
+        )
+        .unwrap();
+        assert_eq!(q.rules().len(), 3);
+        assert_eq!(q.params().len(), 2);
+    }
+
+    #[test]
+    fn commas_and_terminators_accepted() {
+        let q = parse_query("answer(X) :- r(X,$a), s(X).").unwrap();
+        assert_eq!(q.rules()[0].body.len(), 2);
+        let q = parse_query("answer(X) :- r(X,$a);").unwrap();
+        assert_eq!(q.rules().len(), 1);
+    }
+
+    #[test]
+    fn constants_parse_by_case_and_quotes() {
+        let q = parse_rule("answer(B) :- baskets(B,beer) AND baskets(B,\"Diet Coke\") AND baskets(B,42)")
+            .unwrap();
+        let consts: Vec<Term> = q.positive_atoms().map(|a| a.args[1]).collect();
+        assert!(consts.iter().all(|t| t.is_const()));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let q = parse_rule("answer(X) :- r(X) and not s(X)").unwrap();
+        assert_eq!(q.negated_atoms().count(), 1);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let q = parse_query("% the flock\nanswer(X) :- r(X,$a) # tail\n").unwrap();
+        assert_eq!(q.rules().len(), 1);
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let err = parse_rule("answer(B) :- ??").unwrap_err();
+        assert!(matches!(err, DatalogError::Parse { .. }));
+        let err = parse_rule("answer(B baskets(B,$1)").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("parse error"), "got: {msg}");
+    }
+
+    #[test]
+    fn negative_integers() {
+        let q = parse_rule("answer(X) :- r(X,-5) AND X > -10").unwrap();
+        assert_eq!(q.comparisons().count(), 1);
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        assert!(parse_rule("answer(X) :- r(X,\"oops)").is_err());
+    }
+
+    #[test]
+    fn param_in_head_rejected() {
+        assert!(parse_rule("answer($1) :- r($1)").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected_by_parse_rule() {
+        assert!(parse_rule("answer(X) :- r(X) answer(Y) :- r(Y)").is_err());
+        // …but parse_query accepts it as a union (same head, params).
+        assert!(parse_query("answer(X) :- r(X) answer(Y) :- r(Y)").is_ok());
+    }
+}

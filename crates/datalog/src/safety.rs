@@ -1,0 +1,205 @@
+//! Query safety (§3.2–3.3).
+//!
+//! A subset of a flock query's subgoals is only usable as a `FILTER`
+//! step if it is *safe* — otherwise it "defines an infinite set of
+//! tuples for the head predicate, and therefore could not provide a
+//! useful upper bound" (§3.2). For extended CQs the paper gives three
+//! conditions (\[UW97\]):
+//!
+//! 1. every head variable appears in a nonnegated, nonarithmetic
+//!    subgoal of the body;
+//! 2. every variable in a negated subgoal appears in a nonnegated,
+//!    nonarithmetic subgoal;
+//! 3. every variable in an arithmetic subgoal appears in a nonnegated,
+//!    nonarithmetic subgoal;
+//!
+//! where "parameters are variables, not constants, as far as the above
+//! safety conditions are concerned" (§3.3) — they are exempt from (1)
+//! only because they cannot appear in the head at all.
+
+use std::collections::BTreeSet;
+
+use crate::ast::{ConjunctiveQuery, Literal, Term};
+
+/// A violation of one of the three safety conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SafetyViolation {
+    /// Condition 1: a head variable not bound by a positive subgoal.
+    HeadVarUnbound {
+        /// Rendering of the unbound variable.
+        term: String,
+    },
+    /// Condition 2: a negated subgoal's variable/parameter not bound.
+    NegatedUnbound {
+        /// Rendering of the unbound term.
+        term: String,
+        /// The offending subgoal.
+        subgoal: String,
+    },
+    /// Condition 3: an arithmetic subgoal's variable/parameter not bound.
+    ArithmeticUnbound {
+        /// Rendering of the unbound term.
+        term: String,
+        /// The offending subgoal.
+        subgoal: String,
+    },
+}
+
+impl std::fmt::Display for SafetyViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SafetyViolation::HeadVarUnbound { term } => write!(
+                f,
+                "head variable {term} does not appear in any positive relational subgoal"
+            ),
+            SafetyViolation::NegatedUnbound { term, subgoal } => write!(
+                f,
+                "{term} in negated subgoal `{subgoal}` does not appear in any positive relational subgoal"
+            ),
+            SafetyViolation::ArithmeticUnbound { term, subgoal } => write!(
+                f,
+                "{term} in arithmetic subgoal `{subgoal}` does not appear in any positive relational subgoal"
+            ),
+        }
+    }
+}
+
+/// The set of terms (variables and parameters) bound by positive
+/// relational subgoals.
+fn positive_bindings(q: &ConjunctiveQuery) -> BTreeSet<Term> {
+    let mut bound = BTreeSet::new();
+    for a in q.positive_atoms() {
+        for &t in &a.args {
+            if !t.is_const() {
+                bound.insert(t);
+            }
+        }
+    }
+    bound
+}
+
+/// Check the three safety conditions, reporting the first violation.
+pub fn check_safety(q: &ConjunctiveQuery) -> Result<(), SafetyViolation> {
+    let bound = positive_bindings(q);
+
+    // Condition 1 — head variables.
+    for &t in &q.head.args {
+        if t.is_var() && !bound.contains(&t) {
+            return Err(SafetyViolation::HeadVarUnbound {
+                term: t.to_string(),
+            });
+        }
+    }
+
+    // Conditions 2 and 3 — negated and arithmetic subgoals; parameters
+    // count as variables here.
+    for l in &q.body {
+        match l {
+            Literal::Neg(a) => {
+                for &t in &a.args {
+                    if !t.is_const() && !bound.contains(&t) {
+                        return Err(SafetyViolation::NegatedUnbound {
+                            term: t.to_string(),
+                            subgoal: a.to_string(),
+                        });
+                    }
+                }
+            }
+            Literal::Cmp(c) => {
+                for t in c.terms() {
+                    if !bound.contains(&t) {
+                        return Err(SafetyViolation::ArithmeticUnbound {
+                            term: t.to_string(),
+                            subgoal: c.to_string(),
+                        });
+                    }
+                }
+            }
+            Literal::Pos(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// True if the query passes [`check_safety`].
+pub fn is_safe(q: &ConjunctiveQuery) -> bool {
+    check_safety(q).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+
+    #[test]
+    fn full_medical_query_is_safe() {
+        let q = parse_rule(
+            "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND \
+             diagnoses(P,D) AND NOT causes(D,$s)",
+        )
+        .unwrap();
+        assert!(is_safe(&q));
+    }
+
+    #[test]
+    fn lone_negated_subgoal_unsafe() {
+        // §3.2: "answer(P) :- NOT causes(D,$s)" makes no sense.
+        let q = parse_rule("answer(P) :- NOT causes(D,$s)").unwrap();
+        let err = check_safety(&q).unwrap_err();
+        // Head variable P is the first violation found.
+        assert!(matches!(err, SafetyViolation::HeadVarUnbound { .. }));
+    }
+
+    #[test]
+    fn negation_needs_both_bindings() {
+        // NOT causes(D,$s) with only exhibits(P,$s): D unbound.
+        let q = parse_rule("answer(P) :- exhibits(P,$s) AND NOT causes(D,$s)").unwrap();
+        let err = check_safety(&q).unwrap_err();
+        assert!(matches!(err, SafetyViolation::NegatedUnbound { .. }));
+
+        // With only diagnoses(P,D): $s unbound — parameters count too.
+        let q = parse_rule("answer(P) :- diagnoses(P,D) AND NOT causes(D,$s)").unwrap();
+        let err = check_safety(&q).unwrap_err();
+        assert!(
+            matches!(&err, SafetyViolation::NegatedUnbound { term, .. } if term == "$s"),
+            "got {err:?}"
+        );
+
+        // With both positive subgoals it is safe.
+        let q = parse_rule(
+            "answer(P) :- exhibits(P,$s) AND diagnoses(P,D) AND NOT causes(D,$s)",
+        )
+        .unwrap();
+        assert!(is_safe(&q));
+    }
+
+    #[test]
+    fn arithmetic_needs_bindings() {
+        let q = parse_rule("answer(B) :- baskets(B,$1) AND $1 < $2").unwrap();
+        let err = check_safety(&q).unwrap_err();
+        assert!(
+            matches!(&err, SafetyViolation::ArithmeticUnbound { term, .. } if term == "$2")
+        );
+
+        let q = parse_rule("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2").unwrap();
+        assert!(is_safe(&q));
+    }
+
+    #[test]
+    fn constants_never_need_binding() {
+        let q = parse_rule("answer(B) :- baskets(B,$1) AND NOT baskets(B,beer) AND B > 0")
+            .unwrap();
+        assert!(is_safe(&q));
+    }
+
+    #[test]
+    fn head_var_bound_only_in_negation_is_unsafe() {
+        let q = parse_rule("answer(P) :- r($s) AND NOT q(P)").unwrap();
+        // P appears only in a negated subgoal: violates condition 1
+        // (and 2, but 1 is checked first).
+        assert!(matches!(
+            check_safety(&q).unwrap_err(),
+            SafetyViolation::HeadVarUnbound { .. }
+        ));
+    }
+}

@@ -1,0 +1,176 @@
+//! Enumeration of safe subqueries — the candidate `FILTER` steps.
+//!
+//! The Optimization Principle for Conjunctive Queries (§3.1): "consider
+//! evaluating only those safe subqueries formed by deleting one or more
+//! subgoals from Q". This module enumerates every nonempty proper
+//! subset of a query's subgoals that passes the §3.3 safety conditions,
+//! along with the parameter set each one can prune.
+
+use std::collections::BTreeSet;
+
+use qf_storage::Symbol;
+
+use crate::ast::ConjunctiveQuery;
+use crate::safety::is_safe;
+
+/// Guard against pathological inputs: the enumeration is `O(2ⁿ)` in the
+/// number of subgoals.
+const MAX_SUBGOALS: usize = 20;
+
+/// One safe subquery of a flock query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Subquery {
+    /// Indexes of the kept body literals in the original query.
+    pub kept: Vec<usize>,
+    /// The restricted query (same head).
+    pub query: ConjunctiveQuery,
+}
+
+impl Subquery {
+    /// The parameters this subquery mentions — the ones a `FILTER` step
+    /// built from it can prune.
+    pub fn params(&self) -> BTreeSet<Symbol> {
+        self.query.params()
+    }
+
+    /// Number of kept subgoals.
+    pub fn len(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// True if no subgoals kept (never produced by the enumerators).
+    pub fn is_empty(&self) -> bool {
+        self.kept.is_empty()
+    }
+}
+
+impl std::fmt::Display for Subquery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.query)
+    }
+}
+
+/// All safe subqueries formed from nonempty **proper** subsets of the
+/// body subgoals, in deterministic (bitmask) order.
+pub fn safe_subqueries(q: &ConjunctiveQuery) -> Vec<Subquery> {
+    let n = q.body.len();
+    assert!(n <= MAX_SUBGOALS, "query has too many subgoals to enumerate");
+    if n < 2 {
+        return Vec::new(); // no nonempty proper subsets.
+    }
+    let mut out = Vec::new();
+    let full: u32 = (1 << n) - 1;
+    for mask in 1..full {
+        let kept: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+        let query = q.restrict(&kept);
+        if is_safe(&query) {
+            out.push(Subquery { kept, query });
+        }
+    }
+    out
+}
+
+/// Safe subqueries whose parameter set is exactly `params` — the
+/// candidates for a `FILTER` step restricting that parameter set
+/// (heuristic 1 of §4.3: "for each selected set S, select a subset of
+/// the subgoals … that is safe and includes exactly the parameters of
+/// S").
+pub fn safe_subqueries_with_params(
+    q: &ConjunctiveQuery,
+    params: &BTreeSet<Symbol>,
+) -> Vec<Subquery> {
+    safe_subqueries(q)
+        .into_iter()
+        .filter(|s| &s.params() == params)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+
+    fn medical() -> ConjunctiveQuery {
+        parse_rule(
+            "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND \
+             diagnoses(P,D) AND NOT causes(D,$s)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_3_2_eight_safe_subqueries() {
+        // The paper: "Which of the 14 nontrivial subsets of the subgoals
+        // are safe? … The remaining eight subqueries are candidates."
+        let subs = safe_subqueries(&medical());
+        assert_eq!(subs.len(), 8);
+        // Every subquery including NOT causes(D,$s) must include both
+        // diagnoses(P,D) and exhibits(P,$s).
+        for s in &subs {
+            if s.query.negated_atoms().next().is_some() {
+                let preds: Vec<String> = s
+                    .query
+                    .positive_atoms()
+                    .map(|a| a.pred.to_string())
+                    .collect();
+                assert!(preds.contains(&"diagnoses".to_string()));
+                assert!(preds.contains(&"exhibits".to_string()));
+            }
+        }
+    }
+
+    #[test]
+    fn example_3_2_named_candidates_present(){
+        let subs = safe_subqueries(&medical());
+        let texts: Vec<String> = subs.iter().map(|s| s.to_string()).collect();
+        // The four candidates the paper discusses by number:
+        assert!(texts.contains(&"answer(P) :- exhibits(P,$s)".to_string()));
+        assert!(texts.contains(&"answer(P) :- treatments(P,$m)".to_string()));
+        assert!(texts.contains(
+            &"answer(P) :- exhibits(P,$s) AND diagnoses(P,D) AND NOT causes(D,$s)".to_string()
+        ));
+        assert!(texts
+            .contains(&"answer(P) :- exhibits(P,$s) AND treatments(P,$m)".to_string()));
+    }
+
+    #[test]
+    fn basket_query_has_two_single_param_subqueries() {
+        // Example 3.1: "There are only two nontrivial subqueries".
+        let q = parse_rule("answer(B) :- baskets(B,$1) AND baskets(B,$2)").unwrap();
+        let subs = safe_subqueries(&q);
+        assert_eq!(subs.len(), 2);
+        let p1: BTreeSet<Symbol> = [Symbol::intern("1")].into_iter().collect();
+        assert_eq!(safe_subqueries_with_params(&q, &p1).len(), 1);
+    }
+
+    #[test]
+    fn filter_by_param_set() {
+        let q = medical();
+        let s: BTreeSet<Symbol> = [Symbol::intern("s")].into_iter().collect();
+        let m: BTreeSet<Symbol> = [Symbol::intern("m")].into_iter().collect();
+        let sm: BTreeSet<Symbol> = [Symbol::intern("s"), Symbol::intern("m")]
+            .into_iter()
+            .collect();
+        // $s alone: exhibits(P,$s); exhibits+diagnoses;
+        // exhibits+diagnoses+NOT causes; exhibits alone+diagnoses? Count:
+        // subsets with $s but not $m, safe: {e}, {e,d}, {e,d,n}.
+        assert_eq!(safe_subqueries_with_params(&q, &s).len(), 3);
+        // $m alone: {t}, {t,d}.
+        assert_eq!(safe_subqueries_with_params(&q, &m).len(), 2);
+        // both: {e,t}, {e,t,d} (and the full set is excluded as proper).
+        assert_eq!(safe_subqueries_with_params(&q, &sm).len(), 2);
+    }
+
+    #[test]
+    fn single_subgoal_query_has_no_proper_subqueries() {
+        let q = parse_rule("answer(X) :- r(X,$a)").unwrap();
+        assert!(safe_subqueries(&q).is_empty());
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let a = safe_subqueries(&medical());
+        let b = safe_subqueries(&medical());
+        assert_eq!(a, b);
+    }
+}

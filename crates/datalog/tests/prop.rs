@@ -1,0 +1,109 @@
+//! Property tests for the Datalog frontend: display/parse round-trips,
+//! parser robustness, safety and containment invariants on generated
+//! queries.
+
+use proptest::prelude::*;
+
+use qf_datalog::{
+    canonicalize, contained_in, is_isomorphic, is_safe, parse_rule, safe_subqueries, Atom,
+    Comparison, ConjunctiveQuery, Literal, Term,
+};
+use qf_storage::CmpOp;
+
+/// Generate a random pure conjunctive query over a tiny vocabulary.
+fn cq_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
+    let var = prop::sample::select(vec!["X", "Y", "Z", "W"]);
+    let pred = prop::sample::select(vec!["r", "s", "t"]);
+    let param = prop::sample::select(vec!["a", "b"]);
+    let term = prop_oneof![
+        3 => var.prop_map(|v| Term::var(v)),
+        1 => param.prop_map(|p| Term::param(p)),
+        1 => (0i64..5).prop_map(Term::constant),
+    ];
+    let atom = (pred, prop::collection::vec(term, 1..3))
+        .prop_map(|(p, args)| Atom::new(p, args));
+    (atom.clone(), prop::collection::vec(atom, 1..5)).prop_map(|(head_src, body)| {
+        // Head: answer over the variables of the first body atom (keeps
+        // most generated queries safe without forcing it).
+        let head_vars: Vec<Term> = body[0]
+            .vars()
+            .map(Term::Var)
+            .collect();
+        let head = Atom::new(
+            "answer",
+            if head_vars.is_empty() {
+                head_src.vars().map(Term::Var).take(1).collect()
+            } else {
+                head_vars
+            },
+        );
+        ConjunctiveQuery::new(head, body.into_iter().map(Literal::Pos).collect())
+    })
+}
+
+proptest! {
+    /// Display → parse is the identity on generated queries.
+    #[test]
+    fn display_parse_roundtrip(q in cq_strategy()) {
+        prop_assume!(!q.head.args.is_empty());
+        let text = q.to_string();
+        let parsed = parse_rule(&text).unwrap();
+        prop_assert_eq!(parsed, q);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_total(input in "\\PC{0,80}") {
+        let _ = parse_rule(&input);
+    }
+
+    /// Every enumerated safe subquery is safe, proper, and nonempty, and
+    /// contains the original query.
+    #[test]
+    fn subquery_invariants(q in cq_strategy()) {
+        prop_assume!(!q.head.args.is_empty());
+        prop_assume!(is_safe(&q));
+        for sub in safe_subqueries(&q) {
+            prop_assert!(is_safe(&sub.query));
+            prop_assert!(!sub.kept.is_empty());
+            prop_assert!(sub.kept.len() < q.body.len());
+            // Subgoal deletion only grows answers: q ⊆ sub.
+            prop_assert!(contained_in(&q, &sub.query).unwrap());
+        }
+    }
+
+    /// Containment is reflexive and transitive on the generated pool.
+    #[test]
+    fn containment_reflexive(q in cq_strategy()) {
+        prop_assume!(!q.head.args.is_empty());
+        prop_assert!(contained_in(&q, &q).unwrap());
+    }
+
+    /// Canonicalization is idempotent and preserves isomorphism class.
+    #[test]
+    fn canonicalization_idempotent(q in cq_strategy()) {
+        prop_assume!(!q.head.args.is_empty());
+        let c1 = canonicalize(&q);
+        let c2 = canonicalize(&c1);
+        prop_assert_eq!(&c1, &c2);
+        prop_assert!(is_isomorphic(&q, &c1));
+    }
+
+    /// Adding an arithmetic subgoal over bound terms keeps queries
+    /// contained in their originals (selection shrinks answers).
+    #[test]
+    fn arithmetic_restricts(q in cq_strategy()) {
+        prop_assume!(!q.head.args.is_empty());
+        prop_assume!(is_safe(&q));
+        let vars: Vec<Term> = q.vars().into_iter().map(Term::Var).collect();
+        prop_assume!(!vars.is_empty());
+        let mut body = q.body.clone();
+        body.push(Literal::Cmp(Comparison::new(
+            vars[0],
+            CmpOp::Le,
+            Term::constant(3i64),
+        )));
+        let restricted = ConjunctiveQuery::new(q.head.clone(), body);
+        prop_assert!(contained_in(&restricted, &q).unwrap());
+    }
+}

@@ -1,0 +1,81 @@
+//! Engine-layer errors.
+
+use qf_storage::StorageError;
+
+/// Errors raised while building or executing physical plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Error propagated from the storage layer (unknown relation, …).
+    Storage(StorageError),
+    /// A plan node referenced a column index outside its input's arity.
+    ColumnOutOfRange {
+        /// Offending index.
+        column: usize,
+        /// Arity of the input the index was applied to.
+        arity: usize,
+        /// Operator that made the reference.
+        operator: &'static str,
+    },
+    /// Union inputs with different arities.
+    UnionArityMismatch {
+        /// Arity of the first input.
+        first: usize,
+        /// Arity of the mismatched input.
+        other: usize,
+    },
+    /// An aggregate (`SUM`/`MIN`/`MAX`) was applied where its input
+    /// column held a non-numeric value (SUM) on some row.
+    AggregateType {
+        /// Description of the violation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "{e}"),
+            EngineError::ColumnOutOfRange {
+                column,
+                arity,
+                operator,
+            } => write!(
+                f,
+                "{operator}: column {column} out of range for input of arity {arity}"
+            ),
+            EngineError::UnionArityMismatch { first, other } => {
+                write!(f, "union inputs have arities {first} and {other}")
+            }
+            EngineError::AggregateType { detail } => write!(f, "aggregate type error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+/// Convenience alias for engine results.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_wraps_storage() {
+        let e = EngineError::from(StorageError::UnknownRelation { name: "x".into() });
+        assert_eq!(e.to_string(), "unknown relation `x`");
+    }
+}

@@ -1,0 +1,79 @@
+//! The three association measures of §1.1.
+//!
+//! * **Support** — "the items must appear in many baskets."
+//! * **Confidence** — "the probability of one item given that the
+//!   others are in the basket must be high."
+//! * **Interest** — "that probability must be significantly higher or
+//!   lower than the expected probability if items were purchased at
+//!   random."
+
+/// Support as a fraction of all transactions.
+pub fn support_fraction(count: u64, n_transactions: usize) -> f64 {
+    if n_transactions == 0 {
+        0.0
+    } else {
+        count as f64 / n_transactions as f64
+    }
+}
+
+/// Confidence of the rule `antecedent → consequent`:
+/// `supp(antecedent ∪ consequent) / supp(antecedent)`.
+pub fn confidence(union_count: u64, antecedent_count: u64) -> f64 {
+    if antecedent_count == 0 {
+        0.0
+    } else {
+        union_count as f64 / antecedent_count as f64
+    }
+}
+
+/// Interest (lift) of `antecedent → consequent`:
+/// `confidence / P(consequent)`. A value near 1 means the rule is no
+/// better than chance ("whether people who buy beer are especially
+/// likely to buy diapers, or whether they buy diapers just because
+/// everybody buys diapers"); far from 1 in either direction is
+/// interesting.
+pub fn interest(
+    union_count: u64,
+    antecedent_count: u64,
+    consequent_count: u64,
+    n_transactions: usize,
+) -> f64 {
+    let conf = confidence(union_count, antecedent_count);
+    let p_consequent = support_fraction(consequent_count, n_transactions);
+    if p_consequent == 0.0 {
+        0.0
+    } else {
+        conf / p_consequent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_basic() {
+        assert!((support_fraction(20, 100) - 0.2).abs() < 1e-12);
+        assert_eq!(support_fraction(5, 0), 0.0);
+    }
+
+    #[test]
+    fn confidence_basic() {
+        assert!((confidence(30, 60) - 0.5).abs() < 1e-12);
+        assert_eq!(confidence(30, 0), 0.0);
+    }
+
+    #[test]
+    fn interest_detects_independence() {
+        // 100 txns; antecedent in 50, consequent in 40, union in 20:
+        // conf = 0.4, P(consequent) = 0.4 → interest 1 (independent).
+        let i = interest(20, 50, 40, 100);
+        assert!((i - 1.0).abs() < 1e-12);
+        // Strong positive association.
+        let i = interest(40, 50, 40, 100);
+        assert!(i > 1.9);
+        // Strong negative association.
+        let i = interest(1, 50, 40, 100);
+        assert!(i < 0.1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Association-rule generation from frequent itemsets.
+
+use crate::apriori::{AprioriResult, ItemSet};
+use crate::measures::{confidence, interest, support_fraction};
+
+/// An association rule `antecedent → consequent` with its measures.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AssociationRule {
+    /// Left-hand side items (sorted).
+    pub antecedent: ItemSet,
+    /// The single right-hand side item.
+    pub consequent: u32,
+    /// Support count of the full itemset.
+    pub support_count: u64,
+    /// Support as a fraction of transactions.
+    pub support: f64,
+    /// Rule confidence.
+    pub confidence: f64,
+    /// Rule interest (lift).
+    pub interest: f64,
+}
+
+/// Generate single-consequent rules from frequent itemsets of size ≥ 2,
+/// keeping those meeting `min_confidence`. Rules are sorted by
+/// descending confidence, then antecedent (deterministic).
+pub fn generate_rules(result: &AprioriResult, min_confidence: f64) -> Vec<AssociationRule> {
+    let n = result.n_transactions;
+    let mut rules = Vec::new();
+    for k in 2..=result.levels.len() {
+        for (set, &count) in &result.levels[k - 1] {
+            for (pos, &consequent) in set.iter().enumerate() {
+                let mut antecedent = set.clone();
+                antecedent.remove(pos);
+                let Some(ante_count) = result.support(&antecedent) else {
+                    // A-priori guarantees subsets are frequent; missing
+                    // means the result was truncated below this level.
+                    continue;
+                };
+                let Some(cons_count) = result.support(&[consequent]) else {
+                    continue;
+                };
+                let conf = confidence(count, ante_count);
+                if conf >= min_confidence {
+                    rules.push(AssociationRule {
+                        antecedent,
+                        consequent,
+                        support_count: count,
+                        support: support_fraction(count, n),
+                        confidence: conf,
+                        interest: interest(count, ante_count, cons_count, n),
+                    });
+                }
+            }
+        }
+    }
+    rules.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.antecedent.cmp(&b.antecedent))
+            .then_with(|| a.consequent.cmp(&b.consequent))
+    });
+    rules
+}
+
+impl std::fmt::Display for AssociationRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ante: Vec<String> = self.antecedent.iter().map(u32::to_string).collect();
+        write!(
+            f,
+            "{{{}}} -> {} (supp {:.3}, conf {:.3}, interest {:.2})",
+            ante.join(","),
+            self.consequent,
+            self.support,
+            self.confidence,
+            self.interest
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::mine_apriori;
+
+    fn txns() -> Vec<Vec<u32>> {
+        vec![
+            vec![1, 2, 3],
+            vec![1, 2, 3],
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![1, 4],
+            vec![2, 4],
+            vec![3],
+        ]
+    }
+
+    #[test]
+    fn rules_have_correct_measures() {
+        let r = mine_apriori(&txns(), 3, 2);
+        let rules = generate_rules(&r, 0.0);
+        // {1} -> 2: union {1,2} count 4, antecedent {1} count 5.
+        let rule = rules
+            .iter()
+            .find(|r| r.antecedent == vec![1] && r.consequent == 2)
+            .expect("rule {1}->2");
+        assert_eq!(rule.support_count, 4);
+        assert!((rule.confidence - 0.8).abs() < 1e-12);
+        // interest = 0.8 / (5/7).
+        assert!((rule.interest - 0.8 / (5.0 / 7.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confidence_threshold_filters() {
+        let r = mine_apriori(&txns(), 3, 2);
+        let all = generate_rules(&r, 0.0);
+        let high = generate_rules(&r, 0.9);
+        assert!(high.len() < all.len());
+        assert!(high.iter().all(|r| r.confidence >= 0.9));
+    }
+
+    #[test]
+    fn sorted_by_confidence() {
+        let r = mine_apriori(&txns(), 3, 3);
+        let rules = generate_rules(&r, 0.0);
+        assert!(rules.windows(2).all(|w| w[0].confidence >= w[1].confidence));
+    }
+
+    #[test]
+    fn display_format() {
+        let r = mine_apriori(&txns(), 3, 2);
+        let rules = generate_rules(&r, 0.0);
+        let s = rules[0].to_string();
+        assert!(s.contains("->"), "{s}");
+        assert!(s.contains("conf"), "{s}");
+    }
+}

@@ -1,0 +1,134 @@
+//! The database catalog: named relations.
+
+use std::collections::BTreeMap;
+
+use crate::error::{Result, StorageError};
+use crate::relation::Relation;
+
+/// A database: a set of named relations.
+///
+/// Query flocks name their base data by predicate (`baskets`,
+/// `exhibits`, …); evaluation resolves each predicate here. Derived
+/// relations produced by `FILTER` steps (`okS`, `okM`, `temp1`, …) are
+/// inserted alongside base relations during plan execution, exactly as
+/// the paper's plans treat them ("Each step can use in subgoals any of
+/// the relations that hold the data of the problem and any of the
+/// relations about the parameters that were created by previous steps",
+/// §4.1).
+///
+/// A `BTreeMap` keeps iteration order deterministic for tests and dumps.
+#[derive(Clone, Default)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Insert (or replace) a relation under its schema name.
+    pub fn insert(&mut self, relation: Relation) {
+        self.relations
+            .insert(relation.name().to_string(), relation);
+    }
+
+    /// Look up a relation by name.
+    pub fn get(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownRelation {
+                name: name.to_string(),
+            })
+    }
+
+    /// True if `name` is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Remove a relation, returning it if present.
+    pub fn remove(&mut self, name: &str) -> Option<Relation> {
+        self.relations.remove(name)
+    }
+
+    /// Names of all relations, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// All relations, sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True if no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Database [{} relations]", self.relations.len())?;
+        for r in self.relations.values() {
+            writeln!(f, "  {} [{} tuples]", r.schema(), r.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::Value;
+
+    fn rel(name: &str, n: i64) -> Relation {
+        Relation::from_rows(
+            Schema::new(name, &["x"]),
+            (0..n).map(|i| vec![Value::int(i)]).collect(),
+        )
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut db = Database::new();
+        db.insert(rel("a", 3));
+        db.insert(rel("b", 2));
+        assert_eq!(db.get("a").unwrap().len(), 3);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.total_tuples(), 5);
+        assert!(db.remove("a").is_some());
+        assert!(db.get("a").is_err());
+    }
+
+    #[test]
+    fn replace_overwrites() {
+        let mut db = Database::new();
+        db.insert(rel("a", 3));
+        db.insert(rel("a", 5));
+        assert_eq!(db.get("a").unwrap().len(), 5);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut db = Database::new();
+        db.insert(rel("zeta", 1));
+        db.insert(rel("alpha", 1));
+        let names: Vec<&str> = db.names().collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Comparison operators over [`Value`]s.
+//!
+//! Shared between the Datalog frontend (arithmetic subgoals, `$1 < $2`)
+//! and the engine (selection predicates), so it lives in the common
+//! storage crate.
+//!
+//! [`Value`]: crate::Value
+
+/// A comparison operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+impl CmpOp {
+    /// Apply the operator to an ordering.
+    #[inline]
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Ge => ord != Less,
+            CmpOp::Gt => ord == Greater,
+        }
+    }
+
+    /// The operator with operand sides exchanged (`a op b` ⇔ `b op' a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Gt => CmpOp::Lt,
+        }
+    }
+
+    /// Logical negation (`!(a op b)` ⇔ `a op' b`).
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Gt => CmpOp::Le,
+        }
+    }
+
+    /// SQL/Datalog spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+        }
+    }
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matrix() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Lt.eval(Less) && !CmpOp::Lt.eval(Equal));
+        assert!(CmpOp::Le.eval(Equal) && !CmpOp::Le.eval(Greater));
+        assert!(CmpOp::Eq.eval(Equal) && !CmpOp::Eq.eval(Less));
+        assert!(CmpOp::Ne.eval(Greater) && !CmpOp::Ne.eval(Equal));
+        assert!(CmpOp::Ge.eval(Greater) && CmpOp::Ge.eval(Equal));
+        assert!(CmpOp::Gt.eval(Greater) && !CmpOp::Gt.eval(Equal));
+    }
+
+    #[test]
+    fn symbols() {
+        assert_eq!(CmpOp::Le.symbol(), "<=");
+        assert_eq!(CmpOp::Ne.to_string(), "!=");
+    }
+}

@@ -1,0 +1,91 @@
+//! Storage-layer errors.
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A named relation is not in the catalog.
+    UnknownRelation {
+        /// The missing relation's name.
+        name: String,
+    },
+    /// A column name is not in a relation's schema.
+    UnknownColumn {
+        /// Relation whose schema was searched.
+        relation: String,
+        /// The missing column.
+        column: String,
+    },
+    /// A row's arity does not match the schema it was inserted under.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Schema arity.
+        expected: usize,
+        /// Offending row arity.
+        got: usize,
+    },
+    /// Malformed data file (TSV loader).
+    Malformed {
+        /// Human-readable description with line context.
+        detail: String,
+    },
+    /// Underlying I/O failure (TSV loader), carried as text so the error
+    /// type stays `Clone + Eq` for test assertions.
+    Io {
+        /// The rendered `std::io::Error`.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::UnknownRelation { name } => write!(f, "unknown relation `{name}`"),
+            StorageError::UnknownColumn { relation, column } => {
+                write!(f, "relation `{relation}` has no column `{column}`")
+            }
+            StorageError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch inserting into `{relation}`: schema has {expected} columns, row has {got}"
+            ),
+            StorageError::Malformed { detail } => write!(f, "malformed data: {detail}"),
+            StorageError::Io { detail } => write!(f, "i/o error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io {
+            detail: e.to_string(),
+        }
+    }
+}
+
+/// Convenience alias for storage results.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StorageError::UnknownRelation {
+            name: "baskets".into(),
+        };
+        assert_eq!(e.to_string(), "unknown relation `baskets`");
+        let e = StorageError::ArityMismatch {
+            relation: "r".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("schema has 2"));
+    }
+}

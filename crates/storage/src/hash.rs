@@ -1,0 +1,127 @@
+//! Fast, non-cryptographic hashing for hot join/aggregation paths.
+//!
+//! The engine hashes small integer-like keys (interned [`Symbol`]s and
+//! `i64`s) billions of times during joins; SipHash's HashDoS resistance
+//! is wasted there. This is the FxHash multiply-rotate scheme used by
+//! rustc, implemented locally because `rustc-hash` is outside this
+//! project's dependency allowance.
+//!
+//! [`Symbol`]: crate::Symbol
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiplier (golden-ratio derived, as in rustc's FxHasher).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style hasher: fast word-at-a-time multiply-rotate.
+///
+/// Not HashDoS resistant — only for internal maps keyed by values the
+/// process itself produced (tuples, symbols, row ids).
+#[derive(Default, Clone)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FastHasher`].
+pub type FastMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` keyed with [`FastHasher`].
+pub type FastSet<K> = std::collections::HashSet<K, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FastHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&"a"), hash_of(&"b"));
+        // Byte-level shifts must not collide trivially.
+        assert_ne!(hash_of(&[1u8, 0]), hash_of(&[0u8, 1]));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        for i in 0..1000 {
+            assert_eq!(m[&i], i * 2);
+        }
+    }
+
+    #[test]
+    fn uneven_tail_bytes_hash_differently() {
+        // chunks_exact remainder path: 9 bytes vs 10 bytes sharing a prefix.
+        let a = [7u8; 9];
+        let b = [7u8; 10];
+        assert_ne!(hash_of(&a.as_slice()), hash_of(&b.as_slice()));
+    }
+}

@@ -1,0 +1,145 @@
+//! Global string interning.
+//!
+//! Item names, words, symptom and medicine identifiers appear in millions
+//! of tuples but draw from small vocabularies. Interning maps each
+//! distinct string to a 32-bit [`Symbol`] once; equality, hashing, and
+//! copying of values then never touch string data.
+//!
+//! The interner is process-global so that symbols from generators, parsed
+//! queries, and loaded data files all live in one namespace — a tuple
+//! produced by `qf-datagen` joins directly against a constant written in
+//! a Datalog query string.
+//!
+//! Interned strings are leaked (they live for the process lifetime).
+//! Mining vocabularies are bounded, so this is the usual arena trade-off
+//! rather than a practical leak.
+
+use parking_lot::RwLock;
+
+use crate::hash::FastMap;
+
+/// A handle to an interned string. Two symbols are equal iff the strings
+/// they intern are equal.
+///
+/// `Ord` on `Symbol` is **lexicographic on the underlying strings**, not
+/// on intern ids: the paper's flocks use arithmetic subgoals like
+/// `$1 < $2` to order word pairs lexicographically (§2.3), so symbol
+/// comparison must agree with string comparison.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: FastMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+static INTERNER: RwLock<Option<Interner>> = RwLock::new(None);
+
+impl Symbol {
+    /// Intern `s`, returning its symbol. Idempotent.
+    pub fn intern(s: &str) -> Symbol {
+        // Fast path: read lock only.
+        if let Some(interner) = INTERNER.read().as_ref() {
+            if let Some(&id) = interner.map.get(s) {
+                return Symbol(id);
+            }
+        }
+        let mut guard = INTERNER.write();
+        let interner = guard.get_or_insert_with(|| Interner {
+            map: FastMap::default(),
+            strings: Vec::new(),
+        });
+        if let Some(&id) = interner.map.get(s) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(interner.strings.len()).expect("interner overflow");
+        interner.strings.push(leaked);
+        interner.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        INTERNER
+            .read()
+            .as_ref()
+            .and_then(|i| i.strings.get(self.0 as usize).copied())
+            .expect("symbol from a foreign interner")
+    }
+
+    /// Raw intern id; stable within a process run. Useful as a dense key.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl std::fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl std::fmt::Display for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = Symbol::intern("beer");
+        let b = Symbol::intern("beer");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.as_str(), "beer");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        assert_ne!(Symbol::intern("beer"), Symbol::intern("diapers"));
+    }
+
+    #[test]
+    fn order_is_lexicographic_not_id_order() {
+        // Intern in reverse lexicographic order so id order disagrees.
+        let z = Symbol::intern("zzz-order-test");
+        let a = Symbol::intern("aaa-order-test");
+        assert!(a < z, "symbol order must follow string order");
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Symbol::intern("shared-key").id()))
+            .collect();
+        let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,135 @@
+//! Tab-separated load/store for relations.
+//!
+//! The examples ship data as plain TSV so users can point the system at
+//! their own exports. Format: first line `name<TAB>col1<TAB>col2…` is
+//! the schema header (`name` is the relation name), each following line
+//! is one tuple. A field that parses as `i64` loads as an integer;
+//! anything else is interned as a string.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::error::{Result, StorageError};
+use crate::relation::{Relation, RelationBuilder};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Parse a field: integer if it looks like one, else interned string.
+fn parse_field(s: &str) -> Value {
+    match s.parse::<i64>() {
+        Ok(v) => Value::int(v),
+        Err(_) => Value::str(s),
+    }
+}
+
+/// Read a relation from TSV text.
+pub fn read_tsv(reader: impl BufRead) -> Result<Relation> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| StorageError::Malformed {
+            detail: "empty file: missing schema header".to_string(),
+        })?;
+    let mut parts = header.split('\t');
+    let name = parts.next().unwrap_or("").to_string();
+    if name.is_empty() {
+        return Err(StorageError::Malformed {
+            detail: "header must start with a relation name".to_string(),
+        });
+    }
+    let columns: Vec<String> = parts.map(str::to_string).collect();
+    if columns.is_empty() {
+        return Err(StorageError::Malformed {
+            detail: format!("relation `{name}` has no columns in header"),
+        });
+    }
+    let mut builder = RelationBuilder::new(Schema::from_columns(name, columns));
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let row: Vec<Value> = line.split('\t').map(parse_field).collect();
+        builder.push_row(row).map_err(|e| StorageError::Malformed {
+            detail: format!("line {}: {e}", lineno + 2),
+        })?;
+    }
+    Ok(builder.finish())
+}
+
+/// Load a relation from a TSV file.
+pub fn load_tsv(path: impl AsRef<Path>) -> Result<Relation> {
+    let file = std::fs::File::open(path)?;
+    read_tsv(std::io::BufReader::new(file))
+}
+
+/// Write a relation as TSV text.
+pub fn write_tsv(relation: &Relation, writer: impl Write) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    write!(w, "{}", relation.name())?;
+    for c in relation.schema().columns() {
+        write!(w, "\t{c}")?;
+    }
+    writeln!(w)?;
+    for t in relation.iter() {
+        for (i, v) in t.values().iter().enumerate() {
+            if i > 0 {
+                write!(w, "\t")?;
+            }
+            write!(w, "{v}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Save a relation to a TSV file.
+pub fn save_tsv(relation: &Relation, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_tsv(relation, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let r = Relation::from_rows(
+            Schema::new("baskets", &["bid", "item"]),
+            vec![
+                vec![Value::int(1), Value::str("beer")],
+                vec![Value::int(2), Value::str("chips")],
+            ],
+        );
+        let mut buf = Vec::new();
+        write_tsv(&r, &mut buf).unwrap();
+        let back = read_tsv(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn integers_parse_strings_intern() {
+        let text = "r\ta\tb\n42\thello\n-7\tworld\n";
+        let r = read_tsv(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.tuples()[0].get(0), Value::int(-7));
+        assert_eq!(r.tuples()[0].get(1), Value::str("world"));
+    }
+
+    #[test]
+    fn rejects_empty_and_bad_arity() {
+        assert!(read_tsv(std::io::Cursor::new("")).is_err());
+        assert!(read_tsv(std::io::Cursor::new("r\n1\n")).is_err());
+        let err = read_tsv(std::io::Cursor::new("r\ta\tb\n1\n")).unwrap_err();
+        assert!(matches!(err, StorageError::Malformed { .. }));
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let r = read_tsv(std::io::Cursor::new("r\ta\n1\n\n2\n")).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Fixed-arity tuples of [`Value`]s.
+
+use crate::value::Value;
+
+/// An immutable row: a boxed slice of values.
+///
+/// Mining relations are narrow (arity 2–5 throughout the paper's
+/// examples), so a tuple is two words on the stack plus one small heap
+/// allocation shared on clone-by-copy of the box contents.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: impl Into<Box<[Value]>>) -> Tuple {
+        Tuple(values.into())
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Field at `i`; panics if out of range (callers index by schema).
+    #[inline]
+    pub fn get(&self, i: usize) -> Value {
+        self.0[i]
+    }
+
+    /// All fields.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// A new tuple keeping only the fields at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple(indices.iter().map(|&i| self.0[i]).collect())
+    }
+
+    /// Concatenation of `self` and `other` (join output construction).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v.into())
+    }
+}
+
+impl std::fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.0.iter()).finish()
+    }
+}
+
+impl std::fmt::Display for Tuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple(v.into())
+    }
+}
+
+impl<const N: usize> From<[Value; N]> for Tuple {
+    fn from(v: [Value; N]) -> Self {
+        Tuple(Box::new(v))
+    }
+}
+
+impl std::ops::Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Tuple {
+        Tuple::new(vals.iter().map(|&v| Value::int(v)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn arity_and_access() {
+        let tup = t(&[1, 2, 3]);
+        assert_eq!(tup.arity(), 3);
+        assert_eq!(tup.get(1), Value::int(2));
+        assert_eq!(tup[2], Value::int(3));
+    }
+
+    #[test]
+    fn project_reorders_and_duplicates() {
+        let tup = t(&[10, 20, 30]);
+        assert_eq!(tup.project(&[2, 0, 0]), t(&[30, 10, 10]));
+        assert_eq!(tup.project(&[]), t(&[]));
+    }
+
+    #[test]
+    fn concat_appends() {
+        assert_eq!(t(&[1]).concat(&t(&[2, 3])), t(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(t(&[1, 9]) < t(&[2, 0]));
+        assert!(t(&[1]) < t(&[1, 0]));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(t(&[1, 2]).to_string(), "(1, 2)");
+    }
+}

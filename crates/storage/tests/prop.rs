@@ -1,0 +1,130 @@
+//! Property tests for the storage layer's core invariants: set
+//! semantics, ordering, statistics, index completeness, TSV round-trips.
+
+use proptest::prelude::*;
+
+use qf_storage::{tsv, HashIndex, Relation, RelationBuilder, Schema, Tuple, Value};
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((-20i64..20, -20i64..20), 0..120)
+}
+
+fn relation_of(rows: &[(i64, i64)]) -> Relation {
+    Relation::from_rows(
+        Schema::new("r", &["a", "b"]),
+        rows.iter()
+            .map(|&(a, b)| vec![Value::int(a), Value::int(b)])
+            .collect(),
+    )
+}
+
+proptest! {
+    /// Relations are strictly sorted, deduplicated sets.
+    #[test]
+    fn relation_is_canonical(rows in rows_strategy()) {
+        let r = relation_of(&rows);
+        prop_assert!(r.tuples().windows(2).all(|w| w[0] < w[1]));
+        // Cardinality equals the number of distinct input rows.
+        let mut distinct: Vec<(i64, i64)> = rows.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(r.len(), distinct.len());
+    }
+
+    /// Construction is insertion-order independent (canonical form).
+    #[test]
+    fn construction_order_irrelevant(rows in rows_strategy(), seed in 0u64..1000) {
+        let a = relation_of(&rows);
+        let mut shuffled = rows.clone();
+        // Cheap deterministic shuffle.
+        let n = shuffled.len();
+        if n > 1 {
+            for i in 0..n {
+                let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
+                shuffled.swap(i, j);
+            }
+        }
+        let b = relation_of(&shuffled);
+        prop_assert_eq!(a, b);
+    }
+
+    /// `contains` agrees with linear search.
+    #[test]
+    fn contains_is_membership(rows in rows_strategy(), probe in (-25i64..25, -25i64..25)) {
+        let r = relation_of(&rows);
+        let t = Tuple::from([Value::int(probe.0), Value::int(probe.1)]);
+        prop_assert_eq!(r.contains(&t), rows.contains(&probe));
+    }
+
+    /// Column stats are exact.
+    #[test]
+    fn stats_are_exact(rows in rows_strategy()) {
+        let r = relation_of(&rows);
+        let s = r.stats();
+        let mut col0: Vec<i64> = rows.iter().map(|&(a, _)| a).collect();
+        col0.sort_unstable();
+        col0.dedup();
+        prop_assert_eq!(s.column(0).distinct, col0.len());
+        if let (Some(&min), Some(&max)) = (col0.first(), col0.last()) {
+            prop_assert_eq!(s.column(0).min, Some(Value::int(min)));
+            prop_assert_eq!(s.column(0).max, Some(Value::int(max)));
+        } else {
+            prop_assert_eq!(s.column(0).min, None);
+        }
+    }
+
+    /// Every tuple is reachable through an index on any key subset.
+    #[test]
+    fn index_is_complete(rows in rows_strategy(), key_on_b in any::<bool>()) {
+        let r = relation_of(&rows);
+        let cols = if key_on_b { vec![1] } else { vec![0] };
+        let idx = HashIndex::build(&r, &cols);
+        let mut reached = 0usize;
+        for (key, rows_for_key) in idx.iter() {
+            for &row in rows_for_key {
+                prop_assert_eq!(&r.tuples()[row as usize].project(&cols), key);
+                reached += 1;
+            }
+        }
+        prop_assert_eq!(reached, r.len());
+    }
+
+    /// TSV round-trips exactly (integers and strings).
+    #[test]
+    fn tsv_roundtrip(rows in rows_strategy()) {
+        let r = Relation::from_rows(
+            Schema::new("r", &["a", "b"]),
+            rows.iter()
+                .map(|&(a, b)| vec![Value::int(a), Value::str(&format!("s{b}"))])
+                .collect(),
+        );
+        let mut buf = Vec::new();
+        tsv::write_tsv(&r, &mut buf).unwrap();
+        let back = tsv::read_tsv(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back, r);
+    }
+
+    /// Builder with arity enforcement accepts exactly matching rows.
+    #[test]
+    fn builder_enforces_arity(rows in rows_strategy()) {
+        let mut b = RelationBuilder::new(Schema::new("r", &["a", "b"]));
+        for &(x, y) in &rows {
+            b.push_row(vec![Value::int(x), Value::int(y)]).unwrap();
+        }
+        prop_assert!(b.push_row(vec![Value::int(0)]).is_err());
+        let r = b.finish();
+        prop_assert!(r.len() <= rows.len());
+    }
+
+    /// Tuple projection then concat laws: project(concat(a,b), left-ids)
+    /// recovers a.
+    #[test]
+    fn tuple_concat_project_laws(a in -9i64..9, b in -9i64..9, c in -9i64..9) {
+        let left = Tuple::from([Value::int(a), Value::int(b)]);
+        let right = Tuple::from([Value::int(c)]);
+        let joined = left.concat(&right);
+        prop_assert_eq!(joined.arity(), 3);
+        prop_assert_eq!(joined.project(&[0, 1]), left);
+        prop_assert_eq!(joined.project(&[2]), right);
+    }
+}
