@@ -18,9 +18,18 @@ fn bench(c: &mut Criterion) {
     let m: BTreeSet<Symbol> = [Symbol::intern("m")].into_iter().collect();
     let plans = [
         ("direct", direct_plan(&flock).unwrap()),
-        ("okS", param_set_plan(&flock, db, std::slice::from_ref(&s)).unwrap()),
-        ("okM", param_set_plan(&flock, db, std::slice::from_ref(&m)).unwrap()),
-        ("fig5_okS_okM", param_set_plan(&flock, db, &[s.clone(), m.clone()]).unwrap()),
+        (
+            "okS",
+            param_set_plan(&flock, db, std::slice::from_ref(&s)).unwrap(),
+        ),
+        (
+            "okM",
+            param_set_plan(&flock, db, std::slice::from_ref(&m)).unwrap(),
+        ),
+        (
+            "fig5_okS_okM",
+            param_set_plan(&flock, db, &[s.clone(), m.clone()]).unwrap(),
+        ),
     ];
 
     let mut group = c.benchmark_group("fig5_medical_plan");

@@ -8,8 +8,7 @@ use qf_bench::experiments::e3_medical_plans::medical_flock;
 use qf_bench::workloads::{medical_data, PAPER_THRESHOLD};
 use qf_bench::Scale;
 use qf_core::{
-    direct_plan, evaluate_dynamic, execute_plan, param_set_plan, DynamicConfig,
-    JoinOrderStrategy,
+    direct_plan, evaluate_dynamic, execute_plan, param_set_plan, DynamicConfig, JoinOrderStrategy,
 };
 use qf_storage::Symbol;
 

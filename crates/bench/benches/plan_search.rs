@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use qf_bench::experiments::e3_medical_plans::medical_flock;
 use qf_bench::workloads::{medical_data, PAPER_THRESHOLD};
 use qf_bench::Scale;
-use qf_core::{
-    best_plan, direct_plan, estimate_plan_cost, single_param_plan, JoinOrderStrategy,
-};
+use qf_core::{best_plan, direct_plan, estimate_plan_cost, single_param_plan, JoinOrderStrategy};
 
 fn bench(c: &mut Criterion) {
     let data = medical_data(Scale::Small, 0.3);

@@ -26,9 +26,7 @@ fn main() {
             }
             "--markdown" => markdown = true,
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: reproduce [all | e1..e9 ...] [--scale small|full] [--markdown]"
-                );
+                eprintln!("usage: reproduce [all | e1..e9 ...] [--scale small|full] [--markdown]");
                 return;
             }
             "all" => ids.extend(EXPERIMENT_IDS.iter().map(|s| s.to_string())),

@@ -14,9 +14,7 @@
 //! The absolute ratio depends on engine and data; the *shape* to check
 //! is an order-of-magnitude win that grows with threshold skew.
 
-use qf_core::{
-    evaluate_direct, execute_plan, single_param_plan, JoinOrderStrategy, QueryFlock,
-};
+use qf_core::{evaluate_direct, execute_plan, single_param_plan, JoinOrderStrategy, QueryFlock};
 
 use crate::table::{fmt_duration, Table};
 use crate::timing::{speedup, time_median};
@@ -46,13 +44,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
 
     let mut table = Table::new(
         "E1 (§1.3, Fig. 1): a-priori rewrite speedup on Zipf word pairs",
-        &[
-            "support",
-            "direct",
-            "rewritten",
-            "speedup",
-            "pairs found",
-        ],
+        &["support", "direct", "rewritten", "speedup", "pairs found"],
     );
     table.note(format!(
         "baskets relation: {} (doc,word) tuples, {} distinct words",

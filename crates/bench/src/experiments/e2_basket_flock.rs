@@ -9,9 +9,7 @@
 //! *is* a query flock, and the flock machinery reproduces the classic
 //! algorithm's output tuple for tuple.
 
-use qf_core::{
-    evaluate_direct, execute_plan, single_param_plan, JoinOrderStrategy, QueryFlock,
-};
+use qf_core::{evaluate_direct, execute_plan, single_param_plan, JoinOrderStrategy, QueryFlock};
 use qf_mine::mine_apriori;
 use qf_storage::Value;
 
@@ -65,8 +63,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let (planned, plan_t) = time_median(3, || {
             execute_plan(&plan, &db, JoinOrderStrategy::Greedy).unwrap()
         });
-        let (classic, classic_t) =
-            time_median(3, || mine_apriori(&txns, threshold as u64, 2));
+        let (classic, classic_t) = time_median(3, || mine_apriori(&txns, threshold as u64, 2));
 
         // Convert classic level-2 itemsets to the flock's tuple form.
         let mut classic_pairs: Vec<(Value, Value)> = classic
@@ -82,9 +79,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
         classic_pairs.sort();
         let flock_pairs: Vec<(Value, Value)> =
             direct.iter().map(|t| (t.get(0), t.get(1))).collect();
-        let agree =
-            direct.tuples() == planned.result.tuples() && flock_pairs == classic_pairs;
-        assert!(agree, "the three computations disagree at support {threshold}");
+        let agree = direct.tuples() == planned.result.tuples() && flock_pairs == classic_pairs;
+        assert!(
+            agree,
+            "the three computations disagree at support {threshold}"
+        );
 
         table.row(vec![
             threshold.to_string(),

@@ -49,11 +49,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     ));
     for (i, s) in subs.iter().enumerate() {
         let params: Vec<String> = s.params().iter().map(|p| format!("${p}")).collect();
-        enumeration.row(vec![
-            (i + 1).to_string(),
-            s.to_string(),
-            params.join(","),
-        ]);
+        enumeration.row(vec![(i + 1).to_string(), s.to_string(), params.join(",")]);
     }
     assert_eq!(subs.len(), 8, "Ex. 3.2 count");
 

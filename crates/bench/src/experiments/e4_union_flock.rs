@@ -10,9 +10,7 @@
 
 use std::collections::BTreeSet;
 
-use qf_core::{
-    evaluate_direct, execute_plan, param_set_plan, JoinOrderStrategy, QueryFlock,
-};
+use qf_core::{evaluate_direct, execute_plan, param_set_plan, JoinOrderStrategy, QueryFlock};
 use qf_storage::{Symbol, Value};
 
 use crate::table::{fmt_duration, Table};

@@ -24,11 +24,8 @@ pub fn path_flock(n: usize, threshold: i64) -> QueryFlock {
         body.push(format!("arc({prev},{next})"));
         prev = next;
     }
-    QueryFlock::with_support(
-        &format!("answer(X) :- {}", body.join(" AND ")),
-        threshold,
-    )
-    .expect("static flock text")
+    QueryFlock::with_support(&format!("answer(X) :- {}", body.join(" AND ")), threshold)
+        .expect("static flock text")
 }
 
 /// Run E5.
@@ -92,7 +89,10 @@ mod tests {
             .trim_end_matches('x')
             .parse()
             .unwrap();
-        assert!(last_speedup > 1.0, "chain should win at n=3: {last_speedup}x");
+        assert!(
+            last_speedup > 1.0,
+            "chain should win at n=3: {last_speedup}x"
+        );
     }
 
     #[test]

@@ -12,8 +12,7 @@
 use std::collections::BTreeSet;
 
 use qf_core::{
-    direct_plan, evaluate_dynamic, execute_plan, param_set_plan, DynamicConfig,
-    JoinOrderStrategy,
+    direct_plan, evaluate_dynamic, execute_plan, param_set_plan, DynamicConfig, JoinOrderStrategy,
 };
 use qf_storage::Symbol;
 
@@ -53,7 +52,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
 
     let mut decisions_table = Table::new(
         "E6b: dynamic decision trace (highest rare fraction)",
-        &["after subgoal", "params", "tuples", "assignments", "ratio", "action"],
+        &[
+            "after subgoal",
+            "params",
+            "tuples",
+            "assignments",
+            "ratio",
+            "action",
+        ],
     );
 
     for (ri, &rare) in rare_fractions.iter().enumerate() {

@@ -8,8 +8,7 @@
 //! *reject* pruning when monotonicity breaks (negative weights).
 
 use qf_core::{
-    evaluate_direct, execute_plan, single_param_plan, FlockError, JoinOrderStrategy,
-    QueryFlock,
+    evaluate_direct, execute_plan, single_param_plan, FlockError, JoinOrderStrategy, QueryFlock,
 };
 use qf_storage::{Relation, Schema, Value};
 
@@ -84,12 +83,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
         Schema::new("importance", &["bid", "w"]),
         rows,
     ));
-    let err = evaluate_direct(
-        &weighted_flock(100),
-        &guarded,
-        JoinOrderStrategy::Greedy,
-    )
-    .unwrap_err();
+    let err =
+        evaluate_direct(&weighted_flock(100), &guarded, JoinOrderStrategy::Greedy).unwrap_err();
     assert!(matches!(err, FlockError::NegativeWeight { .. }));
     table.note(
         "guard check: injecting a negative weight makes evaluation fail with \

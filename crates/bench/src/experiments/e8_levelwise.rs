@@ -32,10 +32,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
         Scale::Full => (40i64, 4usize),
     };
 
-    let (flock_levels, flock_t) =
-        time_median(1, || mine_flockwise(&db, threshold, max_k).unwrap());
-    let (classic, classic_t) =
-        time_median(3, || mine_apriori(&txns, threshold as u64, max_k));
+    let (flock_levels, flock_t) = time_median(1, || mine_flockwise(&db, threshold, max_k).unwrap());
+    let (classic, classic_t) = time_median(3, || mine_apriori(&txns, threshold as u64, max_k));
 
     let mut table = Table::new(
         "E8 (§4.3 option 2): levelwise flocks vs. classic a-priori",

@@ -119,8 +119,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             report
                 .decisions
                 .iter()
-                .filter(|d| d.filtered
-                    && d.reason != qf_core::DecisionReason::FinalMandatory)
+                .filter(|d| d.filtered && d.reason != qf_core::DecisionReason::FinalMandatory)
                 .count()
         ),
         fmt_duration(dynamic_t),

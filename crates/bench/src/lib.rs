@@ -69,6 +69,4 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
 }
 
 /// All experiment ids, in order.
-pub const EXPERIMENT_IDS: [&str; 9] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
-];
+pub const EXPERIMENT_IDS: [&str; 9] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];

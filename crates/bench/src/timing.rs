@@ -56,7 +56,10 @@ mod tests {
             i += 1;
             std::thread::sleep(Duration::from_millis(if i == 1 { 20 } else { 2 }));
         });
-        assert!(d < Duration::from_millis(15), "median should skip the outlier");
+        assert!(
+            d < Duration::from_millis(15),
+            "median should skip the outlier"
+        );
     }
 
     #[test]

@@ -22,10 +22,65 @@
 use std::fmt::Write as _;
 
 use qf_core::{
-    best_plan, evaluate_dynamic, to_sql, DynamicConfig, FlockProgram, JoinOrderStrategy,
-    Optimizer, QueryFlock, Strategy,
+    best_plan, evaluate_dynamic, to_sql, DynamicConfig, ExecContext, FlockProgram,
+    JoinOrderStrategy, Optimizer, QueryFlock, Strategy,
 };
 use qf_storage::{tsv, Database, Relation};
+
+/// Resource limits applied to every governed evaluation (`run`).
+/// Settable from the command line (`--timeout`, `--max-rows`,
+/// `--mem-budget`) or the `limits` shell command.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Limits {
+    /// Cap on tuples materialized per evaluation.
+    pub max_rows: Option<u64>,
+    /// Cap on estimated materialized bytes per evaluation.
+    pub mem_budget: Option<u64>,
+    /// Wall-clock deadline per evaluation, in milliseconds.
+    pub timeout_ms: Option<u64>,
+}
+
+impl Limits {
+    /// Build a fresh execution context enforcing these limits. Each
+    /// evaluation gets its own context so the deadline restarts.
+    pub fn context(&self) -> ExecContext {
+        let mut ctx = ExecContext::unbounded();
+        if let Some(rows) = self.max_rows {
+            ctx = ctx.with_max_rows(rows);
+        }
+        if let Some(bytes) = self.mem_budget {
+            ctx = ctx.with_mem_budget(bytes);
+        }
+        if let Some(ms) = self.timeout_ms {
+            ctx = ctx.with_timeout(std::time::Duration::from_millis(ms));
+        }
+        ctx
+    }
+
+    /// True when no limit is set.
+    pub fn is_unbounded(&self) -> bool {
+        *self == Limits::default()
+    }
+}
+
+impl std::fmt::Display for Limits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_unbounded() {
+            return f.write_str("no limits");
+        }
+        let mut parts = Vec::new();
+        if let Some(r) = self.max_rows {
+            parts.push(format!("max-rows={r}"));
+        }
+        if let Some(b) = self.mem_budget {
+            parts.push(format!("mem-budget={b}"));
+        }
+        if let Some(t) = self.timeout_ms {
+            parts.push(format!("timeout={t}ms"));
+        }
+        f.write_str(&parts.join(" "))
+    }
+}
 
 /// Interactive session state: the working database and current program
 /// (views + flock; a plain flock is a program with no views).
@@ -35,6 +90,8 @@ pub struct Session {
     pub db: Database,
     /// The current flock program, if one was defined.
     pub program: Option<FlockProgram>,
+    /// Resource limits applied to `run`.
+    pub limits: Limits,
 }
 
 impl Session {
@@ -59,6 +116,7 @@ impl Session {
             "show" => self.show(rest),
             "gen" => self.generate(rest),
             "flock" => self.set_flock(rest),
+            "limits" => self.set_limits(rest),
             "run" => self.run(rest),
             "plan" => self.plan(),
             "sql" => self.sql(),
@@ -127,13 +185,17 @@ impl Session {
             .unwrap_or(1);
         match what {
             "baskets" => {
-                let config = qf_datagen::BasketConfig { seed, ..Default::default() };
+                let config = qf_datagen::BasketConfig {
+                    seed,
+                    ..Default::default()
+                };
                 let data = qf_datagen::baskets::generate(&config);
                 let n = data.baskets.distinct(0);
                 self.db.insert(data.baskets);
-                self.db
-                    .insert(qf_datagen::baskets::importance(&config, 50));
-                Ok(format!("generated baskets ({n} baskets) and importance weights"))
+                self.db.insert(qf_datagen::baskets::importance(&config, 50));
+                Ok(format!(
+                    "generated baskets ({n} baskets) and importance weights"
+                ))
             }
             "words" => {
                 let rel = qf_datagen::words::generate(&qf_datagen::WordsConfig {
@@ -201,6 +263,30 @@ impl Session {
         }
     }
 
+    fn set_limits(&mut self, rest: &str) -> Result<String, String> {
+        if rest.is_empty() {
+            return Ok(self.limits.to_string());
+        }
+        if rest == "none" {
+            self.limits = Limits::default();
+            return Ok("limits cleared".to_string());
+        }
+        let mut limits = self.limits;
+        for part in rest.split_whitespace() {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or("usage: limits [none | max-rows=N mem-budget=BYTES timeout=MS]")?;
+            match key {
+                "max-rows" => limits.max_rows = Some(parse_count(value)?),
+                "mem-budget" => limits.mem_budget = Some(parse_count(value)?),
+                "timeout" => limits.timeout_ms = Some(parse_millis(value)?),
+                other => return Err(format!("unknown limit `{other}`")),
+            }
+        }
+        self.limits = limits;
+        Ok(self.limits.to_string())
+    }
+
     fn current_program(&self) -> Result<&FlockProgram, String> {
         self.program
             .as_ref()
@@ -220,9 +306,10 @@ impl Session {
             other => return Err(format!("unknown strategy `{other}`")),
         };
         let program = self.current_program()?.clone();
+        let ctx = self.limits.context();
         let start = std::time::Instant::now();
         let evaluation = program
-            .evaluate_with(&self.db, &Optimizer::with_strategy(strategy))
+            .evaluate_governed(&self.db, &Optimizer::with_strategy(strategy), &ctx)
             .map_err(|e| e.to_string())?;
         let elapsed = start.elapsed();
         let mut out = format!(
@@ -230,6 +317,16 @@ impl Session {
             evaluation.strategy_used,
             evaluation.result.len()
         );
+        if !self.limits.is_unbounded() {
+            let _ = write!(
+                out,
+                "\ngoverned: {} rows, ~{} bytes materialized ({})",
+                evaluation.stats.rows, evaluation.stats.bytes, self.limits
+            );
+        }
+        for d in &evaluation.stats.degradations {
+            let _ = write!(out, "\ndegraded [{}]: {}", d.stage, d.detail);
+        }
         for t in evaluation.result.iter().take(20) {
             let _ = write!(out, "\n  {t}");
         }
@@ -265,18 +362,15 @@ impl Session {
             .materialize_views(&self.db, JoinOrderStrategy::Greedy)
             .map_err(|e| e.to_string())?;
         let flock = program.flock();
-        let compiled =
-            qf_core::compile_answer(flock.query(), &working, JoinOrderStrategy::Greedy)
-                .map_err(|e| e.to_string())?;
+        let compiled = qf_core::compile_answer(flock.query(), &working, JoinOrderStrategy::Greedy)
+            .map_err(|e| e.to_string())?;
         let mut out = compiled.plan.explain();
         if let Ok(est) = qf_engine::estimate(&compiled.plan, &working) {
             let _ = write!(out, "-- estimated answer tuples: {:.0}", est.rows);
         }
         // For single-rule COUNT flocks, also show the dynamic trace.
         if flock.query().is_single() {
-            if let Ok(report) =
-                evaluate_dynamic(flock, &working, &DynamicConfig::default())
-            {
+            if let Ok(report) = evaluate_dynamic(flock, &working, &DynamicConfig::default()) {
                 let _ = write!(out, "\n-- dynamic decisions:");
                 for d in &report.decisions {
                     let _ = write!(
@@ -297,6 +391,37 @@ impl Session {
     }
 }
 
+/// Parse a non-negative count, accepting decimal `k`/`m`/`g` suffixes
+/// (`64k` = 64 000).
+fn parse_count(value: &str) -> Result<u64, String> {
+    let (digits, mult) = match value.to_ascii_lowercase() {
+        v if v.ends_with('k') => (v.len() - 1, 1_000u64),
+        v if v.ends_with('m') => (v.len() - 1, 1_000_000),
+        v if v.ends_with('g') => (v.len() - 1, 1_000_000_000),
+        v => (v.len(), 1),
+    };
+    value[..digits]
+        .parse::<u64>()
+        .map_err(|_| format!("bad number `{value}`"))?
+        .checked_mul(mult)
+        .ok_or_else(|| format!("number `{value}` too large"))
+}
+
+/// Parse a duration in milliseconds, accepting `ms` or `s` suffixes.
+fn parse_millis(value: &str) -> Result<u64, String> {
+    let lower = value.to_ascii_lowercase();
+    if let Some(v) = lower.strip_suffix("ms") {
+        v.parse().map_err(|_| format!("bad duration `{value}`"))
+    } else if let Some(v) = lower.strip_suffix('s') {
+        v.parse::<u64>()
+            .map_err(|_| format!("bad duration `{value}`"))?
+            .checked_mul(1000)
+            .ok_or_else(|| format!("duration `{value}` too large"))
+    } else {
+        lower.parse().map_err(|_| format!("bad duration `{value}`"))
+    }
+}
+
 /// Help text for the shell.
 pub const HELP: &str = "\
 commands:
@@ -306,6 +431,7 @@ commands:
   rels                                           list relations
   show <relation> [n]                            preview tuples
   flock [view rules…] QUERY: … FILTER: …         define the current flock (views optional)
+  limits [none | max-rows=N mem-budget=BYTES timeout=MS]   budget every run
   run [auto|direct|static|dynamic]               evaluate the flock
   plan                                           show the cost-based best plan
   sql                                            render the flock as SQL
@@ -391,6 +517,44 @@ mod tests {
     }
 
     #[test]
+    fn limits_command_sets_and_clears() {
+        let mut s = Session::new();
+        assert_eq!(s.execute_line("limits").unwrap(), "no limits");
+        let out = s.execute_line("limits max-rows=64k timeout=2s").unwrap();
+        assert_eq!(out, "max-rows=64000 timeout=2000ms");
+        assert_eq!(s.limits.max_rows, Some(64_000));
+        assert_eq!(s.limits.timeout_ms, Some(2_000));
+        assert!(s.execute_line("limits rows=5").is_err());
+        assert!(s.execute_line("limits max-rows=abc").is_err());
+        assert_eq!(s.execute_line("limits none").unwrap(), "limits cleared");
+        assert!(s.limits.is_unbounded());
+    }
+
+    #[test]
+    fn tiny_row_budget_fails_run_cleanly() {
+        let mut s = Session::new();
+        s.execute_line("gen baskets").unwrap();
+        s.execute_line(flock_cmd()).unwrap();
+        s.execute_line("limits max-rows=10").unwrap();
+        let err = s.execute_line("run direct").unwrap_err();
+        assert!(err.contains("resource budget exceeded"), "{err}");
+        // The session survives: clear limits and the run succeeds.
+        s.execute_line("limits none").unwrap();
+        assert!(s.execute_line("run direct").is_ok());
+    }
+
+    #[test]
+    fn governed_run_reports_stats() {
+        let mut s = Session::new();
+        s.execute_line("gen baskets").unwrap();
+        s.execute_line(flock_cmd()).unwrap();
+        s.execute_line("limits max-rows=10m").unwrap();
+        let out = s.execute_line("run direct").unwrap();
+        assert!(out.contains("governed:"), "{out}");
+        assert!(out.contains("rows"), "{out}");
+    }
+
+    #[test]
     fn help_lists_commands() {
         let mut s = Session::new();
         let help = s.execute_line("help").unwrap();
@@ -427,6 +591,9 @@ mod tests {
         .unwrap();
         let out = s.execute_line("run auto").unwrap();
         assert!(out.contains("dynamic"), "{out}");
-        assert!(out.contains("sideeffect"), "planted pair should appear: {out}");
+        assert!(
+            out.contains("sideeffect"),
+            "planted pair should appear: {out}"
+        );
     }
 }

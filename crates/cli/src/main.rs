@@ -7,9 +7,19 @@ use qf_cli::Session;
 fn main() {
     let mut session = Session::new();
 
+    // Leading flags set resource limits for every evaluation:
+    //   qfsh --timeout 5s --max-rows 1m --mem-budget 256m [command…]
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match apply_limit_flags(&mut session, &mut args) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+
     // Non-interactive: execute arguments joined as one command, then exit
     // (`qfsh gen baskets` etc. for scripting).
-    let args: Vec<String> = std::env::args().skip(1).collect();
     if !args.is_empty() {
         match session.execute_line(&args.join(" ")) {
             Ok(out) => println!("{out}"),
@@ -46,4 +56,42 @@ fn main() {
             Err(e) => println!("error: {e}"),
         }
     }
+}
+
+/// Strip `--timeout`/`--max-rows`/`--mem-budget` (with `--flag value`
+/// or `--flag=value` spelling) off the front of `args`, applying them
+/// to the session via the `limits` shell command.
+fn apply_limit_flags(session: &mut Session, args: &mut Vec<String>) -> Result<(), String> {
+    let mut limit_parts: Vec<String> = Vec::new();
+    while let Some(first) = args.first().cloned() {
+        let Some(flag) = first.strip_prefix("--") else {
+            break;
+        };
+        let (key, value) = match flag.split_once('=') {
+            Some((k, v)) => {
+                if !matches!(k, "timeout" | "max-rows" | "mem-budget") {
+                    return Err(format!("unknown flag `--{k}`"));
+                }
+                args.remove(0);
+                (k.to_string(), v.to_string())
+            }
+            None => {
+                if !matches!(flag, "timeout" | "max-rows" | "mem-budget") {
+                    return Err(format!("unknown flag `--{flag}`"));
+                }
+                if args.len() < 2 {
+                    return Err(format!("flag `--{flag}` needs a value"));
+                }
+                args.remove(0);
+                (flag.to_string(), args.remove(0))
+            }
+        };
+        limit_parts.push(format!("{key}={value}"));
+    }
+    if !limit_parts.is_empty() {
+        session
+            .execute_line(&format!("limits {}", limit_parts.join(" ")))
+            .map(|_| ())?;
+    }
+    Ok(())
 }

@@ -139,7 +139,9 @@ pub(crate) fn atom_order(
                         let s = r.stats();
                         (
                             s.cardinality as f64,
-                            (0..s.arity()).map(|c| s.column(c).distinct as f64).collect(),
+                            (0..s.arity())
+                                .map(|c| s.column(c).distinct as f64)
+                                .collect(),
                         )
                     }
                     // Unknown relation (e.g. a planned-but-unmaterialized
@@ -247,11 +249,13 @@ pub fn compile_rule(
     let params: Vec<Symbol> = rule.params().into_iter().collect();
     let mut cols = Vec::with_capacity(params.len() + rule.head.arity());
     for &p in &params {
-        cols.push(binding.col_of(Term::Param(p)).ok_or_else(|| {
-            FlockError::UnsafeQuery {
-                violation: format!("parameter ${p} is not bound by a positive subgoal"),
-            }
-        })?);
+        cols.push(
+            binding
+                .col_of(Term::Param(p))
+                .ok_or_else(|| FlockError::UnsafeQuery {
+                    violation: format!("parameter ${p} is not bound by a positive subgoal"),
+                })?,
+        );
     }
     for &t in &rule.head.args {
         cols.push(binding.col_of(t).ok_or_else(|| FlockError::UnsafeQuery {
@@ -299,7 +303,12 @@ fn apply_pending(
     let mut i = 0;
     while i < pending_neg.len() {
         let atom = pending_neg[i];
-        let open: Vec<Term> = atom.args.iter().copied().filter(|t| !t.is_const()).collect();
+        let open: Vec<Term> = atom
+            .args
+            .iter()
+            .copied()
+            .filter(|t| !t.is_const())
+            .collect();
         if binding.binds_all(&open) {
             let leaf = build_leaf(atom);
             let mut keys = Vec::new();
@@ -411,8 +420,7 @@ mod tests {
 
     #[test]
     fn compile_basket_rule_produces_extended_answers() {
-        let rule =
-            parse_rule("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2").unwrap();
+        let rule = parse_rule("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2").unwrap();
         let compiled = compile_rule(&rule, &basket_db(), JoinOrderStrategy::AsWritten).unwrap();
         assert_eq!(compiled.n_params, 2);
         assert_eq!(compiled.n_head, 1);
@@ -469,10 +477,9 @@ mod tests {
             Schema::new("causes", &["d", "s"]),
             vec![vec![Value::str("flu"), Value::str("fever")]],
         ));
-        let rule = parse_rule(
-            "answer(P) :- exhibits(P,$s) AND diagnoses(P,D) AND NOT causes(D,$s)",
-        )
-        .unwrap();
+        let rule =
+            parse_rule("answer(P) :- exhibits(P,$s) AND diagnoses(P,D) AND NOT causes(D,$s)")
+                .unwrap();
         let compiled = compile_rule(&rule, &db, JoinOrderStrategy::AsWritten).unwrap();
         let rel = execute(&compiled.plan, &db).unwrap();
         // Patient 1's fever is explained by flu; patient 2's rash is not.
@@ -483,8 +490,7 @@ mod tests {
 
     #[test]
     fn all_orders_agree_on_results() {
-        let rule =
-            parse_rule("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2").unwrap();
+        let rule = parse_rule("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2").unwrap();
         let db = basket_db();
         let mut results = Vec::new();
         for s in [
@@ -502,8 +508,7 @@ mod tests {
 
     #[test]
     fn filter_answer_counts_support() {
-        let rule =
-            parse_rule("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2").unwrap();
+        let rule = parse_rule("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2").unwrap();
         let db = basket_db();
         let compiled = compile_rule(&rule, &db, JoinOrderStrategy::AsWritten).unwrap();
         let plan = filter_answer(&compiled, &rule, &FilterCondition::support(2)).unwrap();

@@ -27,7 +27,9 @@
 //! plan without knowing the data regime in advance.
 
 use qf_datalog::{Atom, Term};
-use qf_engine::{execute, AggFn, Operand, PhysicalPlan, Predicate};
+use qf_engine::{
+    execute_with, AggFn, EngineError, ExecContext, Operand, PhysicalPlan, Predicate, Resource,
+};
 use qf_storage::{Database, FastMap, FastSet, HashIndex, Relation, Schema, Symbol, Tuple, Value};
 
 use crate::compile::{atom_order, build_leaf, Binding, JoinOrderStrategy};
@@ -79,6 +81,11 @@ pub enum DecisionReason {
     /// The filter aggregate is not `COUNT`; intermediate pruning with
     /// partial answers is not attempted (only the final filter runs).
     NonCountFilter,
+    /// A voluntary filter looked worthwhile but its probe blew the
+    /// resource budget → skipped. Sound: a-priori pruning is optional,
+    /// so only pruning power is lost. Recorded as a degradation in the
+    /// governor's [`qf_engine::ExecStats`].
+    BudgetExhausted,
 }
 
 /// One decision point in a dynamic evaluation.
@@ -124,6 +131,23 @@ pub fn evaluate_dynamic(
     db: &Database,
     config: &DynamicConfig,
 ) -> Result<DynamicReport> {
+    evaluate_dynamic_with(flock, db, config, &ExecContext::unbounded())
+}
+
+/// [`evaluate_dynamic`] under an execution governor. The join pipeline
+/// and the mandatory final filter run with `ctx`'s budgets — exceeding
+/// them is a hard error. Each *voluntary* FILTER probe runs under a
+/// [`ExecContext::subcontext`] sized to the parent's remaining budget;
+/// if the probe blows it, the candidate filter is skipped (recorded as
+/// a [`DecisionReason::BudgetExhausted`] decision and a degradation in
+/// the governor's stats) and evaluation continues unpruned — a-priori
+/// pruning stays sound, only pruning power is lost.
+pub fn evaluate_dynamic_with(
+    flock: &QueryFlock,
+    db: &Database,
+    config: &DynamicConfig,
+    ctx: &ExecContext,
+) -> Result<DynamicReport> {
     let Some(rule) = flock.single_rule() else {
         return Err(FlockError::IllegalPlan {
             detail: "dynamic evaluation is defined for single-rule flocks".to_string(),
@@ -162,7 +186,7 @@ pub fn evaluate_dynamic(
     for &ai in &order {
         let atom = positive[ai];
         let leaf = build_leaf(atom);
-        let leaf_rel = execute(&leaf.plan, db)?;
+        let leaf_rel = execute_with(&leaf.plan, db, ctx)?;
 
         current = Some(match current.take() {
             None => {
@@ -183,7 +207,7 @@ pub fn evaluate_dynamic(
                         }
                     }
                 }
-                let joined = join_materialized(&cur, &leaf_rel, &keys);
+                let joined = join_materialized(&cur, &leaf_rel, &keys, ctx)?;
                 for (col, term) in leaf.terms.iter().enumerate() {
                     if let Some(t) = term {
                         binding.bind(*t, width + col);
@@ -195,7 +219,8 @@ pub fn evaluate_dynamic(
 
         // Apply any now-bound comparisons and negations.
         let cur = current.take().unwrap();
-        let cur = apply_pending_materialized(cur, &binding, db, &mut pending_neg, &mut pending_cmp)?;
+        let cur =
+            apply_pending_materialized(cur, &binding, db, &mut pending_neg, &mut pending_cmp, ctx)?;
         total_tuples += cur.len();
 
         // Decision point.
@@ -208,7 +233,12 @@ pub fn evaluate_dynamic(
 
         let decision_label = atom.to_string();
         if bound_params.is_empty() {
-            decisions.push(decision_skip(&decision_label, &[], &cur, DecisionReason::NoParams));
+            decisions.push(decision_skip(
+                &decision_label,
+                &[],
+                &cur,
+                DecisionReason::NoParams,
+            ));
             current = Some(cur);
             continue;
         }
@@ -266,27 +296,60 @@ pub fn evaluate_dynamic(
         };
 
         if should_filter {
-            let (pruned, survivors) =
-                prune_by_support(&cur, &param_cols, &head_cols, threshold);
-            total_tuples += pruned.len();
-            let new_assignments = survivors;
-            let new_ratio = if new_assignments == 0 {
-                0.0
-            } else {
-                pruned.len() as f64 / new_assignments as f64
-            };
-            seen_ratio.insert(bound_params.clone(), new_ratio);
-            decisions.push(DynamicDecision {
-                after_subgoal: decision_label,
-                param_set: bound_params.iter().map(|p| p.to_string()).collect(),
-                tuples: cur.len(),
-                assignments,
-                ratio,
-                filtered: true,
-                reason,
-                survivors: Some(survivors),
-            });
-            current = Some(pruned);
+            // The probe is voluntary side-work: give it its own budget
+            // (whatever the parent could still afford) so a blown probe
+            // degrades to "skip this filter" instead of failing the
+            // whole evaluation. Deadline/cancellation still propagate
+            // as hard errors — time is global, rows/memory are not.
+            let probe = ctx.subcontext(ctx.remaining_rows(), ctx.remaining_bytes());
+            match prune_by_support(&cur, &param_cols, &head_cols, threshold, &probe) {
+                Ok((pruned, survivors)) => {
+                    total_tuples += pruned.len();
+                    let new_assignments = survivors;
+                    let new_ratio = if new_assignments == 0 {
+                        0.0
+                    } else {
+                        pruned.len() as f64 / new_assignments as f64
+                    };
+                    seen_ratio.insert(bound_params.clone(), new_ratio);
+                    decisions.push(DynamicDecision {
+                        after_subgoal: decision_label,
+                        param_set: bound_params.iter().map(|p| p.to_string()).collect(),
+                        tuples: cur.len(),
+                        assignments,
+                        ratio,
+                        filtered: true,
+                        reason,
+                        survivors: Some(survivors),
+                    });
+                    current = Some(pruned);
+                }
+                Err(EngineError::ResourceExhausted {
+                    resource: Resource::Rows | Resource::Memory,
+                    ..
+                }) => {
+                    ctx.record_degradation(
+                        "dynamic-filter",
+                        format!(
+                            "skipped voluntary FILTER after `{decision_label}`: \
+                             probe budget exhausted (pruning power lost, result unaffected)"
+                        ),
+                    );
+                    seen_ratio.insert(bound_params.clone(), ratio);
+                    decisions.push(DynamicDecision {
+                        after_subgoal: decision_label,
+                        param_set: bound_params.iter().map(|p| p.to_string()).collect(),
+                        tuples: cur.len(),
+                        assignments,
+                        ratio,
+                        filtered: false,
+                        reason: DecisionReason::BudgetExhausted,
+                        survivors: None,
+                    });
+                    current = Some(cur);
+                }
+                Err(e) => return Err(e.into()),
+            }
         } else {
             seen_ratio.insert(bound_params.clone(), ratio);
             decisions.push(DynamicDecision {
@@ -315,7 +378,7 @@ pub fn evaluate_dynamic(
         .iter()
         .map(|&t| binding.col_of(t).unwrap())
         .collect();
-    let result = final_filter(flock, &cur, &param_cols, &head_cols)?;
+    let result = final_filter(flock, &cur, &param_cols, &head_cols, ctx)?;
     decisions.push(DynamicDecision {
         after_subgoal: "final".to_string(),
         param_set: params.iter().map(|p| p.to_string()).collect(),
@@ -352,21 +415,32 @@ fn decision_skip(
     }
 }
 
-/// Hash join of two materialized relations (output: left ++ right).
-fn join_materialized(left: &Relation, right: &Relation, keys: &[(usize, usize)]) -> Relation {
+/// Hash join of two materialized relations (output: left ++ right),
+/// governed: every output tuple is charged to `ctx` *before* it is
+/// materialized, so a budgeted evaluation cannot blow up here.
+fn join_materialized(
+    left: &Relation,
+    right: &Relation,
+    keys: &[(usize, usize)],
+    ctx: &ExecContext,
+) -> qf_engine::Result<Relation> {
+    ctx.enter("DynJoin")?;
     let (lk, rk): (Vec<usize>, Vec<usize>) = keys.iter().copied().unzip();
     let idx = HashIndex::build(right, &rk);
     let mut names: Vec<String> = left.schema().columns().to_vec();
     names.extend(right.schema().columns().iter().cloned());
+    let width = names.len();
     let schema = Schema::from_columns("dyn_join", names);
     let mut out = Vec::new();
     for lt in left.iter() {
+        ctx.tick()?;
         let key = lt.project(&lk);
         for &row in idx.probe(&key) {
+            ctx.charge_row(width)?;
             out.push(lt.concat(&right.tuples()[row as usize]));
         }
     }
-    Relation::from_tuples(schema, out)
+    Ok(Relation::from_tuples(schema, out))
 }
 
 /// Apply bound comparisons (selection) and negations (antijoin) to a
@@ -377,6 +451,7 @@ fn apply_pending_materialized<'a>(
     db: &Database,
     pending_neg: &mut Vec<&'a Atom>,
     pending_cmp: &mut Vec<&'a qf_datalog::Comparison>,
+    ctx: &ExecContext,
 ) -> Result<Relation> {
     let mut i = 0;
     while i < pending_cmp.len() {
@@ -402,10 +477,15 @@ fn apply_pending_materialized<'a>(
     let mut i = 0;
     while i < pending_neg.len() {
         let atom = pending_neg[i];
-        let open: Vec<Term> = atom.args.iter().copied().filter(|t| !t.is_const()).collect();
+        let open: Vec<Term> = atom
+            .args
+            .iter()
+            .copied()
+            .filter(|t| !t.is_const())
+            .collect();
         if binding.binds_all(&open) {
             let leaf = build_leaf(atom);
-            let leaf_rel = execute(&leaf.plan, db)?;
+            let leaf_rel = execute_with(&leaf.plan, db, ctx)?;
             let mut lk = Vec::new();
             let mut rk = Vec::new();
             for (col, term) in leaf.terms.iter().enumerate() {
@@ -440,23 +520,29 @@ fn distinct_projection(rel: &Relation, cols: &[usize]) -> usize {
 
 /// Keep only tuples whose parameter assignment has at least `threshold`
 /// distinct head-tuple combinations. Returns the pruned relation and
-/// the number of surviving assignments.
+/// the number of surviving assignments. Governed: the pair set and the
+/// pruned output are charged against `ctx` (callers run this under a
+/// probe subcontext so exhaustion degrades instead of failing).
 fn prune_by_support(
     cur: &Relation,
     param_cols: &[usize],
     head_cols: &[usize],
     threshold: i64,
-) -> (Relation, usize) {
+    ctx: &ExecContext,
+) -> qf_engine::Result<(Relation, usize)> {
+    ctx.enter("DynPrune")?;
     // Distinct (params, head) pairs → count per params.
     let mut proj: Vec<usize> = param_cols.to_vec();
     proj.extend_from_slice(head_cols);
     let mut pairs: FastSet<Tuple> = FastSet::default();
     for t in cur.iter() {
+        ctx.charge_row(proj.len())?;
         pairs.insert(t.project(&proj));
     }
     let key_len = param_cols.len();
     let mut counts: FastMap<Tuple, i64> = FastMap::default();
     for p in &pairs {
+        ctx.tick()?;
         let key = p.project(&(0..key_len).collect::<Vec<_>>());
         *counts.entry(key).or_insert(0) += 1;
     }
@@ -465,16 +551,17 @@ fn prune_by_support(
         .filter(|(_, c)| *c >= threshold)
         .map(|(k, _)| k)
         .collect();
-    let tuples: Vec<Tuple> = cur
-        .iter()
-        .filter(|t| survivors.contains(&t.project(param_cols)))
-        .cloned()
-        .collect();
+    let width = cur.schema().arity();
+    let mut tuples: Vec<Tuple> = Vec::new();
+    for t in cur.iter() {
+        ctx.tick()?;
+        if survivors.contains(&t.project(param_cols)) {
+            ctx.charge_row(width)?;
+            tuples.push(t.clone());
+        }
+    }
     let n = survivors.len();
-    (
-        Relation::from_sorted_dedup(cur.schema().clone(), tuples),
-        n,
-    )
+    Ok((Relation::from_sorted_dedup(cur.schema().clone(), tuples), n))
 }
 
 /// The mandatory root filter, honouring the flock's aggregate.
@@ -483,6 +570,7 @@ fn final_filter(
     cur: &Relation,
     param_cols: &[usize],
     head_cols: &[usize],
+    ctx: &ExecContext,
 ) -> Result<Relation> {
     // Project to distinct (params, head), then aggregate by params.
     let mut proj: Vec<usize> = param_cols.to_vec();
@@ -528,7 +616,7 @@ fn final_filter(
         ),
         group,
     );
-    let rel = execute(&plan, &tmp)?;
+    let rel = execute_with(&plan, &tmp, ctx)?;
     Ok(crate::eval::as_flock_result(flock, &rel))
 }
 
@@ -583,12 +671,16 @@ mod tests {
         let db = basket_db();
         // Items average 40*7/282 ≈ 1 tuple per item value, far below
         // threshold 20 → the first decision must filter.
-        let report =
-            evaluate_dynamic(&basket_flock(20), &db, &DynamicConfig::default()).unwrap();
+        let report = evaluate_dynamic(&basket_flock(20), &db, &DynamicConfig::default()).unwrap();
         let first_filterable = report
             .decisions
             .iter()
-            .find(|d| !matches!(d.reason, DecisionReason::NoParams | DecisionReason::HeadUnbound))
+            .find(|d| {
+                !matches!(
+                    d.reason,
+                    DecisionReason::NoParams | DecisionReason::HeadUnbound
+                )
+            })
             .expect("some decision");
         assert!(first_filterable.filtered, "{first_filterable:?}");
         assert_eq!(first_filterable.reason, DecisionReason::FirstSightLow);
@@ -642,8 +734,14 @@ mod tests {
             exhibits.push(vec![Value::int(p), Value::str("fever")]);
             treatments.push(vec![Value::int(p), Value::str("zorix")]);
         }
-        db.insert(Relation::from_rows(Schema::new("diagnoses", &["p", "d"]), diagnoses));
-        db.insert(Relation::from_rows(Schema::new("exhibits", &["p", "s"]), exhibits));
+        db.insert(Relation::from_rows(
+            Schema::new("diagnoses", &["p", "d"]),
+            diagnoses,
+        ));
+        db.insert(Relation::from_rows(
+            Schema::new("exhibits", &["p", "s"]),
+            exhibits,
+        ));
         db.insert(Relation::from_rows(
             Schema::new("treatments", &["p", "m"]),
             treatments,
@@ -691,13 +789,13 @@ mod tests {
         for i in 1..4i64 {
             stock.push(vec![Value::str(&format!("item{i}")), Value::int(0)]);
         }
-        db.insert(Relation::from_rows(Schema::new("stock", &["item", "q"]), stock));
+        db.insert(Relation::from_rows(
+            Schema::new("stock", &["item", "q"]),
+            stock,
+        ));
 
-        let flock = QueryFlock::with_support(
-            "answer(B) :- baskets(B,$1) AND stock($1,Q)",
-            5,
-        )
-        .unwrap();
+        let flock =
+            QueryFlock::with_support("answer(B) :- baskets(B,$1) AND stock($1,Q)", 5).unwrap();
         let config = DynamicConfig {
             strategy: JoinOrderStrategy::AsWritten,
             ..DynamicConfig::default()
@@ -738,8 +836,13 @@ mod tests {
     #[test]
     fn weighted_flock_final_filter_only() {
         let mut db = basket_db();
-        let rows: Vec<Vec<Value>> = (0..40i64).map(|b| vec![Value::int(b), Value::int(1)]).collect();
-        db.insert(Relation::from_rows(Schema::new("importance", &["bid", "w"]), rows));
+        let rows: Vec<Vec<Value>> = (0..40i64)
+            .map(|b| vec![Value::int(b), Value::int(1)])
+            .collect();
+        db.insert(Relation::from_rows(
+            Schema::new("importance", &["bid", "w"]),
+            rows,
+        ));
         let flock = QueryFlock::parse(
             "QUERY:
              answer(B,W) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2 AND importance(B,W)

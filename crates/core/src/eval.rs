@@ -13,7 +13,7 @@
 use std::collections::BTreeSet;
 
 use qf_datalog::{ConjunctiveQuery, Literal, Term};
-use qf_engine::execute;
+use qf_engine::{execute_with, ExecContext};
 use qf_storage::{Database, Relation, Schema, Tuple, Value};
 
 use crate::compile::{compile_answer, filter_answer, JoinOrderStrategy};
@@ -39,10 +39,22 @@ pub fn evaluate_direct(
     db: &Database,
     strategy: JoinOrderStrategy,
 ) -> Result<Relation> {
+    evaluate_direct_with(flock, db, strategy, &ExecContext::unbounded())
+}
+
+/// [`evaluate_direct`] under an execution governor: the monolithic plan
+/// (and the SUM-precondition scan) run with `ctx`'s budgets, deadline
+/// and cancellation token.
+pub fn evaluate_direct_with(
+    flock: &QueryFlock,
+    db: &Database,
+    strategy: JoinOrderStrategy,
+    ctx: &ExecContext,
+) -> Result<Relation> {
     let answer = compile_answer(flock.query(), db, strategy)?;
-    check_sum_weights(flock, db, &answer)?;
+    check_sum_weights(flock, db, &answer, ctx)?;
     let plan = filter_answer(&answer, &flock.query().rules()[0], flock.filter())?;
-    let rel = execute(&plan, db)?;
+    let rel = execute_with(&plan, db, ctx)?;
     Ok(as_flock_result(flock, &rel))
 }
 
@@ -54,6 +66,7 @@ fn check_sum_weights(
     flock: &QueryFlock,
     db: &Database,
     answer: &crate::compile::CompiledRule,
+    ctx: &ExecContext,
 ) -> Result<()> {
     if let FilterAgg::Sum(v) = flock.filter().agg {
         let rule0 = &flock.query().rules()[0];
@@ -66,7 +79,7 @@ fn check_sum_weights(
                 var: format!("{v}"),
             })?;
         let col = answer.n_params + pos;
-        let rel = execute(&answer.plan, db)?;
+        let rel = execute_with(&answer.plan, db, ctx)?;
         if let Some(min) = rel.stats().column(col).min {
             if min < Value::int(0) {
                 return Err(FlockError::NegativeWeight {
@@ -115,10 +128,21 @@ pub fn evaluate_naive(flock: &QueryFlock, db: &Database) -> Result<Relation> {
         });
     }
 
-    let domains: Vec<Vec<Value>> = domains.into_iter().map(|d| d.into_iter().collect()).collect();
+    let domains: Vec<Vec<Value>> = domains
+        .into_iter()
+        .map(|d| d.into_iter().collect())
+        .collect();
     let mut accepted: Vec<Tuple> = Vec::new();
     let mut assignment = vec![Value::int(0); params.len()];
-    try_assignments(flock, db, &params, &domains, 0, &mut assignment, &mut accepted)?;
+    try_assignments(
+        flock,
+        db,
+        &params,
+        &domains,
+        0,
+        &mut assignment,
+        &mut accepted,
+    )?;
     let schema = Schema::from_columns("flock_result", flock.param_names());
     Ok(Relation::from_tuples(schema, accepted))
 }
@@ -156,9 +180,10 @@ fn assignment_accepted(
     let mut answers: BTreeSet<Tuple> = BTreeSet::new();
     for rule in flock.query().rules() {
         let grounded = ground_rule(rule, params, assignment);
-        let compiled =
-            crate::compile::compile_rule(&grounded, db, JoinOrderStrategy::AsWritten)?;
-        let rel = execute(&compiled.plan, db)?;
+        let compiled = crate::compile::compile_rule(&grounded, db, JoinOrderStrategy::AsWritten)?;
+        // The reference evaluator stays ungoverned: it is the test
+        // oracle and already caps its own work (NAIVE_ASSIGNMENT_CAP).
+        let rel = execute_with(&compiled.plan, db, &ExecContext::unbounded())?;
         // Grounded rules have zero parameters; the compiled output is
         // exactly the head tuples.
         answers.extend(rel.iter().cloned());

@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 use qf_datalog::param_isomorphism;
-use qf_engine::execute;
+use qf_engine::{execute_with, ExecContext};
 use qf_storage::{Database, Relation, Schema, Symbol, Tuple};
 
 use crate::compile::{compile_answer, filter_answer, JoinOrderStrategy};
@@ -84,6 +84,20 @@ pub fn execute_plan(
     db: &Database,
     strategy: JoinOrderStrategy,
 ) -> Result<PlanExecution> {
+    execute_plan_with(plan, db, strategy, &ExecContext::unbounded())
+}
+
+/// [`execute_plan`] under an execution governor: every step's answer
+/// evaluation and filter application run with `ctx`'s budgets, deadline
+/// and cancellation token. A tripped budget aborts the plan with the
+/// engine error; the working database is dropped, so the caller's `db`
+/// is untouched no matter where the failure lands.
+pub fn execute_plan_with(
+    plan: &QueryPlan,
+    db: &Database,
+    strategy: JoinOrderStrategy,
+    ctx: &ExecContext,
+) -> Result<PlanExecution> {
     let mut working = db.clone();
     let mut reports = Vec::with_capacity(plan.steps.len());
     let mut result: Option<Relation> = None;
@@ -109,7 +123,7 @@ pub fn execute_plan(
             continue;
         }
         let answer = compile_answer(&step.query, &working, strategy)?;
-        let answer_rel = execute(&answer.plan, &working)?;
+        let answer_rel = execute_with(&answer.plan, &working, ctx)?;
         // SUM-filter monotonicity precondition: no negative weights.
         if let FilterAgg::Sum(v) = plan.flock.filter().agg {
             let rule0 = &step.query.rules()[0];
@@ -123,10 +137,7 @@ pub fn execute_plan(
                 if let Some(min) = answer_rel.stats().column(col).min {
                     if min < qf_storage::Value::int(0) {
                         return Err(crate::error::FlockError::NegativeWeight {
-                            detail: format!(
-                                "step `{}`: minimum weight {min}",
-                                step.output
-                            ),
+                            detail: format!("step `{}`: minimum weight {min}", step.output),
                         });
                     }
                 }
@@ -134,7 +145,7 @@ pub fn execute_plan(
         }
 
         // Group by parameters, apply the flock's condition, keep params.
-        let filtered = filter_answer_rel(plan, step, &answer, &answer_rel, &working)?;
+        let filtered = filter_answer_rel(plan, step, &answer, &answer_rel, &working, ctx)?;
         let groups = count_groups(&answer_rel, answer.n_params);
         reports.push(StepReport {
             name: step.output.clone(),
@@ -180,8 +191,7 @@ fn try_symmetric_reuse(
         if prev.query.rules().len() != 1 || prev.params.len() != step.params.len() {
             continue;
         }
-        let Some(mapping) =
-            param_isomorphism(&prev.query.rules()[0], &step.query.rules()[0])
+        let Some(mapping) = param_isomorphism(&prev.query.rules()[0], &step.query.rules()[0])
         else {
             continue;
         };
@@ -212,6 +222,7 @@ fn filter_answer_rel(
     answer: &crate::compile::CompiledRule,
     answer_rel: &Relation,
     working: &Database,
+    ctx: &ExecContext,
 ) -> Result<Relation> {
     // Reuse the compiled-plan path by wrapping the materialized answer
     // as a scan: insert it under a reserved name.
@@ -224,7 +235,7 @@ fn filter_answer_rel(
         n_head: answer.n_head,
     };
     let filter_plan = filter_answer(&wrapped, &step.query.rules()[0], plan.flock.filter())?;
-    Ok(execute(&filter_plan, &tmp)?)
+    Ok(execute_with(&filter_plan, &tmp, ctx)?)
 }
 
 /// Distinct parameter prefixes in the extended answer.
@@ -302,10 +313,7 @@ mod tests {
     fn fig5_plan(threshold: i64) -> QueryPlan {
         let flock = medical_flock(threshold);
         let ok_s = FilterStep::new("okS", parse_query("answer(P) :- exhibits(P,$s)").unwrap());
-        let ok_m = FilterStep::new(
-            "okM",
-            parse_query("answer(P) :- treatments(P,$m)").unwrap(),
-        );
+        let ok_m = FilterStep::new("okM", parse_query("answer(P) :- treatments(P,$m)").unwrap());
         let final_ = final_step(&flock, &[ok_s.clone(), ok_m.clone()], "ok").unwrap();
         QueryPlan::new(flock, vec![ok_s, ok_m, final_]).unwrap()
     }
@@ -363,8 +371,7 @@ mod tests {
         let flock = medical_flock(2);
         let plan = direct_plan(&flock).unwrap();
         let run = execute_plan(&plan, &db, JoinOrderStrategy::Greedy).unwrap();
-        let direct =
-            crate::eval::evaluate_direct(&flock, &db, JoinOrderStrategy::Greedy).unwrap();
+        let direct = crate::eval::evaluate_direct(&flock, &db, JoinOrderStrategy::Greedy).unwrap();
         assert_eq!(run.result.tuples(), direct.tuples());
         assert_eq!(run.steps.len(), 1);
     }
@@ -392,11 +399,14 @@ mod tests {
         let plan = crate::plangen::single_param_plan(&flock, &db).unwrap();
         let run = execute_plan(&plan, &db, JoinOrderStrategy::Greedy).unwrap();
         assert!(!run.steps[0].reused);
-        assert!(run.steps[1].reused, "ok_2 should reuse ok_1: {:?}", run.steps);
+        assert!(
+            run.steps[1].reused,
+            "ok_2 should reuse ok_1: {:?}",
+            run.steps
+        );
         assert!(!run.steps[2].reused);
         // And the result is still the right one.
-        let direct =
-            crate::eval::evaluate_direct(&flock, &db, JoinOrderStrategy::Greedy).unwrap();
+        let direct = crate::eval::evaluate_direct(&flock, &db, JoinOrderStrategy::Greedy).unwrap();
         assert_eq!(run.result.tuples(), direct.tuples());
     }
 

@@ -135,7 +135,9 @@ impl FilterCondition {
 
         // inner: `answer.B` or `answer(*)` (with its own parens consumed
         // by rfind — handle `answer(*` remnant) or bare `answer`.
-        let var = inner.find('.').map(|dot| inner[dot + 1..].trim().to_string());
+        let var = inner
+            .find('.')
+            .map(|dot| inner[dot + 1..].trim().to_string());
 
         let agg = match (agg_name.as_str(), &var) {
             ("COUNT", _) => FilterAgg::Count,

@@ -60,7 +60,10 @@ impl QueryFlock {
 
     /// Build a flock with the standard support filter from query text.
     pub fn with_support(query_text: &str, threshold: i64) -> Result<QueryFlock> {
-        QueryFlock::new(parse_query(query_text)?, FilterCondition::support(threshold))
+        QueryFlock::new(
+            parse_query(query_text)?,
+            FilterCondition::support(threshold),
+        )
     }
 
     /// Parse the paper's two-section notation:
@@ -73,14 +76,18 @@ impl QueryFlock {
     /// ```
     pub fn parse(input: &str) -> Result<QueryFlock> {
         let upper = input.to_ascii_uppercase();
-        let q_at = upper.find("QUERY:").ok_or_else(|| FlockError::FilterParse {
-            input: input.chars().take(40).collect(),
-            detail: "missing `QUERY:` section".to_string(),
-        })?;
-        let f_at = upper.find("FILTER:").ok_or_else(|| FlockError::FilterParse {
-            input: input.chars().take(40).collect(),
-            detail: "missing `FILTER:` section".to_string(),
-        })?;
+        let q_at = upper
+            .find("QUERY:")
+            .ok_or_else(|| FlockError::FilterParse {
+                input: input.chars().take(40).collect(),
+                detail: "missing `QUERY:` section".to_string(),
+            })?;
+        let f_at = upper
+            .find("FILTER:")
+            .ok_or_else(|| FlockError::FilterParse {
+                input: input.chars().take(40).collect(),
+                detail: "missing `FILTER:` section".to_string(),
+            })?;
         if f_at < q_at {
             return Err(FlockError::FilterParse {
                 input: input.chars().take(40).collect(),
@@ -195,8 +202,8 @@ mod tests {
 
     #[test]
     fn unsafe_flock_rejected() {
-        let err = QueryFlock::with_support("answer(B) :- baskets(B,$1) AND $1 < $2", 20)
-            .unwrap_err();
+        let err =
+            QueryFlock::with_support("answer(B) :- baskets(B,$1) AND $1 < $2", 20).unwrap_err();
         assert!(matches!(err, FlockError::UnsafeQuery { .. }));
     }
 
@@ -213,8 +220,9 @@ mod tests {
     #[test]
     fn missing_sections_rejected() {
         assert!(QueryFlock::parse("answer(B) :- r(B,$1)").is_err());
-        assert!(QueryFlock::parse("FILTER: COUNT(answer.B) >= 2 QUERY: answer(B) :- r(B,$1)")
-            .is_err());
+        assert!(
+            QueryFlock::parse("FILTER: COUNT(answer.B) >= 2 QUERY: answer(B) :- r(B,$1)").is_err()
+        );
     }
 
     #[test]

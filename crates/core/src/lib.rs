@@ -48,12 +48,12 @@
 #![warn(missing_docs)]
 
 pub mod compile;
+pub mod dynamic;
 pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod filter;
 pub mod flock;
-pub mod dynamic;
 pub mod optimizer;
 pub mod plan;
 pub mod plangen;
@@ -61,17 +61,23 @@ pub mod program;
 pub mod sql;
 
 pub use compile::{compile_answer, compile_rule, CompiledRule, JoinOrderStrategy};
-pub use dynamic::{evaluate_dynamic, DecisionReason, DynamicConfig, DynamicDecision, DynamicReport};
+pub use dynamic::{
+    evaluate_dynamic, evaluate_dynamic_with, DecisionReason, DynamicConfig, DynamicDecision,
+    DynamicReport,
+};
 pub use error::{FlockError, Result};
-pub use eval::{evaluate_direct, evaluate_naive};
-pub use exec::{execute_plan, PlanExecution, StepReport};
+pub use eval::{evaluate_direct, evaluate_direct_with, evaluate_naive};
+pub use exec::{execute_plan, execute_plan_with, PlanExecution, StepReport};
 pub use filter::{FilterAgg, FilterCondition};
 pub use flock::QueryFlock;
 pub use optimizer::{Evaluation, Optimizer, OptimizerConfig, Strategy};
 pub use plan::{FilterStep, QueryPlan};
-pub use program::FlockProgram;
 pub use plangen::{
-    best_plan, chain_plan, direct_plan, enumerate_plans, estimate_plan_cost,
+    best_plan, best_plan_with, chain_plan, direct_plan, enumerate_plans, estimate_plan_cost,
     estimate_plan_report, param_set_plan, single_param_plan, PlanCostReport, StepEstimate,
 };
+pub use program::FlockProgram;
 pub use sql::{plan_to_sql, to_sql};
+// Governor types, re-exported so downstream crates can budget flock
+// evaluation without depending on qf-engine directly.
+pub use qf_engine::{CancelToken, Degradation, EngineError, ExecContext, ExecStats, Resource};

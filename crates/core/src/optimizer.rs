@@ -8,16 +8,17 @@
 //! selection (§4.4), or plain direct evaluation — runs it, and reports
 //! what it did.
 
+use qf_engine::{ExecContext, ExecStats};
 use qf_storage::{Database, Relation};
 
 use crate::compile::JoinOrderStrategy;
-use crate::dynamic::{evaluate_dynamic, DynamicConfig};
+use crate::dynamic::{evaluate_dynamic_with, DynamicConfig};
 use crate::error::Result;
-use crate::eval::evaluate_direct;
-use crate::exec::execute_plan;
+use crate::eval::evaluate_direct_with;
+use crate::exec::execute_plan_with;
 use crate::filter::FilterAgg;
 use crate::flock::QueryFlock;
-use crate::plangen::best_plan;
+use crate::plangen::best_plan_with;
 
 /// Which evaluation machinery to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -58,6 +59,9 @@ pub struct Evaluation {
     /// Number of voluntary `FILTER` applications (static reductions or
     /// dynamic decisions).
     pub filters_applied: usize,
+    /// Governor accounting: rows/bytes materialized and any graceful
+    /// degradations (plan-search fallback, skipped dynamic filters).
+    pub stats: ExecStats,
 }
 
 /// The flock optimizer.
@@ -85,6 +89,19 @@ impl Optimizer {
 
     /// Evaluate `flock` against `db` under the configured strategy.
     pub fn evaluate(&self, flock: &QueryFlock, db: &Database) -> Result<Evaluation> {
+        self.evaluate_with(flock, db, &ExecContext::unbounded())
+    }
+
+    /// [`Optimizer::evaluate`] under an execution governor: every
+    /// strategy honours `ctx`'s budgets, deadline and cancellation
+    /// token, and the returned [`Evaluation::stats`] carries the
+    /// accounting (including graceful degradations).
+    pub fn evaluate_with(
+        &self,
+        flock: &QueryFlock,
+        db: &Database,
+        ctx: &ExecContext,
+    ) -> Result<Evaluation> {
         let strategy = match self.config.strategy {
             Strategy::Auto => {
                 let dynamic_applicable = flock.query().is_single()
@@ -101,51 +118,57 @@ impl Optimizer {
             }
             s => s,
         };
-        match strategy {
+        let evaluation = match strategy {
             Strategy::Direct => {
-                let result = evaluate_direct(flock, db, self.config.join_order)?;
-                Ok(Evaluation {
+                let result = evaluate_direct_with(flock, db, self.config.join_order, ctx)?;
+                Evaluation {
                     result,
                     strategy_used: "direct".to_string(),
                     estimated_cost: None,
                     filters_applied: 0,
-                })
+                    stats: ExecStats::default(),
+                }
             }
             Strategy::BestStatic => {
-                let (plan, cost) = best_plan(flock, db)?;
+                let (plan, cost) = best_plan_with(flock, db, ctx)?;
                 let reductions = plan.len() - 1;
                 let label = if reductions == 0 {
                     "best-static: direct".to_string()
                 } else {
                     format!("best-static: {}", plan.reduction_names().join("+"))
                 };
-                let run = execute_plan(&plan, db, self.config.join_order)?;
-                Ok(Evaluation {
+                let run = execute_plan_with(&plan, db, self.config.join_order, ctx)?;
+                Evaluation {
                     result: run.result,
                     strategy_used: label,
                     estimated_cost: Some(cost),
                     filters_applied: reductions,
-                })
+                    stats: ExecStats::default(),
+                }
             }
             Strategy::Dynamic => {
-                let report = evaluate_dynamic(flock, db, &self.config.dynamic)?;
+                let report = evaluate_dynamic_with(flock, db, &self.config.dynamic, ctx)?;
                 let voluntary = report
                     .decisions
                     .iter()
                     .filter(|d| {
-                        d.filtered
-                            && d.reason != crate::dynamic::DecisionReason::FinalMandatory
+                        d.filtered && d.reason != crate::dynamic::DecisionReason::FinalMandatory
                     })
                     .count();
-                Ok(Evaluation {
+                Evaluation {
                     result: report.result,
                     strategy_used: format!("dynamic ({voluntary} voluntary filters)"),
                     estimated_cost: None,
                     filters_applied: voluntary,
-                })
+                    stats: ExecStats::default(),
+                }
             }
             Strategy::Auto => unreachable!("resolved above"),
-        }
+        };
+        Ok(Evaluation {
+            stats: ctx.stats(),
+            ..evaluation
+        })
     }
 }
 
@@ -194,7 +217,11 @@ mod tests {
     #[test]
     fn auto_picks_dynamic_for_single_rule_count() {
         let e = Optimizer::new().evaluate(&flock(), &db()).unwrap();
-        assert!(e.strategy_used.starts_with("dynamic"), "{}", e.strategy_used);
+        assert!(
+            e.strategy_used.starts_with("dynamic"),
+            "{}",
+            e.strategy_used
+        );
     }
 
     #[test]
@@ -212,7 +239,11 @@ mod tests {
         )
         .unwrap();
         let e = Optimizer::new().evaluate(&flock, &db).unwrap();
-        assert!(e.strategy_used.starts_with("best-static"), "{}", e.strategy_used);
+        assert!(
+            e.strategy_used.starts_with("best-static"),
+            "{}",
+            e.strategy_used
+        );
         assert!(e.estimated_cost.is_some());
     }
 

@@ -144,10 +144,7 @@ impl QueryPlan {
         for step in &self.steps {
             if base_preds.contains(&Symbol::intern(&step.output)) {
                 return Err(FlockError::IllegalPlan {
-                    detail: format!(
-                        "step name `{}` collides with a base relation",
-                        step.output
-                    ),
+                    detail: format!("step name `{}` collides with a base relation", step.output),
                 });
             }
         }
@@ -304,14 +301,8 @@ mod tests {
     /// The Fig. 5 plan: okS, okM, then the full query + both reductions.
     fn fig5_plan() -> QueryPlan {
         let flock = medical_flock();
-        let ok_s = FilterStep::new(
-            "okS",
-            parse_query("answer(P) :- exhibits(P,$s)").unwrap(),
-        );
-        let ok_m = FilterStep::new(
-            "okM",
-            parse_query("answer(P) :- treatments(P,$m)").unwrap(),
-        );
+        let ok_s = FilterStep::new("okS", parse_query("answer(P) :- exhibits(P,$s)").unwrap());
+        let ok_m = FilterStep::new("okM", parse_query("answer(P) :- treatments(P,$m)").unwrap());
         let final_ = final_step(&flock, &[ok_s.clone(), ok_m.clone()], "ok").unwrap();
         QueryPlan::new(flock, vec![ok_s, ok_m, final_]).unwrap()
     }
@@ -323,8 +314,7 @@ mod tests {
         assert_eq!(plan.reduction_names(), vec!["okS", "okM"]);
         let text = plan.render();
         assert!(text.contains("okS($s) := FILTER(($s)"));
-        assert!(text.contains("COUNT(answer.P) >= 20")
-            || text.contains("COUNT(answer(*)) >= 20"));
+        assert!(text.contains("COUNT(answer.P) >= 20") || text.contains("COUNT(answer(*)) >= 20"));
     }
 
     #[test]
@@ -351,11 +341,8 @@ mod tests {
     fn foreign_subgoals_rejected() {
         let flock = medical_flock();
         // A step using a subgoal that is not in the original query.
-        let bad = FilterStep::new(
-            "bad",
-            parse_query("answer(P) :- visits(P,$s)").unwrap(),
-        );
-        let final_ = final_step(&flock, &[bad.clone()], "ok").unwrap();
+        let bad = FilterStep::new("bad", parse_query("answer(P) :- visits(P,$s)").unwrap());
+        let final_ = final_step(&flock, std::slice::from_ref(&bad), "ok").unwrap();
         let err = QueryPlan::new(flock, vec![bad, final_]).unwrap_err();
         assert!(matches!(err, FlockError::IllegalPlan { .. }));
     }
@@ -370,7 +357,7 @@ mod tests {
             "bad",
             parse_query("answer(P) :- exhibits(P,$s) AND NOT causes(D,$s)").unwrap(),
         );
-        let final_ = final_step(&flock, &[unsafe_step.clone()], "ok").unwrap();
+        let final_ = final_step(&flock, std::slice::from_ref(&unsafe_step), "ok").unwrap();
         let err = QueryPlan::new(flock, vec![unsafe_step, final_]).unwrap_err();
         assert!(matches!(err, FlockError::IllegalPlan { .. }));
     }
@@ -381,10 +368,8 @@ mod tests {
         // Final step missing the negated subgoal.
         let truncated = FilterStep::new(
             "ok",
-            parse_query(
-                "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND diagnoses(P,D)",
-            )
-            .unwrap(),
+            parse_query("answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND diagnoses(P,D)")
+                .unwrap(),
         );
         let err = QueryPlan::new(flock, vec![truncated]).unwrap_err();
         assert!(matches!(err, FlockError::IllegalPlan { .. }));
@@ -397,7 +382,7 @@ mod tests {
             "exhibits",
             parse_query("answer(P) :- exhibits(P,$s)").unwrap(),
         );
-        let final_ = final_step(&flock, &[shadow.clone()], "ok").unwrap();
+        let final_ = final_step(&flock, std::slice::from_ref(&shadow), "ok").unwrap();
         let err = QueryPlan::new(flock, vec![shadow, final_]).unwrap_err();
         assert!(matches!(err, FlockError::IllegalPlan { .. }));
     }
@@ -410,7 +395,7 @@ mod tests {
         )
         .unwrap();
         let s = FilterStep::new("okS", parse_query("answer(P) :- exhibits(P,$s)").unwrap());
-        let final_ = final_step(&flock, &[s.clone()], "ok").unwrap();
+        let final_ = final_step(&flock, std::slice::from_ref(&s), "ok").unwrap();
         let err = QueryPlan::new(flock.clone(), vec![s, final_]).unwrap_err();
         assert!(matches!(err, FlockError::NonMonotoneFilter));
         // The single-step (direct) plan is still fine.

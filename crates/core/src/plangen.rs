@@ -248,8 +248,10 @@ impl PlanCostReport {
     /// Render a compact EXPLAIN-style table.
     pub fn render(&self) -> String {
         use std::fmt::Write;
-        let mut out = String::from("step                 answer~      groups~   survivors~        cost~
-");
+        let mut out = String::from(
+            "step                 answer~      groups~   survivors~        cost~
+",
+        );
         for s in &self.steps {
             let _ = writeln!(
                 out,
@@ -324,16 +326,48 @@ pub fn estimate_plan_report(
 /// Enumerate plans and return the one with the lowest estimated cost,
 /// with that cost.
 pub fn best_plan(flock: &QueryFlock, db: &Database) -> Result<(QueryPlan, f64)> {
-    let mut best: Option<(QueryPlan, f64)> = None;
-    for plan in enumerate_plans(flock, db)? {
-        let cost = estimate_plan_cost(&plan, db, JoinOrderStrategy::Greedy)?;
-        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
-            best = Some((plan, cost));
+    best_plan_with(flock, db, &qf_engine::ExecContext::unbounded())
+}
+
+/// [`best_plan`] under an execution governor, with **graceful
+/// degradation**: the §4.3 plan search is exponential in the number of
+/// candidate reductions, so when `ctx`'s deadline expires (or its
+/// cancel token trips) mid-search, the search is abandoned and the §4
+/// static heuristic plan ([`single_param_plan`], the Fig. 5 shape) is
+/// returned instead of an error. The fallback is recorded as a
+/// `"plan-search"` degradation in the governor's stats.
+pub fn best_plan_with(
+    flock: &QueryFlock,
+    db: &Database,
+    ctx: &qf_engine::ExecContext,
+) -> Result<(QueryPlan, f64)> {
+    if !ctx.time_exhausted() {
+        let mut best: Option<(QueryPlan, f64)> = None;
+        let mut abandoned = false;
+        for plan in enumerate_plans(flock, db)? {
+            if ctx.time_exhausted() {
+                abandoned = true;
+                break;
+            }
+            let cost = estimate_plan_cost(&plan, db, JoinOrderStrategy::Greedy)?;
+            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                best = Some((plan, cost));
+            }
+        }
+        if !abandoned {
+            return best.ok_or_else(|| FlockError::IllegalPlan {
+                detail: "no plans enumerated".to_string(),
+            });
         }
     }
-    best.ok_or_else(|| FlockError::IllegalPlan {
-        detail: "no plans enumerated".to_string(),
-    })
+    ctx.record_degradation(
+        "plan-search",
+        "time budget exhausted during §4.3 plan enumeration; \
+         falling back to the §4 static heuristic plan",
+    );
+    let plan = single_param_plan(flock, db)?;
+    let cost = estimate_plan_cost(&plan, db, JoinOrderStrategy::Greedy)?;
+    Ok((plan, cost))
 }
 
 #[cfg(test)]
@@ -386,7 +420,7 @@ mod tests {
         assert_eq!(plan.len(), 3); // ok_1, ok_2, final
         let run = execute_plan(&plan, &db, JoinOrderStrategy::Greedy).unwrap();
         assert_eq!(run.result.len(), 1); // (hot1, hot2)
-        // The reductions eliminated the rare items.
+                                         // The reductions eliminated the rare items.
         assert!(run.steps[0].elimination_rate() > 0.9);
     }
 
@@ -394,8 +428,7 @@ mod tests {
     fn all_generated_plans_agree_with_direct() {
         let db = basket_db(true);
         let flock = basket_flock(10);
-        let direct = crate::eval::evaluate_direct(&flock, &db, JoinOrderStrategy::Greedy)
-            .unwrap();
+        let direct = crate::eval::evaluate_direct(&flock, &db, JoinOrderStrategy::Greedy).unwrap();
         for plan in enumerate_plans(&flock, &db).unwrap() {
             let run = execute_plan(&plan, &db, JoinOrderStrategy::Greedy).unwrap();
             assert_eq!(
@@ -420,26 +453,25 @@ mod tests {
     fn best_plan_prefers_pruning_on_skewed_data() {
         let db = basket_db(true);
         let (best, best_cost) = best_plan(&basket_flock(20), &db).unwrap();
-        let direct_cost =
-            estimate_plan_cost(&direct_plan(&basket_flock(20)).unwrap(), &db, JoinOrderStrategy::Greedy)
-                .unwrap();
+        let direct_cost = estimate_plan_cost(
+            &direct_plan(&basket_flock(20)).unwrap(),
+            &db,
+            JoinOrderStrategy::Greedy,
+        )
+        .unwrap();
         assert!(best.len() > 1, "skewed data should reward prefiltering");
         assert!(best_cost <= direct_cost);
     }
 
     #[test]
     fn chain_plan_for_path_query() {
-        let flock = QueryFlock::with_support(
-            "answer(X) :- arc($1,X) AND arc(X,Y1) AND arc(Y1,Y2)",
-            2,
-        )
-        .unwrap();
+        let flock =
+            QueryFlock::with_support("answer(X) :- arc($1,X) AND arc(X,Y1) AND arc(Y1,Y2)", 2)
+                .unwrap();
         let plan = chain_plan(&flock).unwrap();
         // ok0 (arc($1,X)), ok1 (+arc(X,Y1)), final — the Fig. 7 shape.
         assert_eq!(plan.len(), 3);
-        assert!(plan.steps[1]
-            .query
-            .rules()[0]
+        assert!(plan.steps[1].query.rules()[0]
             .to_string()
             .contains("ok0($1)"));
 

@@ -53,9 +53,7 @@ impl FlockProgram {
             })?;
             if !v.params().is_empty() {
                 return Err(FlockError::IllegalPlan {
-                    detail: format!(
-                        "view `{v}` mentions parameters; views must be parameter-free"
-                    ),
+                    detail: format!("view `{v}` mentions parameters; views must be parameter-free"),
                 });
             }
         }
@@ -74,10 +72,12 @@ impl FlockProgram {
     /// ```
     pub fn parse(input: &str) -> Result<FlockProgram> {
         let upper = input.to_ascii_uppercase();
-        let q_at = upper.find("QUERY:").ok_or_else(|| FlockError::FilterParse {
-            input: input.chars().take(40).collect(),
-            detail: "missing `QUERY:` section".to_string(),
-        })?;
+        let q_at = upper
+            .find("QUERY:")
+            .ok_or_else(|| FlockError::FilterParse {
+                input: input.chars().take(40).collect(),
+                detail: "missing `QUERY:` section".to_string(),
+            })?;
         let views_text = &input[..q_at];
         let views = if views_text.trim().is_empty() {
             Vec::new()
@@ -104,16 +104,25 @@ impl FlockProgram {
         db: &Database,
         strategy: JoinOrderStrategy,
     ) -> Result<Database> {
+        self.materialize_views_with(db, strategy, &qf_engine::ExecContext::unbounded())
+    }
+
+    /// [`FlockProgram::materialize_views`] under an execution governor:
+    /// view evaluation charges `ctx` like any other plan execution, so
+    /// a runaway view blows the budget instead of memory.
+    pub fn materialize_views_with(
+        &self,
+        db: &Database,
+        strategy: JoinOrderStrategy,
+        ctx: &qf_engine::ExecContext,
+    ) -> Result<Database> {
         // A view named like a base relation would silently shadow it
         // (and self-referencing rules would then read their own partial
         // output): refuse.
         for v in &self.views {
             if db.contains(v.head.pred.as_str()) {
                 return Err(FlockError::IllegalPlan {
-                    detail: format!(
-                        "view head `{}` collides with a base relation",
-                        v.head.pred
-                    ),
+                    detail: format!("view head `{}` collides with a base relation", v.head.pred),
                 });
             }
         }
@@ -131,7 +140,7 @@ impl FlockProgram {
             let mut arity = 0;
             for rule in &rules {
                 let compiled = compile_rule(rule, &working, strategy)?;
-                let rel = qf_engine::execute(&compiled.plan, &working)?;
+                let rel = qf_engine::execute_with(&compiled.plan, &working, ctx)?;
                 arity = rule.head.arity();
                 tuples.extend(rel.iter().cloned());
             }
@@ -156,8 +165,20 @@ impl FlockProgram {
         db: &Database,
         optimizer: &crate::optimizer::Optimizer,
     ) -> Result<crate::optimizer::Evaluation> {
-        let extended = self.materialize_views(db, optimizer.config.join_order)?;
-        optimizer.evaluate(&self.flock, &extended)
+        self.evaluate_governed(db, optimizer, &qf_engine::ExecContext::unbounded())
+    }
+
+    /// Evaluate under an optimizer configuration *and* an execution
+    /// governor: view materialization and flock evaluation share the
+    /// same budgets, deadline and cancellation token.
+    pub fn evaluate_governed(
+        &self,
+        db: &Database,
+        optimizer: &crate::optimizer::Optimizer,
+        ctx: &qf_engine::ExecContext,
+    ) -> Result<crate::optimizer::Evaluation> {
+        let extended = self.materialize_views_with(db, optimizer.config.join_order, ctx)?;
+        optimizer.evaluate_with(&self.flock, &extended, ctx)
     }
 
     /// Topologically order view indexes; error on recursion. Views with
@@ -280,8 +301,14 @@ mod tests {
             exhibits.push(vec![Value::int(p), Value::str("ache")]);
             treatments.push(vec![Value::int(p), Value::str("zorix")]);
         }
-        db.insert(Relation::from_rows(Schema::new("diagnoses", &["p", "d"]), diagnoses));
-        db.insert(Relation::from_rows(Schema::new("exhibits", &["p", "s"]), exhibits));
+        db.insert(Relation::from_rows(
+            Schema::new("diagnoses", &["p", "d"]),
+            diagnoses,
+        ));
+        db.insert(Relation::from_rows(
+            Schema::new("exhibits", &["p", "s"]),
+            exhibits,
+        ));
         db.insert(Relation::from_rows(
             Schema::new("treatments", &["p", "m"]),
             treatments,
@@ -314,12 +341,9 @@ mod tests {
             20,
         )
         .unwrap();
-        let wrong = crate::eval::evaluate_direct(&fig3, &db, JoinOrderStrategy::Greedy)
-            .unwrap();
+        let wrong = crate::eval::evaluate_direct(&fig3, &db, JoinOrderStrategy::Greedy).unwrap();
         assert!(
-            wrong
-                .iter()
-                .any(|t| t.get(1) == Value::str("fever")),
+            wrong.iter().any(|t| t.get(1) == Value::str("fever")),
             "the single-disease flock should report the false positive"
         );
     }
@@ -352,7 +376,16 @@ mod tests {
         let mut db = Database::new();
         // 0→1→2→3→4 plus 0→5→6→7→8: node 0 has two 4-hop targets.
         let mut rows = Vec::new();
-        for (s, t) in [(0, 1), (1, 2), (2, 3), (3, 4), (0, 5), (5, 6), (6, 7), (7, 8)] {
+        for (s, t) in [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (0, 5),
+            (5, 6),
+            (6, 7),
+            (7, 8),
+        ] {
             rows.push(vec![Value::int(s), Value::int(t)]);
         }
         db.insert(Relation::from_rows(Schema::new("arc", &["s", "t"]), rows));

@@ -197,14 +197,13 @@ fn rule_to_select(rule: &ConjunctiveQuery, _params: &[String]) -> Result<SelectB
                 let render = |t: Term| -> Result<String> {
                     match t {
                         Term::Const(v) => Ok(sql_value(v)),
-                        open => body
-                            .expr_of(open)
-                            .map(str::to_string)
-                            .ok_or_else(|| FlockError::UnsafeQuery {
+                        open => body.expr_of(open).map(str::to_string).ok_or_else(|| {
+                            FlockError::UnsafeQuery {
                                 violation: format!(
                                     "arithmetic term {open} unbound in SQL rendering"
                                 ),
-                            }),
+                            }
+                        }),
                     }
                 };
                 let l = render(c.lhs)?;
@@ -284,11 +283,14 @@ mod tests {
         )
         .unwrap();
         let sql = to_sql(&flock).unwrap();
-        assert!(sql.contains("NOT EXISTS (SELECT 1 FROM causes n WHERE"), "{sql}");
+        assert!(
+            sql.contains("NOT EXISTS (SELECT 1 FROM causes n WHERE"),
+            "{sql}"
+        );
     }
 
     #[test]
-    fn union_renders_union(){
+    fn union_renders_union() {
         let flock = QueryFlock::parse(
             "QUERY:
              answer(D) :- inTitle(D,$1) AND inTitle(D,$2) AND $1 < $2
@@ -312,16 +314,17 @@ mod tests {
         let plan = direct_plan(&flock).unwrap();
         let sql = plan_to_sql(&plan).unwrap();
         assert!(sql.contains("-- final step"), "{sql}");
-        assert!(!sql.contains("CREATE TABLE"), "direct plan has no reductions: {sql}");
+        assert!(
+            !sql.contains("CREATE TABLE"),
+            "direct plan has no reductions: {sql}"
+        );
     }
 
     #[test]
     fn string_constants_escaped() {
-        let flock = QueryFlock::with_support(
-            "answer(B) :- baskets(B,$1) AND baskets(B,\"o'brien\")",
-            5,
-        )
-        .unwrap();
+        let flock =
+            QueryFlock::with_support("answer(B) :- baskets(B,$1) AND baskets(B,\"o'brien\")", 5)
+                .unwrap();
         let sql = to_sql(&flock).unwrap();
         assert!(sql.contains("'o''brien'"), "{sql}");
     }

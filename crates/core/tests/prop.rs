@@ -1,0 +1,47 @@
+//! Property tests for the core parsers: arbitrary input must produce
+//! `Ok` or `Err`, never a panic, and successful parses must round-trip.
+
+use proptest::prelude::*;
+
+use qf_core::{FilterCondition, QueryFlock};
+
+proptest! {
+    /// The filter parser never panics, whatever bytes it is fed.
+    #[test]
+    fn filter_parse_never_panics(s in ".{0,64}") {
+        let _ = FilterCondition::parse(&s);
+    }
+
+    /// Near-miss inputs — a valid filter with one character replaced —
+    /// never panic, and anything that still parses round-trips through
+    /// its own rendering.
+    #[test]
+    fn filter_parse_mutated_valid_roundtrips(pos in 0usize..64, c in ".{1,1}") {
+        let valid = "COUNT(answer.B) >= 20";
+        let mut chars: Vec<char> = valid.chars().collect();
+        let pos = pos % chars.len();
+        if let Some(ch) = c.chars().next() {
+            chars[pos] = ch;
+        }
+        let mutated: String = chars.into_iter().collect();
+        if let Ok(f) = FilterCondition::parse(&mutated) {
+            let rendered = f.render("answer");
+            prop_assert_eq!(FilterCondition::parse(&rendered).unwrap(), f);
+        }
+    }
+
+    /// The two-section flock parser (`QUERY:` / `FILTER:`) never panics
+    /// either — it sits directly on user input in the CLI.
+    #[test]
+    fn flock_parse_never_panics(s in ".{0,96}") {
+        let _ = QueryFlock::parse(&s);
+    }
+
+    /// Embedding arbitrary soup in an otherwise well-formed flock
+    /// exercises the section-splitting paths without panicking.
+    #[test]
+    fn flock_parse_with_sections_never_panics(q in ".{0,48}", f in ".{0,32}") {
+        let text = format!("QUERY:\n{q}\nFILTER:\n{f}");
+        let _ = QueryFlock::parse(&text);
+    }
+}

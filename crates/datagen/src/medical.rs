@@ -141,8 +141,7 @@ pub fn generate(config: &MedicalConfig) -> MedicalData {
                 let m = medicine_pick.sample(&mut rng);
                 treatments_rows.push(vec![pid, Value::str(&medicine(m))]);
                 if m < n_planted && rng.gen_bool(0.8) {
-                    exhibits_rows
-                        .push(vec![pid, Value::str(&format!("sideeffect{m:02}"))]);
+                    exhibits_rows.push(vec![pid, Value::str(&format!("sideeffect{m:02}"))]);
                 }
             }
         }
@@ -206,10 +205,13 @@ mod tests {
         let result = evaluate_direct(&flock, &data.db, JoinOrderStrategy::Greedy).unwrap();
         // Every planted pair must be found (columns: $m, $s).
         for (med, sym) in &data.planted {
-            let found = result.iter().any(|t| {
-                t.get(0) == Value::str(med) && t.get(1) == Value::str(sym)
-            });
-            assert!(found, "planted pair ({med}, {sym}) not mined; got {result:?}");
+            let found = result
+                .iter()
+                .any(|t| t.get(0) == Value::str(med) && t.get(1) == Value::str(sym));
+            assert!(
+                found,
+                "planted pair ({med}, {sym}) not mined; got {result:?}"
+            );
         }
     }
 

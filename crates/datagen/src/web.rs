@@ -156,22 +156,8 @@ mod tests {
     #[test]
     fn id_spaces_disjoint() {
         let d = generate(&WebConfig::default());
-        let max_doc = d
-            .db
-            .get("inTitle")
-            .unwrap()
-            .stats()
-            .column(0)
-            .max
-            .unwrap();
-        let min_anchor = d
-            .db
-            .get("inAnchor")
-            .unwrap()
-            .stats()
-            .column(0)
-            .min
-            .unwrap();
+        let max_doc = d.db.get("inTitle").unwrap().stats().column(0).max.unwrap();
+        let min_anchor = d.db.get("inAnchor").unwrap().stats().column(0).min.unwrap();
         assert!(max_doc < min_anchor, "{max_doc:?} vs {min_anchor:?}");
     }
 

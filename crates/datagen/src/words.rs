@@ -76,7 +76,10 @@ mod tests {
             *counts.entry(t.get(1)).or_insert(0usize) += 1;
         }
         let top = counts.get(&Value::str(&word_name(0))).copied().unwrap_or(0);
-        let mid = counts.get(&Value::str(&word_name(500))).copied().unwrap_or(0);
+        let mid = counts
+            .get(&Value::str(&word_name(500)))
+            .copied()
+            .unwrap_or(0);
         assert!(top > 50, "top word in {top} docs");
         assert!(top > mid * 5, "no skew: top {top}, mid {mid}");
         // Most vocabulary never appears or appears rarely.

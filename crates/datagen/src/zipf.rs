@@ -21,7 +21,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is negative/non-finite.
     pub fn new(n: usize, s: f64) -> Zipf {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Zipf exponent must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut total = 0.0;
         for k in 0..n {
@@ -72,7 +75,12 @@ mod tests {
             counts[k] += 1;
         }
         // Rank 0 should dominate rank 99 by roughly 100× (Zipf-1).
-        assert!(counts[0] > counts[99] * 20, "{} vs {}", counts[0], counts[99]);
+        assert!(
+            counts[0] > counts[99] * 20,
+            "{} vs {}",
+            counts[0],
+            counts[99]
+        );
         // …and the tail is still reachable.
         assert!(counts[500..].iter().sum::<usize>() > 0);
     }

@@ -151,9 +151,7 @@ impl Comparison {
 
     /// The non-constant terms of the comparison.
     pub fn terms(&self) -> impl Iterator<Item = Term> {
-        [self.lhs, self.rhs]
-            .into_iter()
-            .filter(|t| !t.is_const())
+        [self.lhs, self.rhs].into_iter().filter(|t| !t.is_const())
     }
 }
 
@@ -464,14 +462,8 @@ mod tests {
         ConjunctiveQuery::new(
             Atom::new("answer", vec![Term::var("B")]),
             vec![
-                Literal::Pos(Atom::new(
-                    "baskets",
-                    vec![Term::var("B"), Term::param("1")],
-                )),
-                Literal::Pos(Atom::new(
-                    "baskets",
-                    vec![Term::var("B"), Term::param("2")],
-                )),
+                Literal::Pos(Atom::new("baskets", vec![Term::var("B"), Term::param("1")])),
+                Literal::Pos(Atom::new("baskets", vec![Term::var("B"), Term::param("2")])),
             ],
         )
     }

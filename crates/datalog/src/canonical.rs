@@ -11,7 +11,6 @@
 
 use qf_storage::{FastMap, Symbol};
 
-
 use crate::ast::{Atom, Comparison, ConjunctiveQuery, Literal, Term};
 
 /// Rename the query's variables to canonical names `V0`, `V1`, … in
@@ -50,9 +49,7 @@ pub fn canonicalize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
                 pred: a.pred,
                 args: a.args.iter().map(|&t| rename(t)).collect(),
             }),
-            Literal::Cmp(c) => {
-                Literal::Cmp(Comparison::new(rename(c.lhs), c.op, rename(c.rhs)))
-            }
+            Literal::Cmp(c) => Literal::Cmp(Comparison::new(rename(c.lhs), c.op, rename(c.rhs))),
         })
         .collect();
     ConjunctiveQuery::new(head, body)
@@ -122,10 +119,7 @@ pub fn param_isomorphism(
 }
 
 /// Rename parameters of `q` according to `mapping` pairs.
-pub fn substitute_params(
-    q: &ConjunctiveQuery,
-    mapping: &[(Symbol, Symbol)],
-) -> ConjunctiveQuery {
+pub fn substitute_params(q: &ConjunctiveQuery, mapping: &[(Symbol, Symbol)]) -> ConjunctiveQuery {
     let subst = |t: Term| -> Term {
         if let Term::Param(p) = t {
             if let Some(&(_, to)) = mapping.iter().find(|(from, _)| *from == p) {
@@ -274,10 +268,7 @@ mod tests {
     #[test]
     fn substitute_params_renames_everywhere() {
         let a = q("answer(B) :- r(B,$x) AND $x < 5");
-        let renamed = substitute_params(
-            &a,
-            &[(Symbol::intern("x"), Symbol::intern("z"))],
-        );
+        let renamed = substitute_params(&a, &[(Symbol::intern("x"), Symbol::intern("z"))]);
         assert_eq!(renamed.to_string(), "answer(B) :- r(B,$z) AND $z < 5");
     }
 

@@ -48,7 +48,10 @@ impl std::fmt::Display for DatalogError {
             DatalogError::InvalidHead { detail } => write!(f, "invalid head: {detail}"),
             DatalogError::EmptyUnion => write!(f, "union query must have at least one rule"),
             DatalogError::HeadMismatch { first, other } => {
-                write!(f, "union rules have different heads: `{first}` vs `{other}`")
+                write!(
+                    f,
+                    "union rules have different heads: `{first}` vs `{other}`"
+                )
             }
             DatalogError::ParamMismatch { first, other } => write!(
                 f,

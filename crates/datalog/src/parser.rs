@@ -275,9 +275,7 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>> {
             '$' => {
                 i += 1;
                 let name_start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 if i == name_start {
@@ -311,9 +309,7 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 i += 1;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 toks.push((start, Tok::Ident(input[start..i].to_string())));
@@ -338,14 +334,16 @@ mod tests {
     #[test]
     fn fig2_market_basket() {
         let q = parse_rule("answer(B) :- baskets(B,$1) AND baskets(B,$2)").unwrap();
-        assert_eq!(q.to_string(), "answer(B) :- baskets(B,$1) AND baskets(B,$2)");
+        assert_eq!(
+            q.to_string(),
+            "answer(B) :- baskets(B,$1) AND baskets(B,$2)"
+        );
         assert_eq!(q.params().len(), 2);
     }
 
     #[test]
     fn lexicographic_restriction() {
-        let q =
-            parse_rule("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2").unwrap();
+        let q = parse_rule("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2").unwrap();
         assert_eq!(q.comparisons().count(), 1);
     }
 
@@ -384,8 +382,10 @@ mod tests {
 
     #[test]
     fn constants_parse_by_case_and_quotes() {
-        let q = parse_rule("answer(B) :- baskets(B,beer) AND baskets(B,\"Diet Coke\") AND baskets(B,42)")
-            .unwrap();
+        let q = parse_rule(
+            "answer(B) :- baskets(B,beer) AND baskets(B,\"Diet Coke\") AND baskets(B,42)",
+        )
+        .unwrap();
         let consts: Vec<Term> = q.positive_atoms().map(|a| a.args[1]).collect();
         assert!(consts.iter().all(|t| t.is_const()));
     }

@@ -166,10 +166,8 @@ mod tests {
         );
 
         // With both positive subgoals it is safe.
-        let q = parse_rule(
-            "answer(P) :- exhibits(P,$s) AND diagnoses(P,D) AND NOT causes(D,$s)",
-        )
-        .unwrap();
+        let q = parse_rule("answer(P) :- exhibits(P,$s) AND diagnoses(P,D) AND NOT causes(D,$s)")
+            .unwrap();
         assert!(is_safe(&q));
     }
 
@@ -177,9 +175,7 @@ mod tests {
     fn arithmetic_needs_bindings() {
         let q = parse_rule("answer(B) :- baskets(B,$1) AND $1 < $2").unwrap();
         let err = check_safety(&q).unwrap_err();
-        assert!(
-            matches!(&err, SafetyViolation::ArithmeticUnbound { term, .. } if term == "$2")
-        );
+        assert!(matches!(&err, SafetyViolation::ArithmeticUnbound { term, .. } if term == "$2"));
 
         let q = parse_rule("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2").unwrap();
         assert!(is_safe(&q));
@@ -187,8 +183,7 @@ mod tests {
 
     #[test]
     fn constants_never_need_binding() {
-        let q = parse_rule("answer(B) :- baskets(B,$1) AND NOT baskets(B,beer) AND B > 0")
-            .unwrap();
+        let q = parse_rule("answer(B) :- baskets(B,$1) AND NOT baskets(B,beer) AND B > 0").unwrap();
         assert!(is_safe(&q));
     }
 

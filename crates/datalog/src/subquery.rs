@@ -54,7 +54,10 @@ impl std::fmt::Display for Subquery {
 /// body subgoals, in deterministic (bitmask) order.
 pub fn safe_subqueries(q: &ConjunctiveQuery) -> Vec<Subquery> {
     let n = q.body.len();
-    assert!(n <= MAX_SUBGOALS, "query has too many subgoals to enumerate");
+    assert!(
+        n <= MAX_SUBGOALS,
+        "query has too many subgoals to enumerate"
+    );
     if n < 2 {
         return Vec::new(); // no nonempty proper subsets.
     }
@@ -120,7 +123,7 @@ mod tests {
     }
 
     #[test]
-    fn example_3_2_named_candidates_present(){
+    fn example_3_2_named_candidates_present() {
         let subs = safe_subqueries(&medical());
         let texts: Vec<String> = subs.iter().map(|s| s.to_string()).collect();
         // The four candidates the paper discusses by number:
@@ -129,8 +132,7 @@ mod tests {
         assert!(texts.contains(
             &"answer(P) :- exhibits(P,$s) AND diagnoses(P,D) AND NOT causes(D,$s)".to_string()
         ));
-        assert!(texts
-            .contains(&"answer(P) :- exhibits(P,$s) AND treatments(P,$m)".to_string()));
+        assert!(texts.contains(&"answer(P) :- exhibits(P,$s) AND treatments(P,$m)".to_string()));
     }
 
     #[test]

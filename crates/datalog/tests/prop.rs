@@ -20,15 +20,11 @@ fn cq_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
         1 => param.prop_map(|p| Term::param(p)),
         1 => (0i64..5).prop_map(Term::constant),
     ];
-    let atom = (pred, prop::collection::vec(term, 1..3))
-        .prop_map(|(p, args)| Atom::new(p, args));
+    let atom = (pred, prop::collection::vec(term, 1..3)).prop_map(|(p, args)| Atom::new(p, args));
     (atom.clone(), prop::collection::vec(atom, 1..5)).prop_map(|(head_src, body)| {
         // Head: answer over the variables of the first body atom (keeps
         // most generated queries safe without forcing it).
-        let head_vars: Vec<Term> = body[0]
-            .vars()
-            .map(Term::Var)
-            .collect();
+        let head_vars: Vec<Term> = body[0].vars().map(Term::Var).collect();
         let head = Atom::new(
             "answer",
             if head_vars.is_empty() {

@@ -31,8 +31,7 @@ pub fn cost_with(plan: &PhysicalPlan, src: &impl StatsSource) -> Result<f64> {
         PhysicalPlan::Select { input, .. }
         | PhysicalPlan::Project { input, .. }
         | PhysicalPlan::Aggregate { input, .. } => cost_with(input, src)?,
-        PhysicalPlan::HashJoin { left, right, .. }
-        | PhysicalPlan::AntiJoin { left, right, .. } => {
+        PhysicalPlan::HashJoin { left, right, .. } | PhysicalPlan::AntiJoin { left, right, .. } => {
             cost_with(left, src)? + cost_with(right, src)?
         }
         PhysicalPlan::Union { inputs } => {
@@ -83,12 +82,8 @@ mod tests {
     fn early_selection_is_cheaper() {
         // Filter-then-join must cost less than join-then-filter: the
         // inequality the whole a-priori rewrite rests on.
-        let sel = |p| {
-            PhysicalPlan::select(
-                p,
-                vec![Predicate::col_const(0, CmpOp::Eq, Value::int(1))],
-            )
-        };
+        let sel =
+            |p| PhysicalPlan::select(p, vec![Predicate::col_const(0, CmpOp::Eq, Value::int(1))]);
         let early = PhysicalPlan::hash_join(
             sel(PhysicalPlan::scan("r")),
             PhysicalPlan::scan("r"),

@@ -29,6 +29,29 @@ pub enum EngineError {
         /// Description of the violation.
         detail: String,
     },
+    /// A governed execution exceeded one of its budgets (see
+    /// [`crate::governor`]). `limit` and `observed` are in the
+    /// resource's native unit: tuples for rows, bytes for memory,
+    /// milliseconds for time.
+    ResourceExhausted {
+        /// Which budget was exceeded.
+        resource: crate::governor::Resource,
+        /// The configured limit.
+        limit: u64,
+        /// The value observed when the limit tripped.
+        observed: u64,
+    },
+    /// The execution's [`crate::governor::CancelToken`] was tripped.
+    Cancelled,
+    /// Test-only: an armed fault point fired (see
+    /// [`crate::governor::ExecContext::with_fault_point`]).
+    #[cfg(feature = "fault-injection")]
+    FaultInjected {
+        /// Operator whose invocation was failed.
+        operator: &'static str,
+        /// 1-based invocation count at which the fault fired.
+        invocation: u64,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -47,6 +70,20 @@ impl std::fmt::Display for EngineError {
                 write!(f, "union inputs have arities {first} and {other}")
             }
             EngineError::AggregateType { detail } => write!(f, "aggregate type error: {detail}"),
+            EngineError::ResourceExhausted {
+                resource,
+                limit,
+                observed,
+            } => write!(
+                f,
+                "resource budget exceeded: {resource} limit {limit}, observed {observed}"
+            ),
+            EngineError::Cancelled => write!(f, "execution cancelled"),
+            #[cfg(feature = "fault-injection")]
+            EngineError::FaultInjected {
+                operator,
+                invocation,
+            } => write!(f, "injected fault in {operator} (invocation {invocation})"),
         }
     }
 }

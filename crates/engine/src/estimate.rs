@@ -37,7 +37,9 @@ impl Estimate {
     /// more distinct values than the relation has rows).
     fn normalized(mut self) -> Estimate {
         for d in &mut self.distinct {
-            *d = d.min(self.rows).max(if self.rows > 0.0 { 1.0 } else { 0.0 });
+            *d = d
+                .min(self.rows)
+                .max(if self.rows > 0.0 { 1.0 } else { 0.0 });
         }
         self
     }
@@ -219,7 +221,9 @@ fn estimate_dyn(plan: &PhysicalPlan, src: &(impl StatsSource + ?Sized)) -> Resul
 
         PhysicalPlan::Aggregate { input, group, agg } => {
             let e = estimate_dyn(input, src)?;
-            let rows = e.group_count(group).max(if e.rows > 0.0 { 1.0 } else { 0.0 });
+            let rows = e
+                .group_count(group)
+                .max(if e.rows > 0.0 { 1.0 } else { 0.0 });
             let mut distinct: Vec<f64> = group.iter().map(|&c| e.distinct[c]).collect();
             // The aggregate column: up to one value per group.
             let agg_distinct = match agg {
@@ -241,9 +245,7 @@ fn predicate_selectivity(p: &Predicate, e: &Estimate) -> f64 {
         | (Operand::Const(_), CmpOp::Eq, Operand::Col(c)) => 1.0 / e.distinct[c].max(1.0),
         // col != const.
         (Operand::Col(c), CmpOp::Ne, Operand::Const(_))
-        | (Operand::Const(_), CmpOp::Ne, Operand::Col(c)) => {
-            1.0 - 1.0 / e.distinct[c].max(1.0)
-        }
+        | (Operand::Const(_), CmpOp::Ne, Operand::Col(c)) => 1.0 - 1.0 / e.distinct[c].max(1.0),
         // col = col: 1 / max(V, V).
         (Operand::Col(a), CmpOp::Eq, Operand::Col(b)) => {
             1.0 / e.distinct[a].max(e.distinct[b]).max(1.0)

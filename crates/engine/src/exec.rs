@@ -5,50 +5,80 @@
 //! through the tree so results stay self-describing (joins concatenate
 //! names, aggregates append the aggregate's name), but all plan-level
 //! references are positional.
+//!
+//! [`execute_with`] is the governed variant: every operator loop checks
+//! the supplied [`ExecContext`] cooperatively, charging each tuple it
+//! materializes *before* storing it, so a budgeted execution fails with
+//! [`EngineError::ResourceExhausted`] / [`EngineError::Cancelled`]
+//! instead of exhausting the machine. `execute` is simply
+//! `execute_with` under an unbounded context.
 
-use qf_storage::{
-    Database, FastMap, HashIndex, Relation, Schema, Tuple, Value,
-};
+use qf_storage::{Database, FastMap, HashIndex, Relation, Schema, Tuple, Value};
 
 use crate::error::{EngineError, Result};
 use crate::expr::Predicate;
+use crate::governor::ExecContext;
 use crate::plan::{AggFn, PhysicalPlan};
 
-/// Evaluate `plan` against `db`.
+/// Evaluate `plan` against `db` with no resource limits.
 pub fn execute(plan: &PhysicalPlan, db: &Database) -> Result<Relation> {
+    execute_with(plan, db, &ExecContext::unbounded())
+}
+
+/// Evaluate `plan` against `db` under the governance of `ctx`.
+pub fn execute_with(plan: &PhysicalPlan, db: &Database, ctx: &ExecContext) -> Result<Relation> {
     match plan {
-        PhysicalPlan::Scan { relation } => Ok(db.get(relation)?.clone()),
+        PhysicalPlan::Scan { relation } => {
+            ctx.enter("Scan")?;
+            let rel = db.get(relation)?;
+            // A scan materializes a working copy; charge it like any
+            // other operator output, before cloning.
+            ctx.charge_rows(rel.len() as u64, rel.schema().arity())?;
+            Ok(rel.clone())
+        }
 
         PhysicalPlan::Select { input, predicates } => {
-            let rel = execute(input, db)?;
+            ctx.enter("Select")?;
+            let rel = execute_with(input, db, ctx)?;
             check_predicates(predicates, rel.schema().arity(), "Select")?;
-            let tuples: Vec<Tuple> = rel
-                .iter()
-                .filter(|t| predicates.iter().all(|p| p.eval(t)))
-                .cloned()
-                .collect();
+            let width = rel.schema().arity();
+            let mut tuples: Vec<Tuple> = Vec::new();
+            for t in rel.iter() {
+                ctx.tick()?;
+                if predicates.iter().all(|p| p.eval(t)) {
+                    ctx.charge_row(width)?;
+                    tuples.push(t.clone());
+                }
+            }
             // Filtering a sorted set preserves sortedness and dedup.
             Ok(Relation::from_sorted_dedup(rel.schema().clone(), tuples))
         }
 
         PhysicalPlan::Project { input, cols } => {
-            let rel = execute(input, db)?;
+            ctx.enter("Project")?;
+            let rel = execute_with(input, db, ctx)?;
             check_columns(cols, rel.schema().arity(), "Project")?;
             let names: Vec<String> = cols
                 .iter()
                 .map(|&c| rel.schema().columns()[c].clone())
                 .collect();
             let schema = Schema::from_columns("project", names);
-            let tuples: Vec<Tuple> = rel.iter().map(|t| t.project(cols)).collect();
+            let mut tuples: Vec<Tuple> = Vec::with_capacity(rel.len());
+            for t in rel.iter() {
+                ctx.charge_row(cols.len())?;
+                tuples.push(t.project(cols));
+            }
             Ok(Relation::from_tuples(schema, tuples))
         }
 
         PhysicalPlan::HashJoin { left, right, keys } => {
-            let l = execute(left, db)?;
-            let r = execute(right, db)?;
+            ctx.enter("HashJoin")?;
+            let l = execute_with(left, db, ctx)?;
+            let r = execute_with(right, db, ctx)?;
             check_join_keys(keys, l.schema().arity(), r.schema().arity(), "HashJoin")?;
             let (lk, rk): (Vec<usize>, Vec<usize>) = keys.iter().copied().unzip();
             let schema = concat_schema(&l, &r);
+            let width = schema.arity();
             // Build on the smaller side; probe preserves left-major order
             // only when building right, so always build right and sort
             // after (join output needs a sort for set canonicalization
@@ -56,8 +86,10 @@ pub fn execute(plan: &PhysicalPlan, db: &Database) -> Result<Relation> {
             let idx = HashIndex::build(&r, &rk);
             let mut out: Vec<Tuple> = Vec::new();
             for lt in l.iter() {
+                ctx.tick()?;
                 let key = lt.project(&lk);
                 for &row in idx.probe(&key) {
+                    ctx.charge_row(width)?;
                     out.push(lt.concat(&r.tuples()[row as usize]));
                 }
             }
@@ -65,66 +97,86 @@ pub fn execute(plan: &PhysicalPlan, db: &Database) -> Result<Relation> {
         }
 
         PhysicalPlan::AntiJoin { left, right, keys } => {
-            let l = execute(left, db)?;
-            let r = execute(right, db)?;
+            ctx.enter("AntiJoin")?;
+            let l = execute_with(left, db, ctx)?;
+            let r = execute_with(right, db, ctx)?;
             check_join_keys(keys, l.schema().arity(), r.schema().arity(), "AntiJoin")?;
             let (lk, rk): (Vec<usize>, Vec<usize>) = keys.iter().copied().unzip();
             let idx = HashIndex::build(&r, &rk);
-            let tuples: Vec<Tuple> = l
-                .iter()
-                .filter(|lt| !idx.contains_key(&lt.project(&lk)))
-                .cloned()
-                .collect();
+            let width = l.schema().arity();
+            let mut tuples: Vec<Tuple> = Vec::new();
+            for lt in l.iter() {
+                ctx.tick()?;
+                if !idx.contains_key(&lt.project(&lk)) {
+                    ctx.charge_row(width)?;
+                    tuples.push(lt.clone());
+                }
+            }
             Ok(Relation::from_sorted_dedup(l.schema().clone(), tuples))
         }
 
         PhysicalPlan::Union { inputs } => {
+            ctx.enter("Union")?;
             if inputs.is_empty() {
                 // A union of zero queries is the empty nullary relation.
                 return Ok(Relation::empty(Schema::new("union", &[])));
             }
-            let first = execute(&inputs[0], db)?;
+            let first = execute_with(&inputs[0], db, ctx)?;
             let arity = first.schema().arity();
             let schema = first.schema().renamed("union");
-            let mut tuples: Vec<Tuple> = first.tuples().to_vec();
+            let mut tuples: Vec<Tuple> = Vec::new();
+            for t in first.iter() {
+                ctx.charge_row(arity)?;
+                tuples.push(t.clone());
+            }
             for input in &inputs[1..] {
-                let rel = execute(input, db)?;
+                let rel = execute_with(input, db, ctx)?;
                 if rel.schema().arity() != arity {
                     return Err(EngineError::UnionArityMismatch {
                         first: arity,
                         other: rel.schema().arity(),
                     });
                 }
-                tuples.extend(rel.iter().cloned());
+                for t in rel.iter() {
+                    ctx.charge_row(arity)?;
+                    tuples.push(t.clone());
+                }
             }
             Ok(Relation::from_tuples(schema, tuples))
         }
 
         PhysicalPlan::Aggregate { input, group, agg } => {
-            let rel = execute(input, db)?;
+            ctx.enter("Aggregate")?;
+            let rel = execute_with(input, db, ctx)?;
             let arity = rel.schema().arity();
             check_columns(group, arity, "Aggregate")?;
             if let Some(c) = agg.input_column() {
                 check_columns(&[c], arity, "Aggregate")?;
             }
-            aggregate(&rel, group, *agg)
+            aggregate(&rel, group, *agg, ctx)
         }
     }
 }
 
 /// Grouped aggregation. Output schema: group columns then the aggregate
 /// column (named after the function).
-fn aggregate(rel: &Relation, group: &[usize], agg: AggFn) -> Result<Relation> {
+fn aggregate(rel: &Relation, group: &[usize], agg: AggFn, ctx: &ExecContext) -> Result<Relation> {
     let mut names: Vec<String> = group
         .iter()
         .map(|&c| rel.schema().columns()[c].clone())
         .collect();
     names.push(agg.name().to_lowercase());
     let schema = Schema::from_columns("aggregate", names);
+    let width = group.len() + 1;
 
     let mut groups: FastMap<Tuple, Acc> = FastMap::default();
     for t in rel.iter() {
+        ctx.tick()?;
         let key = t.project(group);
+        if !groups.contains_key(&key) {
+            // A new group materializes an accumulator row.
+            ctx.charge_row(width)?;
+        }
         let acc = groups.entry(key).or_insert_with(|| Acc::new(agg));
         acc.update(t, agg)?;
     }
@@ -159,9 +211,12 @@ impl Acc {
         match (self, agg) {
             (Acc::Count(n), AggFn::Count) => *n += 1,
             (Acc::Sum(s), AggFn::Sum(c)) => {
-                let v = t.get(c).as_int().ok_or_else(|| EngineError::AggregateType {
-                    detail: format!("SUM over non-integer value {:?}", t.get(c)),
-                })?;
+                let v = t
+                    .get(c)
+                    .as_int()
+                    .ok_or_else(|| EngineError::AggregateType {
+                        detail: format!("SUM over non-integer value {:?}", t.get(c)),
+                    })?;
                 *s = s.saturating_add(v);
             }
             (Acc::MinMax(m), AggFn::Min(c)) => {
@@ -436,6 +491,6 @@ mod tests {
             vec![],
         );
         let r = execute(&p, &db()).unwrap();
-        assert_eq!(r.len(), 5 * 1);
+        assert_eq!(r.len(), 5); // 5 baskets rows × 1 causes row
     }
 }

@@ -8,7 +8,6 @@
 pub use qf_storage::CmpOp;
 use qf_storage::{Tuple, Value};
 
-
 /// One side of a comparison: a tuple column or a constant.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Operand {
@@ -126,7 +125,14 @@ mod tests {
 
     #[test]
     fn flipped_and_negated_are_consistent() {
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ne, CmpOp::Ge, CmpOp::Gt] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Ge,
+            CmpOp::Gt,
+        ] {
             for (a, b) in [(1, 2), (2, 2), (3, 2)] {
                 let fwd = op.eval(a.cmp(&b));
                 assert_eq!(fwd, op.flipped().eval(b.cmp(&a)), "flip {op} {a} {b}");

@@ -33,8 +33,17 @@ pub struct JoinNode {
 
 impl JoinNode {
     /// Construct a node; `attrs` and `distinct` must be parallel.
-    pub fn new(label: impl Into<String>, attrs: Vec<u32>, rows: f64, distinct: Vec<f64>) -> JoinNode {
-        assert_eq!(attrs.len(), distinct.len(), "attrs/distinct must be parallel");
+    pub fn new(
+        label: impl Into<String>,
+        attrs: Vec<u32>,
+        rows: f64,
+        distinct: Vec<f64>,
+    ) -> JoinNode {
+        assert_eq!(
+            attrs.len(),
+            distinct.len(),
+            "attrs/distinct must be parallel"
+        );
         JoinNode {
             label: label.into(),
             attrs,
@@ -90,12 +99,20 @@ impl Composite {
     fn from_node(n: &JoinNode) -> Composite {
         Composite {
             rows: n.rows,
-            distinct: n.attrs.iter().copied().zip(n.distinct.iter().copied()).collect(),
+            distinct: n
+                .attrs
+                .iter()
+                .copied()
+                .zip(n.distinct.iter().copied())
+                .collect(),
         }
     }
 
     fn get(&self, attr: u32) -> Option<f64> {
-        self.distinct.iter().find(|(a, _)| *a == attr).map(|(_, d)| *d)
+        self.distinct
+            .iter()
+            .find(|(a, _)| *a == attr)
+            .map(|(_, d)| *d)
     }
 
     /// Join with `n`, returning the new composite and its estimated rows.
@@ -155,7 +172,9 @@ pub fn order_greedy(graph: &JoinGraph) -> Vec<usize> {
             .enumerate()
             .map(|(pos, &i)| (pos, composite.join(&graph.nodes[i])))
             .min_by(|(_, a), (_, b)| {
-                a.rows.partial_cmp(&b.rows).unwrap_or(std::cmp::Ordering::Equal)
+                a.rows
+                    .partial_cmp(&b.rows)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             })
             .unwrap();
         let chosen = remaining.swap_remove(pos);
@@ -246,7 +265,12 @@ mod tests {
     fn chain_graph() -> JoinGraph {
         let mut g = JoinGraph::new();
         g.add(JoinNode::new("t", vec![0], 10.0, vec![10.0]));
-        g.add(JoinNode::new("h", vec![0, 1], 100_000.0, vec![1000.0, 1000.0]));
+        g.add(JoinNode::new(
+            "h",
+            vec![0, 1],
+            100_000.0,
+            vec![1000.0, 1000.0],
+        ));
         g.add(JoinNode::new("m", vec![1], 500.0, vec![500.0]));
         g
     }

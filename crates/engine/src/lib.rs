@@ -53,6 +53,7 @@ pub mod error;
 pub mod estimate;
 pub mod exec;
 pub mod expr;
+pub mod governor;
 pub mod joinorder;
 pub mod merge;
 pub mod plan;
@@ -60,8 +61,9 @@ pub mod plan;
 pub use cost::{cost, cost_with};
 pub use error::{EngineError, Result};
 pub use estimate::{estimate, estimate_with, Estimate, MapStats, StatsSource};
-pub use exec::execute;
+pub use exec::{execute, execute_with};
 pub use expr::{CmpOp, Operand, Predicate};
+pub use governor::{CancelToken, Degradation, ExecContext, ExecStats, Resource};
 pub use joinorder::{order_greedy, order_optimal_dp, JoinGraph, JoinNode};
 pub use merge::{join_auto, merge_join, merge_joinable};
 pub use plan::{AggFn, PhysicalPlan};

@@ -69,9 +69,7 @@ pub fn merge_join(left: &Relation, right: &Relation, n_keys: usize) -> Relation 
 /// End of the run of tuples sharing `t[start]`'s leading `n_keys` values.
 fn run_end(tuples: &[Tuple], start: usize, n_keys: usize) -> usize {
     let mut end = start + 1;
-    while end < tuples.len()
-        && (0..n_keys).all(|k| tuples[end].get(k) == tuples[start].get(k))
-    {
+    while end < tuples.len() && (0..n_keys).all(|k| tuples[end].get(k) == tuples[start].get(k)) {
         end += 1;
     }
     end
@@ -123,7 +121,7 @@ mod tests {
         let r = rel("r", &[(1, 100), (2, 200), (2, 201), (4, 400)]);
         let merged = merge_join(&l, &r, 1);
         let hashed = join_auto(&l, &r, &[(0, 1)]); // not merge-joinable layout
-        // Compare against hash join on the same (leading) keys.
+                                                   // Compare against hash join on the same (leading) keys.
         let hashed_same = {
             let (lk, rk) = (vec![0], vec![0]);
             let idx = HashIndex::build(&r, &rk);
@@ -179,12 +177,9 @@ mod tests {
     fn auto_picks_merge_and_agrees_with_hash() {
         // Property-style check over a grid of random-ish relations.
         for seed in 0..20i64 {
-            let l_rows: Vec<(i64, i64)> = (0..30)
-                .map(|i| ((i * seed) % 7, (i + seed) % 5))
-                .collect();
-            let r_rows: Vec<(i64, i64)> = (0..25)
-                .map(|i| ((i + seed) % 7, (i * 3) % 4))
-                .collect();
+            let l_rows: Vec<(i64, i64)> =
+                (0..30).map(|i| ((i * seed) % 7, (i + seed) % 5)).collect();
+            let r_rows: Vec<(i64, i64)> = (0..25).map(|i| ((i + seed) % 7, (i * 3) % 4)).collect();
             let l = rel("l", &l_rows);
             let r = rel("r", &r_rows);
             let merged = merge_join(&l, &r, 1);

@@ -183,9 +183,7 @@ impl PhysicalPlan {
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::Aggregate { input, .. } => input.node_count(),
             PhysicalPlan::HashJoin { left, right, .. }
-            | PhysicalPlan::AntiJoin { left, right, .. } => {
-                left.node_count() + right.node_count()
-            }
+            | PhysicalPlan::AntiJoin { left, right, .. } => left.node_count() + right.node_count(),
             PhysicalPlan::Union { inputs } => inputs.iter().map(Self::node_count).sum(),
         }
     }

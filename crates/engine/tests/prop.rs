@@ -3,7 +3,10 @@
 
 use proptest::prelude::*;
 
-use qf_engine::{execute, AggFn, CmpOp, PhysicalPlan, Predicate};
+use qf_engine::{
+    execute, execute_with, AggFn, CmpOp, EngineError, ExecContext, PhysicalPlan, Predicate,
+    Resource,
+};
 use qf_storage::{Database, Relation, Schema, Tuple, Value};
 
 fn rows2() -> impl Strategy<Value = Vec<(i64, i64)>> {
@@ -14,11 +17,15 @@ fn db2(l: &[(i64, i64)], r: &[(i64, i64)]) -> Database {
     let mut db = Database::new();
     db.insert(Relation::from_rows(
         Schema::new("l", &["a", "b"]),
-        l.iter().map(|&(a, b)| vec![Value::int(a), Value::int(b)]).collect(),
+        l.iter()
+            .map(|&(a, b)| vec![Value::int(a), Value::int(b)])
+            .collect(),
     ));
     db.insert(Relation::from_rows(
         Schema::new("r", &["c", "d"]),
-        r.iter().map(|&(a, b)| vec![Value::int(a), Value::int(b)]).collect(),
+        r.iter()
+            .map(|&(a, b)| vec![Value::int(a), Value::int(b)])
+            .collect(),
     ));
     db
 }
@@ -171,6 +178,39 @@ proptest! {
         );
         let hashed = execute(&hash_plan, &db).unwrap();
         prop_assert_eq!(merged.tuples(), hashed.tuples());
+    }
+
+    /// Governed execution with a random row budget either completes
+    /// within the budget or fails with `ResourceExhausted { Rows }` —
+    /// it never materializes more tuples than the budget allows, and a
+    /// successful governed run agrees with the ungoverned one.
+    #[test]
+    fn row_budget_never_exceeded(l in rows2(), r in rows2(), budget in 0u64..200) {
+        let db = db2(&l, &r);
+        let plan = PhysicalPlan::aggregate(
+            PhysicalPlan::hash_join(
+                PhysicalPlan::scan("l"),
+                PhysicalPlan::scan("r"),
+                vec![(1, 0)],
+            ),
+            vec![0],
+            AggFn::Count,
+        );
+        let ctx = ExecContext::unbounded().with_max_rows(budget);
+        match execute_with(&plan, &db, &ctx) {
+            Ok(rel) => {
+                prop_assert!(ctx.stats().rows <= budget,
+                    "materialized {} rows under a budget of {budget}", ctx.stats().rows);
+                prop_assert!(rel.len() as u64 <= budget);
+                let free = execute(&plan, &db).unwrap();
+                prop_assert_eq!(rel.tuples(), free.tuples());
+            }
+            Err(EngineError::ResourceExhausted { resource: Resource::Rows, limit, observed }) => {
+                prop_assert_eq!(limit, budget);
+                prop_assert!(observed > budget);
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
     }
 
     /// Estimation never panics and respects the distinct ≤ rows invariant.

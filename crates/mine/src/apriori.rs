@@ -115,10 +115,7 @@ pub fn mine_apriori(transactions: &[Vec<u32>], threshold: u64, max_k: usize) -> 
 
 /// Candidate generation: join L_{k-1} with itself on a shared (k−2)
 /// prefix, then prune candidates with any infrequent (k−1)-subset.
-fn generate_candidates(
-    prev: &FastMap<ItemSet, u64>,
-    k: usize,
-) -> qf_storage::FastSet<ItemSet> {
+fn generate_candidates(prev: &FastMap<ItemSet, u64>, k: usize) -> qf_storage::FastSet<ItemSet> {
     let mut sorted: Vec<&ItemSet> = prev.keys().collect();
     sorted.sort();
     let mut candidates = qf_storage::FastSet::default();

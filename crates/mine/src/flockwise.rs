@@ -24,7 +24,9 @@
 //! this module builds the sequence of flocks directly rather than as a
 //! single `QueryPlan`.
 
-use qf_core::{evaluate_direct, FlockError, JoinOrderStrategy, QueryFlock, Result};
+use qf_core::{
+    evaluate_direct_with, ExecContext, FlockError, JoinOrderStrategy, QueryFlock, Result,
+};
 use qf_datalog::{Atom, Comparison, ConjunctiveQuery, Literal, Term, UnionQuery};
 use qf_storage::{CmpOp, Database, Relation, Schema};
 
@@ -41,21 +43,33 @@ pub fn level_relation_name(k: usize) -> String {
 /// `baskets(BID, Item)` in `db`. Returns one relation per level `k`
 /// (columns `a..`, one per item of the set), stopping early when a
 /// level is empty. `max_k` is capped at 9.
-pub fn mine_flockwise(
+pub fn mine_flockwise(db: &Database, threshold: i64, max_k: usize) -> Result<Vec<Relation>> {
+    mine_flockwise_with(db, threshold, max_k, &ExecContext::unbounded())
+}
+
+/// [`mine_flockwise`] under an execution governor: every level's flock
+/// shares `ctx`'s budgets, so the whole levelwise sequence — not each
+/// level separately — is bounded. A tripped budget aborts with the
+/// levels computed so far discarded; `db` itself is never mutated.
+pub fn mine_flockwise_with(
     db: &Database,
     threshold: i64,
     max_k: usize,
+    ctx: &ExecContext,
 ) -> Result<Vec<Relation>> {
     if max_k > PARAM_NAMES.len() {
         return Err(FlockError::IllegalPlan {
-            detail: format!("levelwise mining supports up to {} levels", PARAM_NAMES.len()),
+            detail: format!(
+                "levelwise mining supports up to {} levels",
+                PARAM_NAMES.len()
+            ),
         });
     }
     let mut working = db.clone();
     let mut levels = Vec::new();
     for k in 1..=max_k {
         let flock = level_flock(k, threshold, &levels)?;
-        let result = evaluate_direct(&flock, &working, JoinOrderStrategy::Greedy)?;
+        let result = evaluate_direct_with(&flock, &working, JoinOrderStrategy::Greedy, ctx)?;
         let named = Relation::from_sorted_dedup(
             Schema::from_columns(
                 level_relation_name(k),
@@ -80,10 +94,7 @@ fn level_flock(k: usize, threshold: i64, levels: &[Relation]) -> Result<QueryFlo
     let params: Vec<Term> = (0..k).map(|i| Term::param(PARAM_NAMES[i])).collect();
     let mut body: Vec<Literal> = Vec::new();
     for p in &params {
-        body.push(Literal::Pos(Atom::new(
-            "baskets",
-            vec![Term::var("B"), *p],
-        )));
+        body.push(Literal::Pos(Atom::new("baskets", vec![Term::var("B"), *p])));
     }
     for w in params.windows(2) {
         body.push(Literal::Cmp(Comparison::new(w[0], CmpOp::Lt, w[1])));

@@ -22,9 +22,7 @@ pub fn maximal_itemsets(result: &AprioriResult) -> Vec<ItemSet> {
         // superset implies a frequent superset exactly one item larger.
         let next_level = result.levels.get(k);
         for set in level.keys() {
-            let covered = next_level.is_some_and(|next| {
-                next.keys().any(|sup| is_subset(set, sup))
-            });
+            let covered = next_level.is_some_and(|next| next.keys().any(|sup| is_subset(set, sup)));
             if !covered {
                 maximal.push(set.clone());
             }

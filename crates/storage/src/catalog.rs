@@ -30,8 +30,7 @@ impl Database {
 
     /// Insert (or replace) a relation under its schema name.
     pub fn insert(&mut self, relation: Relation) {
-        self.relations
-            .insert(relation.name().to_string(), relation);
+        self.relations.insert(relation.name().to_string(), relation);
     }
 
     /// Look up a relation by name.

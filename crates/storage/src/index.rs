@@ -28,9 +28,7 @@ impl HashIndex {
         );
         let mut map: FastMap<Tuple, Vec<u32>> = FastMap::default();
         for (i, t) in relation.iter().enumerate() {
-            map.entry(t.project(key_cols))
-                .or_default()
-                .push(i as u32);
+            map.entry(t.project(key_cols)).or_default().push(i as u32);
         }
         HashIndex {
             key_cols: key_cols.to_vec(),

@@ -37,14 +37,27 @@ impl Relation {
         }
     }
 
-    /// Build from rows, sorting and deduplicating. Panics on arity
-    /// mismatch — use [`RelationBuilder`] for fallible construction.
+    /// Build from rows, sorting and deduplicating.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch — use [`RelationBuilder`] (or
+    /// [`Relation::try_from_rows`]) for fallible construction.
     pub fn from_rows(schema: Schema, rows: Vec<Vec<Value>>) -> Relation {
+        match Relation::try_from_rows(schema, rows) {
+            Ok(rel) => rel,
+            Err(e) => panic!("Relation::from_rows: {e}"),
+        }
+    }
+
+    /// Fallible form of [`Relation::from_rows`]: an arity-mismatched
+    /// row is an error instead of a panic.
+    pub fn try_from_rows(schema: Schema, rows: Vec<Vec<Value>>) -> crate::error::Result<Relation> {
         let mut b = RelationBuilder::new(schema);
         for row in rows {
-            b.push_row(row).expect("row arity mismatch");
+            b.push_row(row)?;
         }
-        b.finish()
+        Ok(b.finish())
     }
 
     /// Build from tuples already known to match the schema's arity;

@@ -14,7 +14,7 @@
 //! Mining vocabularies are bounded, so this is the usual arena trade-off
 //! rather than a practical leak.
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use crate::hash::FastMap;
 
@@ -38,13 +38,16 @@ static INTERNER: RwLock<Option<Interner>> = RwLock::new(None);
 impl Symbol {
     /// Intern `s`, returning its symbol. Idempotent.
     pub fn intern(s: &str) -> Symbol {
+        // Lock poisoning is recovered everywhere: the interner's
+        // invariants hold after every individual write, so a panic in
+        // an unrelated thread never invalidates the map.
         // Fast path: read lock only.
-        if let Some(interner) = INTERNER.read().as_ref() {
+        if let Some(interner) = INTERNER.read().unwrap_or_else(|e| e.into_inner()).as_ref() {
             if let Some(&id) = interner.map.get(s) {
                 return Symbol(id);
             }
         }
-        let mut guard = INTERNER.write();
+        let mut guard = INTERNER.write().unwrap_or_else(|e| e.into_inner());
         let interner = guard.get_or_insert_with(|| Interner {
             map: FastMap::default(),
             strings: Vec::new(),
@@ -53,19 +56,34 @@ impl Symbol {
             return Symbol(id);
         }
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        let id = u32::try_from(interner.strings.len()).expect("interner overflow");
+        // > 4 billion distinct strings would have OOMed long before
+        // this cast could truncate; an abort is the only sane response.
+        assert!(
+            interner.strings.len() < u32::MAX as usize,
+            "interner overflow"
+        );
+        let id = interner.strings.len() as u32;
         interner.strings.push(leaked);
         interner.map.insert(leaked, id);
         Symbol(id)
     }
 
     /// The interned string.
+    ///
+    /// # Panics
+    /// If `self` was produced by a different process (symbols are not
+    /// serializable across runs). Unreachable for symbols obtained from
+    /// [`Symbol::intern`] in this process.
     pub fn as_str(self) -> &'static str {
-        INTERNER
+        let found = INTERNER
             .read()
+            .unwrap_or_else(|e| e.into_inner())
             .as_ref()
-            .and_then(|i| i.strings.get(self.0 as usize).copied())
-            .expect("symbol from a foreign interner")
+            .and_then(|i| i.strings.get(self.0 as usize).copied());
+        match found {
+            Some(s) => s,
+            None => panic!("symbol id {} is not in this process's interner", self.0),
+        }
     }
 
     /// Raw intern id; stable within a process run. Useful as a dense key.

@@ -22,46 +22,119 @@ fn parse_field(s: &str) -> Value {
     }
 }
 
-/// Read a relation from TSV text.
+/// Source label used in error messages when no file name is known.
+const ANON_SOURCE: &str = "<tsv>";
+
+/// Outcome of a lossy TSV read: the relation built from the good rows,
+/// plus how many malformed data lines were skipped.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LossyTsv {
+    /// The relation built from the rows that parsed cleanly.
+    pub relation: Relation,
+    /// Number of malformed data lines skipped (bad arity).
+    pub skipped: usize,
+}
+
+/// Read a relation from TSV text. Malformed rows report the 1-based
+/// line number (and the file name, when read via [`load_tsv`]).
 pub fn read_tsv(reader: impl BufRead) -> Result<Relation> {
+    read_tsv_from(reader, ANON_SOURCE)
+}
+
+/// [`read_tsv`] with an explicit source label (file name) for error
+/// messages: malformed input reports `source:line`.
+pub fn read_tsv_from(reader: impl BufRead, source: &str) -> Result<Relation> {
+    read_rows(reader, source, &mut |source, lineno, e| {
+        Err(StorageError::Malformed {
+            detail: format!("{source}:{lineno}: {e}"),
+        })
+    })
+    .map(|lossy| lossy.relation)
+}
+
+/// Read a relation from TSV text, *skipping* malformed data lines
+/// instead of failing, and counting them. Header problems (missing or
+/// empty schema line) are still hard errors — without a schema there is
+/// nothing to build.
+pub fn read_tsv_lossy(reader: impl BufRead) -> Result<LossyTsv> {
+    read_tsv_lossy_from(reader, ANON_SOURCE)
+}
+
+/// [`read_tsv_lossy`] with an explicit source label for error messages.
+pub fn read_tsv_lossy_from(reader: impl BufRead, source: &str) -> Result<LossyTsv> {
+    read_rows(reader, source, &mut |_, _, _| Ok(()))
+}
+
+/// Shared TSV scanner. `on_bad_row` decides the policy for a malformed
+/// data line: return an error to abort (strict) or `Ok(())` to skip it
+/// (lossy; the skip is counted).
+fn read_rows(
+    reader: impl BufRead,
+    source: &str,
+    on_bad_row: &mut dyn FnMut(&str, usize, &StorageError) -> Result<()>,
+) -> Result<LossyTsv> {
     let mut lines = reader.lines();
     let header = lines
         .next()
-        .transpose()?
+        .transpose()
+        .map_err(|e| annotate_io(source, &e))?
         .ok_or_else(|| StorageError::Malformed {
-            detail: "empty file: missing schema header".to_string(),
+            detail: format!("{source}: empty file: missing schema header"),
         })?;
     let mut parts = header.split('\t');
     let name = parts.next().unwrap_or("").to_string();
     if name.is_empty() {
         return Err(StorageError::Malformed {
-            detail: "header must start with a relation name".to_string(),
+            detail: format!("{source}:1: header must start with a relation name"),
         });
     }
     let columns: Vec<String> = parts.map(str::to_string).collect();
     if columns.is_empty() {
         return Err(StorageError::Malformed {
-            detail: format!("relation `{name}` has no columns in header"),
+            detail: format!("{source}:1: relation `{name}` has no columns in header"),
         });
     }
     let mut builder = RelationBuilder::new(Schema::from_columns(name, columns));
-    for (lineno, line) in lines.enumerate() {
-        let line = line?;
+    let mut skipped = 0usize;
+    for (idx, line) in lines.enumerate() {
+        let lineno = idx + 2; // 1-based, after the header.
+        let line = line.map_err(|e| annotate_io(source, &e))?;
         if line.is_empty() {
             continue;
         }
         let row: Vec<Value> = line.split('\t').map(parse_field).collect();
-        builder.push_row(row).map_err(|e| StorageError::Malformed {
-            detail: format!("line {}: {e}", lineno + 2),
-        })?;
+        if let Err(e) = builder.push_row(row) {
+            on_bad_row(source, lineno, &e)?;
+            skipped += 1;
+        }
     }
-    Ok(builder.finish())
+    Ok(LossyTsv {
+        relation: builder.finish(),
+        skipped,
+    })
 }
 
-/// Load a relation from a TSV file.
+fn annotate_io(source: &str, e: &std::io::Error) -> StorageError {
+    StorageError::Io {
+        detail: format!("{source}: {e}"),
+    }
+}
+
+/// Load a relation from a TSV file. Errors name the file and line.
 pub fn load_tsv(path: impl AsRef<Path>) -> Result<Relation> {
-    let file = std::fs::File::open(path)?;
-    read_tsv(std::io::BufReader::new(file))
+    let path = path.as_ref();
+    let source = path.display().to_string();
+    let file = std::fs::File::open(path).map_err(|e| annotate_io(&source, &e))?;
+    read_tsv_from(std::io::BufReader::new(file), &source)
+}
+
+/// Load a relation from a TSV file, skipping malformed rows (see
+/// [`read_tsv_lossy`]).
+pub fn load_tsv_lossy(path: impl AsRef<Path>) -> Result<LossyTsv> {
+    let path = path.as_ref();
+    let source = path.display().to_string();
+    let file = std::fs::File::open(path).map_err(|e| annotate_io(&source, &e))?;
+    read_tsv_lossy_from(std::io::BufReader::new(file), &source)
 }
 
 /// Write a relation as TSV text.
@@ -131,5 +204,36 @@ mod tests {
     fn blank_lines_skipped() {
         let r = read_tsv(std::io::Cursor::new("r\ta\n1\n\n2\n")).unwrap();
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_source_and_line() {
+        let err =
+            read_tsv_from(std::io::Cursor::new("r\ta\tb\n1\t2\n3\n"), "data.tsv").unwrap_err();
+        assert!(err.to_string().contains("data.tsv:3"), "{err}");
+        let err = read_tsv_from(std::io::Cursor::new(""), "data.tsv").unwrap_err();
+        assert!(err.to_string().contains("data.tsv"), "{err}");
+    }
+
+    #[test]
+    fn load_errors_name_the_file() {
+        let err = load_tsv("/no/such/file.tsv").unwrap_err();
+        assert!(err.to_string().contains("/no/such/file.tsv"), "{err}");
+    }
+
+    #[test]
+    fn lossy_skips_and_counts_bad_rows() {
+        let text = "r\ta\tb\n1\t2\nbad\n3\t4\nalso\tbad\textra\n";
+        let lossy = read_tsv_lossy(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(lossy.relation.len(), 2);
+        assert_eq!(lossy.skipped, 2);
+        // The strict reader rejects the same input.
+        assert!(read_tsv(std::io::Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn lossy_still_rejects_missing_header() {
+        assert!(read_tsv_lossy(std::io::Cursor::new("")).is_err());
+        assert!(read_tsv_lossy(std::io::Cursor::new("\t\n")).is_err());
     }
 }

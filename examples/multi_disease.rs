@@ -33,9 +33,18 @@ fn main() {
         treatments.push(vec![Value::int(p), Value::str("zorix")]);
     }
     let mut db = Database::new();
-    db.insert(Relation::from_rows(Schema::new("diagnoses", &["p", "d"]), diagnoses));
-    db.insert(Relation::from_rows(Schema::new("exhibits", &["p", "s"]), exhibits));
-    db.insert(Relation::from_rows(Schema::new("treatments", &["p", "m"]), treatments));
+    db.insert(Relation::from_rows(
+        Schema::new("diagnoses", &["p", "d"]),
+        diagnoses,
+    ));
+    db.insert(Relation::from_rows(
+        Schema::new("exhibits", &["p", "s"]),
+        exhibits,
+    ));
+    db.insert(Relation::from_rows(
+        Schema::new("treatments", &["p", "m"]),
+        treatments,
+    ));
     db.insert(Relation::from_rows(
         Schema::new("causes", &["d", "s"]),
         vec![vec![Value::str("pox"), Value::str("fever")]],
@@ -69,7 +78,10 @@ fn main() {
     )
     .unwrap();
     let evaluation = program.evaluate(&db).unwrap();
-    println!("\nWith the `explained` view (strategy: {}):", evaluation.strategy_used);
+    println!(
+        "\nWith the `explained` view (strategy: {}):",
+        evaluation.strategy_used
+    );
     for t in evaluation.result.iter() {
         println!("  medicine={}  symptom={}", t.get(0), t.get(1));
     }

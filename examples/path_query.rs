@@ -35,11 +35,8 @@ fn main() {
             body.push(format!("arc({prev},Y{i})"));
             prev = format!("Y{i}");
         }
-        let flock = QueryFlock::with_support(
-            &format!("answer(X) :- {}", body.join(" AND ")),
-            20,
-        )
-        .unwrap();
+        let flock =
+            QueryFlock::with_support(&format!("answer(X) :- {}", body.join(" AND ")), 20).unwrap();
 
         let start = std::time::Instant::now();
         let direct = evaluate_direct(&flock, &db, JoinOrderStrategy::AsWritten).unwrap();

@@ -51,10 +51,7 @@ fn main() {
     for t in run.result.iter() {
         println!("  medicine={}  symptom={}", t.get(0), t.get(1));
     }
-    println!(
-        "(planted ground truth: {:?})",
-        data.planted
-    );
+    println!("(planted ground truth: {:?})", data.planted);
 
     // §4.4: the dynamic evaluator decides filters from observed sizes.
     let report = evaluate_dynamic(&flock, &data.db, &DynamicConfig::default()).unwrap();
@@ -68,7 +65,11 @@ fn main() {
             d.assignments,
             d.ratio,
             if d.filtered {
-                format!("FILTER → {} survive ({:?})", d.survivors.unwrap_or(0), d.reason)
+                format!(
+                    "FILTER → {} survive ({:?})",
+                    d.survivors.unwrap_or(0),
+                    d.reason
+                )
             } else {
                 format!("no filter ({:?})", d.reason)
             }

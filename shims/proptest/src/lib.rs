@@ -1,0 +1,651 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this local shim
+//! implements the subset of proptest the workspace's property tests
+//! use: the [`proptest!`] macro, `prop_assert*`/`prop_assume!`,
+//! [`Strategy`] with `prop_map`/`boxed`, range/tuple/collection/sample
+//! strategies, weighted [`prop_oneof!`], [`any`], and a crude string
+//! strategy for parser-robustness tests.
+//!
+//! Differences from upstream, deliberately accepted:
+//! * **No shrinking.** A failing case reports the generated inputs
+//!   verbatim; seeds are deterministic per test name, so failures
+//!   reproduce exactly.
+//! * **String "regex" strategies** ignore the pattern's character class
+//!   and generate adversarial unicode/ASCII soup of the requested
+//!   length — which is what the only user (a "parser never panics"
+//!   test) actually wants.
+//! * Regression files (`*.proptest-regressions`) are ignored.
+
+use std::cell::Cell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// Deterministic split-mix style generator for test-case generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e3779b97f4a7c15,
+        }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `usize` in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Build the deterministic RNG for a named test (FNV-1a over the name).
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    TestRng::new(h)
+}
+
+/// Result of one generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was vetoed by `prop_assume!`; try another.
+    Reject,
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; 64 keeps the suite fast while still
+        // exercising plenty of structure. Tests that need more ask via
+        // `ProptestConfig::with_cases`.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type (needed by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] combinator.
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Weighted choice among boxed strategies (backs [`prop_oneof!`]).
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf {
+            arms: self.arms.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T> OneOf<T> {
+    /// Build from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        OneOf { arms, total }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = (rng.next_u64() % self.total as u64) as u32;
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+// ---- primitive strategies ------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+}
+
+/// String strategy from a "regex" pattern (see module docs: the
+/// character class is ignored; only a trailing `{lo,hi}` repetition is
+/// honoured, defaulting to `{0,32}`).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_repetition(self).unwrap_or((0, 32));
+        let len = lo + rng.below(hi - lo + 1);
+        // Adversarial soup: ASCII printable, whitespace/control-ish,
+        // multi-byte unicode, and characters meaningful to the parsers
+        // under test.
+        const POOL: &[char] = &[
+            'a', 'b', 'z', 'A', 'Z', '0', '9', '_', '$', '(', ')', ',', '.', ':', '-', '<', '>',
+            '=', '!', '*', '"', '\'', '\\', '/', ' ', '\t', '\u{7f}', 'é', 'λ', '中', '🦀',
+            '\u{202e}', '\u{0}',
+        ];
+        (0..len).map(|_| POOL[rng.below(POOL.len())]).collect()
+    }
+}
+
+fn parse_repetition(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_suffix('}')?;
+    let brace = body.rfind('{')?;
+    let (lo, hi) = body[brace + 1..].split_once(',')?;
+    let lo: usize = lo.trim().parse().ok()?;
+    let hi: usize = hi.trim().parse().ok()?;
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// Strategy for a type's canonical value distribution ([`any`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types with a canonical [`any`] strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one canonical value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---- collection / sample strategies --------------------------------------
+
+/// `prop::collection` equivalents.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Size specification: a half-open range or an exact `usize` count.
+    pub trait IntoSizeRange {
+        /// Convert to the half-open `[lo, hi)` form.
+        fn into_size_range(self) -> std::ops::Range<usize>;
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn into_size_range(self) -> std::ops::Range<usize> {
+            self
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> std::ops::Range<usize> {
+            self..self + 1
+        }
+    }
+
+    /// Vec of elements drawn from `element`, with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let size = size.into_size_range();
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.start + rng.below(self.size.end - self.size.start);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// BTreeSet with a target size in `range` (duplicates may make the
+    /// result smaller, matching upstream semantics loosely).
+    pub fn btree_set<S>(element: S, size: std::ops::Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        assert!(size.start < size.end, "empty set size range");
+        BTreeSetStrategy { element, size }
+    }
+
+    /// Strategy returned by [`btree_set`].
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.start + rng.below(self.size.end - self.size.start);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `prop::sample` equivalents.
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Uniform choice from a fixed, nonempty option list.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select over empty options");
+        Select { options }
+    }
+
+    /// Strategy returned by [`select`].
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len())].clone()
+        }
+    }
+}
+
+thread_local! {
+    /// Rejection counter for diagnostics from the harness loop.
+    static REJECTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Internal harness entry used by the [`proptest!`] expansion: runs up
+/// to `cases` successful cases, retrying `prop_assume!` rejections a
+/// bounded number of times, panicking with reproduction info on the
+/// first failure.
+pub fn run_cases<I: std::fmt::Debug, G, B>(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut generate: G,
+    mut body: B,
+) where
+    G: FnMut(&mut TestRng) -> I,
+    B: FnMut(&I) -> Result<(), TestCaseError>,
+{
+    let mut rng = rng_for(test_name);
+    let mut ran: u32 = 0;
+    let mut attempts: u64 = 0;
+    let max_attempts = (config.cases as u64).saturating_mul(20).max(100);
+    REJECTS.with(|r| r.set(0));
+    while ran < config.cases && attempts < max_attempts {
+        attempts += 1;
+        let input = generate(&mut rng);
+        match body(&input) {
+            Ok(()) => ran += 1,
+            Err(TestCaseError::Reject) => {
+                REJECTS.with(|r| r.set(r.get() + 1));
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest failure in `{test_name}` (case {ran}, attempt {attempts}):\n\
+                     {msg}\ninput: {input:#?}"
+                );
+            }
+        }
+    }
+    // Like upstream, demand that assumptions were satisfiable often
+    // enough to do real testing.
+    assert!(
+        ran > 0,
+        "proptest `{test_name}`: every generated case was rejected by prop_assume!"
+    );
+}
+
+/// Dedup helper so `BTreeSet` is nameable from macro output without
+/// imports.
+pub type SetOf<T> = BTreeSet<T>;
+
+// ---- macros --------------------------------------------------------------
+
+/// Property-test harness macro (see upstream proptest documentation;
+/// this shim supports `#![proptest_config(..)]`, `arg in strategy`
+/// parameter lists, and outer attributes including `#[test]`).
+#[macro_export]
+macro_rules! proptest {
+    // Internal rule: must come before the catch-all or recursion loops.
+    (@cfg ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            // A tuple of strategies is itself a strategy producing the
+            // tuple of values, so one generate call draws every arg.
+            let __strategies = ($($strat,)+);
+            $crate::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                &__config,
+                |__rng| $crate::Strategy::generate(&__strategies, __rng),
+                |__input| {
+                    #[allow(unused_parens, irrefutable_let_patterns)]
+                    let ($($arg,)+) = ::std::clone::Clone::clone(__input);
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+    )*};
+    // With a config attribute.
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    // Without: default config.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Veto the current case; the harness draws a fresh one.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Weighted alternation of strategies producing a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// The glob-import surface tests use: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_rng() {
+        let mut a = super::rng_for("x");
+        let mut b = super::rng_for("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(v in -5i64..5, u in 0usize..9) {
+            prop_assert!((-5..5).contains(&v));
+            prop_assert!(u < 9);
+        }
+
+        #[test]
+        fn vec_lengths(xs in prop::collection::vec((0i64..4, 0i64..4), 2..7)) {
+            prop_assert!((2..7).contains(&xs.len()));
+        }
+
+        #[test]
+        fn assume_rejects(v in 0i64..10) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_map(t in prop_oneof![3 => (0i64..5).prop_map(|v| v * 2), 1 => (10i64..12)]) {
+            prop_assert!(t < 12);
+        }
+
+        #[test]
+        fn select_picks_member(s in prop::sample::select(vec!["a", "b", "c"])) {
+            prop_assert!(["a", "b", "c"].contains(&s));
+        }
+
+        #[test]
+        fn string_pattern_len(s in "\\PC{0,8}") {
+            prop_assert!(s.chars().count() <= 8);
+        }
+
+        #[test]
+        fn bool_any(b in any::<bool>()) {
+            prop_assert!(b || !b);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_cases_honoured(_v in 0i64..3) {
+            prop_assert!(true);
+        }
+    }
+}

@@ -7,8 +7,7 @@ use proptest::prelude::*;
 
 use query_flocks::core::{compile_rule, JoinOrderStrategy};
 use query_flocks::datalog::{
-    canonicalize, contained_in, equivalent, is_isomorphic, minimize, parse_rule,
-    ConjunctiveQuery,
+    canonicalize, contained_in, equivalent, is_isomorphic, minimize, parse_rule, ConjunctiveQuery,
 };
 use query_flocks::engine::execute;
 use query_flocks::storage::{Database, Relation, Schema, Tuple, Value};
@@ -41,11 +40,15 @@ fn db_from(r: &[(i64, i64)], s: &[(i64, i64)]) -> Database {
     let mut db = Database::new();
     db.insert(Relation::from_rows(
         Schema::new("r", &["a", "b"]),
-        r.iter().map(|&(a, b)| vec![Value::int(a), Value::int(b)]).collect(),
+        r.iter()
+            .map(|&(a, b)| vec![Value::int(a), Value::int(b)])
+            .collect(),
     ));
     db.insert(Relation::from_rows(
         Schema::new("s", &["a", "b"]),
-        s.iter().map(|&(a, b)| vec![Value::int(a), Value::int(b)]).collect(),
+        s.iter()
+            .map(|&(a, b)| vec![Value::int(a), Value::int(b)])
+            .collect(),
     ));
     db
 }

@@ -92,7 +92,12 @@ fn basket_pipeline_three_way_agreement() {
         .collect();
     let classic = mine_apriori(&txns, threshold as u64, 3);
     for (k, rel) in levels.iter().enumerate() {
-        assert_eq!(rel.len(), classic.frequent_k(k + 1).len(), "level {}", k + 1);
+        assert_eq!(
+            rel.len(),
+            classic.frequent_k(k + 1).len(),
+            "level {}",
+            k + 1
+        );
     }
 }
 

@@ -15,15 +15,18 @@ fn baskets_strategy() -> impl Strategy<Value = Vec<(i64, u8)>> {
     prop::collection::vec((0..12i64, 0..8u8), 0..80)
 }
 
+/// Random medical data: diagnoses (patient, disease), exhibits
+/// (patient, symptom), treatments (patient, medicine), and causes
+/// (disease, symptom).
+type MedicalData = (
+    Vec<(i64, u8)>,
+    Vec<(i64, u8)>,
+    Vec<(i64, u8)>,
+    Vec<(u8, u8)>,
+);
+
 /// A random medical database over small domains.
-fn medical_strategy() -> impl Strategy<
-    Value = (
-        Vec<(i64, u8)>, // diagnoses (patient, disease)
-        Vec<(i64, u8)>, // exhibits (patient, symptom)
-        Vec<(i64, u8)>, // treatments (patient, medicine)
-        Vec<(u8, u8)>,  // causes (disease, symptom)
-    ),
-> {
+fn medical_strategy() -> impl Strategy<Value = MedicalData> {
     (
         prop::collection::vec((0..10i64, 0..4u8), 0..30),
         prop::collection::vec((0..10i64, 0..5u8), 0..40),

@@ -3,8 +3,8 @@
 //! and the semantics agree across evaluators.
 
 use query_flocks::core::{
-    chain_plan, direct_plan, evaluate_direct, evaluate_naive, execute_plan,
-    JoinOrderStrategy, QueryFlock,
+    chain_plan, direct_plan, evaluate_direct, evaluate_naive, execute_plan, JoinOrderStrategy,
+    QueryFlock,
 };
 use query_flocks::datalog::{contained_in, parse_query, parse_rule, subquery::safe_subqueries};
 use query_flocks::storage::{Database, Relation, Schema, Value};
@@ -119,8 +119,8 @@ fn fig3_and_fig5_agree_with_reference_semantics() {
         "okM",
         parse_query("answer(P) :- treatments(P,$m)").unwrap(),
     );
-    let with_reductions = flock.query().rules()[0]
-        .with_extra(vec![ok_s.head_subgoal(), ok_m.head_subgoal()]);
+    let with_reductions =
+        flock.query().rules()[0].with_extra(vec![ok_s.head_subgoal(), ok_m.head_subgoal()]);
     let final_ = query_flocks::core::FilterStep::new(
         "ok",
         query_flocks::datalog::UnionQuery::single(with_reductions).unwrap(),
@@ -215,7 +215,9 @@ fn fig10_weighted_semantics() {
     ));
     db.insert(Relation::from_rows(
         Schema::new("importance", &["bid", "w"]),
-        (0..10i64).map(|b| vec![Value::int(b), Value::int(3)]).collect(),
+        (0..10i64)
+            .map(|b| vec![Value::int(b), Value::int(3)])
+            .collect(),
     ));
     let flock = QueryFlock::parse(
         "QUERY:
