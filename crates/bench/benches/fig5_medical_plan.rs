@@ -7,7 +7,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use qf_bench::experiments::e3_medical_plans::medical_flock;
 use qf_bench::workloads::{medical_data, PAPER_THRESHOLD};
 use qf_bench::Scale;
-use qf_core::{direct_plan, execute_plan, param_set_plan, JoinOrderStrategy};
+use qf_core::{
+    default_threads, direct_plan, execute_plan, execute_plan_with, param_set_plan, ExecContext,
+    JoinOrderStrategy,
+};
 use qf_storage::Symbol;
 
 fn bench(c: &mut Criterion) {
@@ -37,6 +40,19 @@ fn bench(c: &mut Criterion) {
     for (name, plan) in &plans {
         group.bench_function(*name, |b| {
             b.iter(|| execute_plan(plan, db, JoinOrderStrategy::Greedy).unwrap())
+        });
+    }
+    // Thread-scaling variants of the paper's Fig. 5 plan: the same plan
+    // pinned to one worker and to the configured parallelism.
+    let fig5 = &plans[3].1;
+    let n = default_threads();
+    for (name, threads) in [
+        ("fig5_1thread".to_string(), 1),
+        (format!("fig5_{n}threads"), n),
+    ] {
+        let ctx = ExecContext::unbounded().with_threads(threads);
+        group.bench_function(&name, |b| {
+            b.iter(|| execute_plan_with(fig5, db, JoinOrderStrategy::Greedy, &ctx).unwrap())
         });
     }
     group.finish();

@@ -29,7 +29,7 @@ use qf_storage::{tsv, Database, Relation};
 
 /// Resource limits applied to every governed evaluation (`run`).
 /// Settable from the command line (`--timeout`, `--max-rows`,
-/// `--mem-budget`) or the `limits` shell command.
+/// `--mem-budget`, `--threads`) or the `limits` shell command.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Limits {
     /// Cap on tuples materialized per evaluation.
@@ -38,6 +38,9 @@ pub struct Limits {
     pub mem_budget: Option<u64>,
     /// Wall-clock deadline per evaluation, in milliseconds.
     pub timeout_ms: Option<u64>,
+    /// Worker threads per evaluation (default: available parallelism,
+    /// or the `QF_THREADS` environment variable).
+    pub threads: Option<usize>,
 }
 
 impl Limits {
@@ -53,6 +56,9 @@ impl Limits {
         }
         if let Some(ms) = self.timeout_ms {
             ctx = ctx.with_timeout(std::time::Duration::from_millis(ms));
+        }
+        if let Some(n) = self.threads {
+            ctx = ctx.with_threads(n);
         }
         ctx
     }
@@ -77,6 +83,9 @@ impl std::fmt::Display for Limits {
         }
         if let Some(t) = self.timeout_ms {
             parts.push(format!("timeout={t}ms"));
+        }
+        if let Some(n) = self.threads {
+            parts.push(format!("threads={n}"));
         }
         f.write_str(&parts.join(" "))
     }
@@ -275,11 +284,18 @@ impl Session {
         for part in rest.split_whitespace() {
             let (key, value) = part
                 .split_once('=')
-                .ok_or("usage: limits [none | max-rows=N mem-budget=BYTES timeout=MS]")?;
+                .ok_or("usage: limits [none | max-rows=N mem-budget=BYTES timeout=MS threads=N]")?;
             match key {
                 "max-rows" => limits.max_rows = Some(parse_count(value)?),
                 "mem-budget" => limits.mem_budget = Some(parse_count(value)?),
                 "timeout" => limits.timeout_ms = Some(parse_millis(value)?),
+                "threads" => {
+                    let n = parse_count(value)?;
+                    if n == 0 {
+                        return Err("threads must be at least 1".to_string());
+                    }
+                    limits.threads = Some(n as usize);
+                }
                 other => return Err(format!("unknown limit `{other}`")),
             }
         }
@@ -320,8 +336,11 @@ impl Session {
         if !self.limits.is_unbounded() {
             let _ = write!(
                 out,
-                "\ngoverned: {} rows, ~{} bytes materialized ({})",
-                evaluation.stats.rows, evaluation.stats.bytes, self.limits
+                "\ngoverned: {} rows, ~{} bytes materialized, {} worker(s) ({})",
+                evaluation.stats.rows,
+                evaluation.stats.bytes,
+                evaluation.stats.workers,
+                self.limits
             );
         }
         for d in &evaluation.stats.degradations {
@@ -431,7 +450,7 @@ commands:
   rels                                           list relations
   show <relation> [n]                            preview tuples
   flock [view rules…] QUERY: … FILTER: …         define the current flock (views optional)
-  limits [none | max-rows=N mem-budget=BYTES timeout=MS]   budget every run
+  limits [none | max-rows=N mem-budget=BYTES timeout=MS threads=N]   budget every run
   run [auto|direct|static|dynamic]               evaluate the flock
   plan                                           show the cost-based best plan
   sql                                            render the flock as SQL
@@ -528,6 +547,30 @@ mod tests {
         assert!(s.execute_line("limits max-rows=abc").is_err());
         assert_eq!(s.execute_line("limits none").unwrap(), "limits cleared");
         assert!(s.limits.is_unbounded());
+    }
+
+    #[test]
+    fn threads_limit_sets_context_and_reports_workers() {
+        let mut s = Session::new();
+        let out = s.execute_line("limits threads=4").unwrap();
+        assert_eq!(out, "threads=4");
+        assert_eq!(s.limits.threads, Some(4));
+        assert_eq!(s.limits.context().threads(), 4);
+        assert!(s.execute_line("limits threads=0").is_err());
+
+        s.execute_line("gen baskets").unwrap();
+        s.execute_line(flock_cmd()).unwrap();
+        let out = s.execute_line("run direct").unwrap();
+        assert!(out.contains("worker(s) (threads=4)"), "{out}");
+
+        // Thread count does not change results (skip the strategy,
+        // count, and governed-stats lines — timings and worker counts
+        // legitimately differ).
+        let four: Vec<String> = out.lines().skip(3).map(String::from).collect();
+        s.execute_line("limits threads=1").unwrap();
+        let out = s.execute_line("run direct").unwrap();
+        let one: Vec<String> = out.lines().skip(3).map(String::from).collect();
+        assert_eq!(one, four);
     }
 
     #[test]

@@ -8,7 +8,7 @@ fn main() {
     let mut session = Session::new();
 
     // Leading flags set resource limits for every evaluation:
-    //   qfsh --timeout 5s --max-rows 1m --mem-budget 256m [command…]
+    //   qfsh --timeout 5s --max-rows 1m --mem-budget 256m --threads 4 [command…]
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     match apply_limit_flags(&mut session, &mut args) {
         Ok(()) => {}
@@ -58,9 +58,9 @@ fn main() {
     }
 }
 
-/// Strip `--timeout`/`--max-rows`/`--mem-budget` (with `--flag value`
-/// or `--flag=value` spelling) off the front of `args`, applying them
-/// to the session via the `limits` shell command.
+/// Strip `--timeout`/`--max-rows`/`--mem-budget`/`--threads` (with
+/// `--flag value` or `--flag=value` spelling) off the front of `args`,
+/// applying them to the session via the `limits` shell command.
 fn apply_limit_flags(session: &mut Session, args: &mut Vec<String>) -> Result<(), String> {
     let mut limit_parts: Vec<String> = Vec::new();
     while let Some(first) = args.first().cloned() {
@@ -69,14 +69,14 @@ fn apply_limit_flags(session: &mut Session, args: &mut Vec<String>) -> Result<()
         };
         let (key, value) = match flag.split_once('=') {
             Some((k, v)) => {
-                if !matches!(k, "timeout" | "max-rows" | "mem-budget") {
+                if !matches!(k, "timeout" | "max-rows" | "mem-budget" | "threads") {
                     return Err(format!("unknown flag `--{k}`"));
                 }
                 args.remove(0);
                 (k.to_string(), v.to_string())
             }
             None => {
-                if !matches!(flag, "timeout" | "max-rows" | "mem-budget") {
+                if !matches!(flag, "timeout" | "max-rows" | "mem-budget" | "threads") {
                     return Err(format!("unknown flag `--{flag}`"));
                 }
                 if args.len() < 2 {

@@ -415,9 +415,12 @@ fn decision_skip(
     }
 }
 
-/// Hash join of two materialized relations (output: left ++ right),
+/// Join of two materialized relations (output: left ++ right),
 /// governed: every output tuple is charged to `ctx` *before* it is
 /// materialized, so a budgeted evaluation cannot blow up here.
+/// Delegates to [`qf_engine::join_auto_with`], which picks the sorted
+/// merge on leading-key layouts and otherwise builds the hash table on
+/// the smaller side with a parallel probe.
 fn join_materialized(
     left: &Relation,
     right: &Relation,
@@ -425,22 +428,7 @@ fn join_materialized(
     ctx: &ExecContext,
 ) -> qf_engine::Result<Relation> {
     ctx.enter("DynJoin")?;
-    let (lk, rk): (Vec<usize>, Vec<usize>) = keys.iter().copied().unzip();
-    let idx = HashIndex::build(right, &rk);
-    let mut names: Vec<String> = left.schema().columns().to_vec();
-    names.extend(right.schema().columns().iter().cloned());
-    let width = names.len();
-    let schema = Schema::from_columns("dyn_join", names);
-    let mut out = Vec::new();
-    for lt in left.iter() {
-        ctx.tick()?;
-        let key = lt.project(&lk);
-        for &row in idx.probe(&key) {
-            ctx.charge_row(width)?;
-            out.push(lt.concat(&right.tuples()[row as usize]));
-        }
-    }
-    Ok(Relation::from_tuples(schema, out))
+    Ok(qf_engine::join_auto_with(left, right, keys, ctx)?.renamed("dyn_join"))
 }
 
 /// Apply bound comparisons (selection) and negations (antijoin) to a

@@ -132,17 +132,45 @@ pub fn evaluate_naive(flock: &QueryFlock, db: &Database) -> Result<Relation> {
         .into_iter()
         .map(|d| d.into_iter().collect())
         .collect();
-    let mut accepted: Vec<Tuple> = Vec::new();
-    let mut assignment = vec![Value::int(0); params.len()];
-    try_assignments(
-        flock,
-        db,
-        &params,
-        &domains,
-        0,
-        &mut assignment,
-        &mut accepted,
-    )?;
+    // Generate-and-test is embarrassingly parallel across the first
+    // parameter's candidate values: each worker owns its assignment
+    // buffer and accepted list, and per-value results are concatenated
+    // in domain order (canonicalized by the sorting builder anyway).
+    let accepted: Vec<Tuple> = if params.is_empty() {
+        let mut accepted = Vec::new();
+        let mut assignment = Vec::new();
+        try_assignments(
+            flock,
+            db,
+            &params,
+            &domains,
+            0,
+            &mut assignment,
+            &mut accepted,
+        )?;
+        accepted
+    } else {
+        let per_value = qf_engine::par_items(
+            &domains[0],
+            qf_engine::default_threads(),
+            |&v| -> Result<Vec<Tuple>> {
+                let mut accepted = Vec::new();
+                let mut assignment = vec![Value::int(0); params.len()];
+                assignment[0] = v;
+                try_assignments(
+                    flock,
+                    db,
+                    &params,
+                    &domains,
+                    1,
+                    &mut assignment,
+                    &mut accepted,
+                )?;
+                Ok(accepted)
+            },
+        )?;
+        per_value.into_iter().flatten().collect()
+    };
     let schema = Schema::from_columns("flock_result", flock.param_names());
     Ok(Relation::from_tuples(schema, accepted))
 }

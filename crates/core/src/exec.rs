@@ -92,6 +92,14 @@ pub fn execute_plan(
 /// and cancellation token. A tripped budget aborts the plan with the
 /// engine error; the working database is dropped, so the caller's `db`
 /// is untouched no matter where the failure lands.
+///
+/// Independent `FILTER` steps evaluate concurrently: consecutive steps
+/// whose queries reference only already-materialized relations form a
+/// *wave*, and each wave's non-reusable steps run on up to
+/// [`ExecContext::threads`] scoped worker threads against the immutable
+/// working database. Results are committed in plan order, so reports,
+/// symmetry reuse, and the final result are identical to sequential
+/// execution.
 pub fn execute_plan_with(
     plan: &QueryPlan,
     db: &Database,
@@ -106,67 +114,113 @@ pub fn execute_plan_with(
     // the same" up to renaming — evaluate once, rename the result).
     let mut executed: Vec<(&crate::plan::FilterStep, Relation)> = Vec::new();
 
-    for step in &plan.steps {
-        let start = Instant::now();
-        if let Some(renamed) = try_symmetric_reuse(step, &executed) {
-            reports.push(StepReport {
-                name: step.output.clone(),
-                answer_tuples: 0,
-                groups: 0,
-                survivors: renamed.len(),
-                elapsed: start.elapsed(),
-                reused: true,
-            });
-            working.insert(renamed.clone());
-            executed.push((step, renamed.clone()));
-            result = Some(renamed);
-            continue;
+    /// How a wave step obtains its result.
+    enum Slot {
+        /// Rename an earlier wave's result (parameter symmetry).
+        Prev(Relation),
+        /// Rename the result of an in-wave representative (by index
+        /// into the wave), once that representative has evaluated.
+        Rep(usize),
+        /// Evaluate the step's query.
+        Eval,
+    }
+
+    let mut i = 0;
+    while i < plan.steps.len() {
+        // A wave is the maximal run of consecutive steps whose queries
+        // reference only relations already materialized (base relations
+        // or outputs of completed waves) — mutually independent, so
+        // they may evaluate concurrently. The first remaining step is
+        // always included; if its inputs are genuinely missing,
+        // compilation reports the error exactly as before.
+        let mut end = i + 1;
+        while end < plan.steps.len() && step_inputs_ready(&plan.steps[end], &working) {
+            end += 1;
         }
-        let answer = compile_answer(&step.query, &working, strategy)?;
-        let answer_rel = execute_with(&answer.plan, &working, ctx)?;
-        // SUM-filter monotonicity precondition: no negative weights.
-        if let FilterAgg::Sum(v) = plan.flock.filter().agg {
-            let rule0 = &step.query.rules()[0];
-            if let Some(pos) = rule0
-                .head
-                .args
-                .iter()
-                .position(|&t| t == qf_datalog::Term::Var(v))
-            {
-                let col = answer.n_params + pos;
-                if let Some(min) = answer_rel.stats().column(col).min {
-                    if min < qf_storage::Value::int(0) {
-                        return Err(crate::error::FlockError::NegativeWeight {
-                            detail: format!("step `{}`: minimum weight {min}", step.output),
-                        });
+        let wave = &plan.steps[i..end];
+
+        // Classify before evaluating: symmetric steps must keep reusing
+        // results (including from a representative in the same wave)
+        // rather than being re-evaluated just because they became
+        // concurrent.
+        let mut slots: Vec<Slot> = Vec::with_capacity(wave.len());
+        for (w, step) in wave.iter().enumerate() {
+            if let Some(renamed) = try_symmetric_reuse(step, &executed) {
+                slots.push(Slot::Prev(renamed));
+                continue;
+            }
+            let rep = (0..w).find(|&p| {
+                matches!(slots[p], Slot::Eval)
+                    && wave[p].query.rules().len() == 1
+                    && step.query.rules().len() == 1
+                    && wave[p].params.len() == step.params.len()
+                    && param_isomorphism(&wave[p].query.rules()[0], &step.query.rules()[0])
+                        .is_some()
+            });
+            slots.push(match rep {
+                Some(p) => Slot::Rep(p),
+                None => Slot::Eval,
+            });
+        }
+
+        // Evaluate the representatives in parallel over the immutable
+        // working database.
+        let eval_idx: Vec<usize> = (0..wave.len())
+            .filter(|&w| matches!(slots[w], Slot::Eval))
+            .collect();
+        if !eval_idx.is_empty() {
+            ctx.note_workers(ctx.threads().min(eval_idx.len()).max(1));
+        }
+        let working_ref = &working;
+        let evaluated = qf_engine::par_items(&eval_idx, ctx.threads(), |&w| {
+            evaluate_step(plan, &wave[w], working_ref, strategy, ctx).map(|e| (w, e))
+        })?;
+        let mut by_slot: Vec<Option<EvaluatedStep>> = (0..wave.len()).map(|_| None).collect();
+        for (w, e) in evaluated {
+            by_slot[w] = Some(e);
+        }
+
+        // Commit in plan order so reports and the working database look
+        // exactly as they would under sequential execution.
+        let mut named_by_w: Vec<Option<Relation>> = vec![None; wave.len()];
+        for (w, step) in wave.iter().enumerate() {
+            let commit = Instant::now();
+            let (named, report) = match &slots[w] {
+                Slot::Prev(renamed) => reuse_commit(step, renamed.clone(), commit),
+                Slot::Rep(p) => {
+                    let rep_named = named_by_w[*p]
+                        .clone()
+                        .unwrap_or_else(|| Relation::empty(Schema::new(&wave[*p].output, &[])));
+                    match try_symmetric_reuse(step, &[(&wave[*p], rep_named)]) {
+                        Some(renamed) => reuse_commit(step, renamed, commit),
+                        // Unreachable in practice (classification already
+                        // proved the isomorphism); evaluate as a fallback.
+                        None => {
+                            let e = evaluate_step(plan, step, &working, strategy, ctx)?;
+                            eval_commit(step, e)
+                        }
                     }
                 }
-            }
+                Slot::Eval => {
+                    let e =
+                        by_slot[w]
+                            .take()
+                            .ok_or_else(|| crate::error::FlockError::IllegalPlan {
+                                detail: format!(
+                                    "step `{}` was skipped by the scheduler",
+                                    step.output
+                                ),
+                            })?;
+                    eval_commit(step, e)
+                }
+            };
+            reports.push(report);
+            working.insert(named.clone());
+            executed.push((step, named.clone()));
+            named_by_w[w] = Some(named.clone());
+            result = Some(named);
         }
-
-        // Group by parameters, apply the flock's condition, keep params.
-        let filtered = filter_answer_rel(plan, step, &answer, &answer_rel, &working, ctx)?;
-        let groups = count_groups(&answer_rel, answer.n_params);
-        reports.push(StepReport {
-            name: step.output.clone(),
-            answer_tuples: answer_rel.len(),
-            groups,
-            survivors: filtered.len(),
-            elapsed: start.elapsed(),
-            reused: false,
-        });
-
-        // Materialize under the step's name with parameter column names.
-        let named = Relation::from_sorted_dedup(
-            Schema::from_columns(
-                step.output.clone(),
-                step.params.iter().map(|p| p.to_string()).collect(),
-            ),
-            filtered.tuples().to_vec(),
-        );
-        working.insert(named.clone());
-        executed.push((step, named.clone()));
-        result = Some(named);
+        i = end;
     }
 
     let result = result.expect("validated plans are non-empty");
@@ -174,6 +228,105 @@ pub fn execute_plan_with(
         result: as_flock_result(&plan.flock, &result),
         steps: reports,
     })
+}
+
+/// True when every relation `step`'s query references already exists in
+/// `working` — the condition for joining the current wave.
+fn step_inputs_ready(step: &crate::plan::FilterStep, working: &Database) -> bool {
+    step.query
+        .rules()
+        .iter()
+        .flat_map(|r| r.predicates())
+        .all(|pred| working.contains(pred.as_str()))
+}
+
+/// The measured outcome of actually evaluating one `FILTER` step.
+struct EvaluatedStep {
+    answer_tuples: usize,
+    groups: usize,
+    filtered: Relation,
+    elapsed: std::time::Duration,
+}
+
+/// Evaluate one step's query against `working` and apply the flock's
+/// filter. Runs on a worker thread during wave-parallel execution, so
+/// it only reads `working` and charges the shared governor.
+fn evaluate_step(
+    plan: &QueryPlan,
+    step: &crate::plan::FilterStep,
+    working: &Database,
+    strategy: JoinOrderStrategy,
+    ctx: &ExecContext,
+) -> Result<EvaluatedStep> {
+    let start = Instant::now();
+    let answer = compile_answer(&step.query, working, strategy)?;
+    let answer_rel = execute_with(&answer.plan, working, ctx)?;
+    // SUM-filter monotonicity precondition: no negative weights.
+    if let FilterAgg::Sum(v) = plan.flock.filter().agg {
+        let rule0 = &step.query.rules()[0];
+        if let Some(pos) = rule0
+            .head
+            .args
+            .iter()
+            .position(|&t| t == qf_datalog::Term::Var(v))
+        {
+            let col = answer.n_params + pos;
+            if let Some(min) = answer_rel.stats().column(col).min {
+                if min < qf_storage::Value::int(0) {
+                    return Err(crate::error::FlockError::NegativeWeight {
+                        detail: format!("step `{}`: minimum weight {min}", step.output),
+                    });
+                }
+            }
+        }
+    }
+    // Group by parameters, apply the flock's condition, keep params.
+    let filtered = filter_answer_rel(plan, step, &answer, &answer_rel, working, ctx)?;
+    let groups = count_groups(&answer_rel, answer.n_params);
+    Ok(EvaluatedStep {
+        answer_tuples: answer_rel.len(),
+        groups,
+        filtered,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Report + named relation for a step answered by renaming.
+fn reuse_commit(
+    step: &crate::plan::FilterStep,
+    renamed: Relation,
+    start: Instant,
+) -> (Relation, StepReport) {
+    let report = StepReport {
+        name: step.output.clone(),
+        answer_tuples: 0,
+        groups: 0,
+        survivors: renamed.len(),
+        elapsed: start.elapsed(),
+        reused: true,
+    };
+    (renamed, report)
+}
+
+/// Report + named relation for an evaluated step: materialize under the
+/// step's name with parameter column names.
+fn eval_commit(step: &crate::plan::FilterStep, e: EvaluatedStep) -> (Relation, StepReport) {
+    let named = Relation::from_sorted_dedup(
+        Schema::from_columns(
+            step.output.clone(),
+            step.params.iter().map(|p| p.to_string()).collect(),
+        ),
+        e.filtered.tuples().to_vec(),
+    );
+    let report = StepReport {
+        name: step.output.clone(),
+        answer_tuples: e.answer_tuples,
+        groups: e.groups,
+        survivors: named.len(),
+        elapsed: e.elapsed,
+        reused: false,
+    };
+    (named, report)
 }
 
 /// If `step`'s query is isomorphic to an already-executed step's query

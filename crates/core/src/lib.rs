@@ -80,4 +80,6 @@ pub use program::FlockProgram;
 pub use sql::{plan_to_sql, to_sql};
 // Governor types, re-exported so downstream crates can budget flock
 // evaluation without depending on qf-engine directly.
-pub use qf_engine::{CancelToken, Degradation, EngineError, ExecContext, ExecStats, Resource};
+pub use qf_engine::{
+    default_threads, CancelToken, Degradation, EngineError, ExecContext, ExecStats, Resource,
+};

@@ -147,6 +147,59 @@ fn governed_success_matches_ungoverned() {
 }
 
 #[test]
+fn concurrent_execution_respects_row_budget() {
+    // Workers charge the shared atomic counters before materializing,
+    // so a multi-thread run still trips the budget; overshoot is
+    // bounded by one in-flight charge per worker.
+    let db = basket_db();
+    let limit = 20_000u64;
+    let ctx = ExecContext::unbounded()
+        .with_threads(4)
+        .with_max_rows(limit);
+    let err =
+        evaluate_direct_with(&explosive_flock(), &db, JoinOrderStrategy::Greedy, &ctx).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            FlockError::Engine(EngineError::ResourceExhausted {
+                resource: Resource::Rows,
+                limit: 20_000,
+                ..
+            })
+        ),
+        "{err:?}"
+    );
+    let stats = ctx.stats();
+    let workers = stats.workers.max(1);
+    assert!(
+        stats.rows <= limit + workers,
+        "counted {} rows under a {limit}-row budget with {workers} workers",
+        stats.rows
+    );
+}
+
+#[test]
+fn concurrent_success_matches_single_thread() {
+    let db = basket_db();
+    let flock = pairs_flock();
+    let one = evaluate_direct_with(
+        &flock,
+        &db,
+        JoinOrderStrategy::Greedy,
+        &ExecContext::unbounded().with_threads(1),
+    )
+    .unwrap();
+    let four = evaluate_direct_with(
+        &flock,
+        &db,
+        JoinOrderStrategy::Greedy,
+        &ExecContext::unbounded().with_threads(4),
+    )
+    .unwrap();
+    assert_eq!(one, four);
+}
+
+#[test]
 fn plan_search_timeout_degrades_to_static_heuristic() {
     let db = basket_db();
     let flock = pairs_flock();

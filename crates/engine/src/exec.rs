@@ -12,12 +12,22 @@
 //! [`EngineError::ResourceExhausted`] / [`EngineError::Cancelled`]
 //! instead of exhausting the machine. `execute` is simply
 //! `execute_with` under an unbounded context.
+//!
+//! Row-at-a-time operators (select, project, join probe, anti-join
+//! probe, group-by accumulation) are partition-parallel: the input's
+//! sorted tuple slice is split into contiguous chunks processed on
+//! scoped worker threads (see [`crate::parallel`]), up to
+//! [`ExecContext::threads`] of them. Chunk outputs are reassembled in
+//! chunk order and canonicalized, so results are identical to
+//! single-thread execution.
 
 use qf_storage::{Database, FastMap, HashIndex, Relation, Schema, Tuple, Value};
 
 use crate::error::{EngineError, Result};
 use crate::expr::Predicate;
 use crate::governor::ExecContext;
+use crate::merge;
+use crate::parallel;
 use crate::plan::{AggFn, PhysicalPlan};
 
 /// Evaluate `plan` against `db` with no resource limits.
@@ -42,15 +52,24 @@ pub fn execute_with(plan: &PhysicalPlan, db: &Database, ctx: &ExecContext) -> Re
             let rel = execute_with(input, db, ctx)?;
             check_predicates(predicates, rel.schema().arity(), "Select")?;
             let width = rel.schema().arity();
-            let mut tuples: Vec<Tuple> = Vec::new();
-            for t in rel.iter() {
-                ctx.tick()?;
-                if predicates.iter().all(|p| p.eval(t)) {
-                    ctx.charge_row(width)?;
-                    tuples.push(t.clone());
-                }
-            }
-            // Filtering a sorted set preserves sortedness and dedup.
+            let workers = parallel::workers_for(rel.len(), ctx.threads());
+            ctx.note_workers(workers);
+            let chunks =
+                parallel::par_chunks(rel.tuples(), workers, |chunk| -> Result<Vec<Tuple>> {
+                    let mut keep: Vec<Tuple> = Vec::new();
+                    for t in chunk {
+                        ctx.tick()?;
+                        if predicates.iter().all(|p| p.eval(t)) {
+                            ctx.charge_row(width)?;
+                            keep.push(t.clone());
+                        }
+                    }
+                    Ok(keep)
+                })?;
+            // Filtering contiguous chunks of a sorted set and
+            // concatenating them in chunk order preserves sortedness
+            // and dedup.
+            let tuples: Vec<Tuple> = chunks.into_iter().flatten().collect();
             Ok(Relation::from_sorted_dedup(rel.schema().clone(), tuples))
         }
 
@@ -63,11 +82,18 @@ pub fn execute_with(plan: &PhysicalPlan, db: &Database, ctx: &ExecContext) -> Re
                 .map(|&c| rel.schema().columns()[c].clone())
                 .collect();
             let schema = Schema::from_columns("project", names);
-            let mut tuples: Vec<Tuple> = Vec::with_capacity(rel.len());
-            for t in rel.iter() {
-                ctx.charge_row(cols.len())?;
-                tuples.push(t.project(cols));
-            }
+            let workers = parallel::workers_for(rel.len(), ctx.threads());
+            ctx.note_workers(workers);
+            let chunks =
+                parallel::par_chunks(rel.tuples(), workers, |chunk| -> Result<Vec<Tuple>> {
+                    let mut out: Vec<Tuple> = Vec::with_capacity(chunk.len());
+                    for t in chunk {
+                        ctx.charge_row(cols.len())?;
+                        out.push(t.project(cols));
+                    }
+                    Ok(out)
+                })?;
+            let tuples: Vec<Tuple> = chunks.into_iter().flatten().collect();
             Ok(Relation::from_tuples(schema, tuples))
         }
 
@@ -76,24 +102,10 @@ pub fn execute_with(plan: &PhysicalPlan, db: &Database, ctx: &ExecContext) -> Re
             let l = execute_with(left, db, ctx)?;
             let r = execute_with(right, db, ctx)?;
             check_join_keys(keys, l.schema().arity(), r.schema().arity(), "HashJoin")?;
-            let (lk, rk): (Vec<usize>, Vec<usize>) = keys.iter().copied().unzip();
-            let schema = concat_schema(&l, &r);
-            let width = schema.arity();
-            // Build on the smaller side; probe preserves left-major order
-            // only when building right, so always build right and sort
-            // after (join output needs a sort for set canonicalization
-            // anyway when keys don't prefix the sort order).
-            let idx = HashIndex::build(&r, &rk);
-            let mut out: Vec<Tuple> = Vec::new();
-            for lt in l.iter() {
-                ctx.tick()?;
-                let key = lt.project(&lk);
-                for &row in idx.probe(&key) {
-                    ctx.charge_row(width)?;
-                    out.push(lt.concat(&r.tuples()[row as usize]));
-                }
-            }
-            Ok(Relation::from_tuples(schema, out))
+            // Merge fast path when the keys are the leading columns of
+            // both (sorted) inputs; otherwise hash join with the build
+            // table on the smaller side and a parallel probe.
+            merge::join_auto_with(&l, &r, keys, ctx)
         }
 
         PhysicalPlan::AntiJoin { left, right, keys } => {
@@ -102,16 +114,25 @@ pub fn execute_with(plan: &PhysicalPlan, db: &Database, ctx: &ExecContext) -> Re
             let r = execute_with(right, db, ctx)?;
             check_join_keys(keys, l.schema().arity(), r.schema().arity(), "AntiJoin")?;
             let (lk, rk): (Vec<usize>, Vec<usize>) = keys.iter().copied().unzip();
+            // The right side is the filter, so it must be the build
+            // side regardless of size.
             let idx = HashIndex::build(&r, &rk);
             let width = l.schema().arity();
-            let mut tuples: Vec<Tuple> = Vec::new();
-            for lt in l.iter() {
-                ctx.tick()?;
-                if !idx.contains_key(&lt.project(&lk)) {
-                    ctx.charge_row(width)?;
-                    tuples.push(lt.clone());
-                }
-            }
+            let workers = parallel::workers_for(l.len(), ctx.threads());
+            ctx.note_workers(workers);
+            let chunks =
+                parallel::par_chunks(l.tuples(), workers, |chunk| -> Result<Vec<Tuple>> {
+                    let mut keep: Vec<Tuple> = Vec::new();
+                    for lt in chunk {
+                        ctx.tick()?;
+                        if !idx.contains_key(&lt.project(&lk)) {
+                            ctx.charge_row(width)?;
+                            keep.push(lt.clone());
+                        }
+                    }
+                    Ok(keep)
+                })?;
+            let tuples: Vec<Tuple> = chunks.into_iter().flatten().collect();
             Ok(Relation::from_sorted_dedup(l.schema().clone(), tuples))
         }
 
@@ -160,6 +181,11 @@ pub fn execute_with(plan: &PhysicalPlan, db: &Database, ctx: &ExecContext) -> Re
 
 /// Grouped aggregation. Output schema: group columns then the aggregate
 /// column (named after the function).
+///
+/// Accumulation is partition-parallel: each worker folds its chunk into
+/// a private accumulator map, and the per-worker maps are merged
+/// ([`Acc::merge`]) on the caller's thread. COUNT/SUM/MIN/MAX all admit
+/// associative merges, so the result is independent of the partitioning.
 fn aggregate(rel: &Relation, group: &[usize], agg: AggFn, ctx: &ExecContext) -> Result<Relation> {
     let mut names: Vec<String> = group
         .iter()
@@ -169,25 +195,70 @@ fn aggregate(rel: &Relation, group: &[usize], agg: AggFn, ctx: &ExecContext) -> 
     let schema = Schema::from_columns("aggregate", names);
     let width = group.len() + 1;
 
+    // SQL/paper semantics: a *global* aggregate (empty group list) over
+    // empty input still yields one row. COUNT and SUM have identity 0
+    // (the paper's support filter compares `COUNT(answer.X) >= s`, and
+    // an unsupported candidate must see count 0, not a vanished row);
+    // MIN/MAX have no identity in a NULL-free value domain, so an empty
+    // global MIN/MAX yields the empty relation.
+    if group.is_empty() && rel.is_empty() {
+        return match agg {
+            AggFn::Count | AggFn::Sum(_) => {
+                ctx.charge_row(width)?;
+                Ok(Relation::from_tuples(
+                    schema,
+                    vec![Tuple::from([Value::int(0)])],
+                ))
+            }
+            AggFn::Min(_) | AggFn::Max(_) => Ok(Relation::empty(schema)),
+        };
+    }
+
+    let workers = parallel::workers_for(rel.len(), ctx.threads());
+    ctx.note_workers(workers);
+    let maps = parallel::par_chunks(
+        rel.tuples(),
+        workers,
+        |chunk| -> Result<FastMap<Tuple, Acc>> {
+            let mut groups: FastMap<Tuple, Acc> = FastMap::default();
+            for t in chunk {
+                ctx.tick()?;
+                let key = t.project(group);
+                if !groups.contains_key(&key) {
+                    // A new group materializes an accumulator row. (A group
+                    // spanning chunks is charged once per chunk — a
+                    // deliberate overestimate; budgets trip early, never
+                    // late.)
+                    ctx.charge_row(width)?;
+                }
+                let acc = groups.entry(key).or_insert_with(|| Acc::new(agg));
+                acc.update(t, agg)?;
+            }
+            Ok(groups)
+        },
+    )?;
+
     let mut groups: FastMap<Tuple, Acc> = FastMap::default();
-    for t in rel.iter() {
-        ctx.tick()?;
-        let key = t.project(group);
-        if !groups.contains_key(&key) {
-            // A new group materializes an accumulator row.
-            ctx.charge_row(width)?;
+    for map in maps {
+        for (key, acc) in map {
+            match groups.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().merge(acc, agg)?;
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(acc);
+                }
+            }
         }
-        let acc = groups.entry(key).or_insert_with(|| Acc::new(agg));
-        acc.update(t, agg)?;
     }
     let tuples: Vec<Tuple> = groups
         .into_iter()
         .map(|(key, acc)| {
             let mut v = key.values().to_vec();
-            v.push(acc.finish());
-            Tuple::from(v)
+            v.push(acc.finish()?);
+            Ok(Tuple::from(v))
         })
-        .collect();
+        .collect::<Result<_>>()?;
     Ok(Relation::from_tuples(schema, tuples))
 }
 
@@ -227,24 +298,65 @@ impl Acc {
                 let v = t.get(c);
                 *m = Some(m.map_or(v, |old| old.max(v)));
             }
-            _ => unreachable!("accumulator/aggregate mismatch"),
+            (acc, agg) => {
+                return Err(EngineError::AggregateType {
+                    detail: format!("accumulator {} does not accept {}", acc.kind(), agg.name()),
+                })
+            }
         }
         Ok(())
     }
 
-    fn finish(self) -> Value {
+    /// Fold another group's state (from a different partition) into
+    /// this one. All four aggregates are associative and commutative,
+    /// so merge order does not affect the result.
+    fn merge(&mut self, other: Acc, agg: AggFn) -> Result<()> {
+        match (self, other) {
+            (Acc::Count(a), Acc::Count(b)) => *a += b,
+            (Acc::Sum(a), Acc::Sum(b)) => *a = a.saturating_add(b),
+            (Acc::MinMax(a), Acc::MinMax(b)) => {
+                *a = match (*a, b) {
+                    (Some(x), Some(y)) => Some(if matches!(agg, AggFn::Min(_)) {
+                        x.min(y)
+                    } else {
+                        x.max(y)
+                    }),
+                    (x, y) => x.or(y),
+                };
+            }
+            (acc, other) => {
+                return Err(EngineError::AggregateType {
+                    detail: format!(
+                        "cannot merge accumulator {} into {}",
+                        other.kind(),
+                        acc.kind()
+                    ),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<Value> {
         match self {
-            Acc::Count(n) => Value::int(n),
-            Acc::Sum(s) => Value::int(s),
-            Acc::MinMax(v) => v.expect("group with no rows"),
+            Acc::Count(n) => Ok(Value::int(n)),
+            Acc::Sum(s) => Ok(Value::int(s)),
+            // A MIN/MAX group exists only because a row created it, so
+            // an empty accumulator here is an internal invariant
+            // violation — reported as an error, never a panic.
+            Acc::MinMax(v) => v.ok_or_else(|| EngineError::AggregateType {
+                detail: "MIN/MAX group finished with no rows".to_string(),
+            }),
         }
     }
-}
 
-fn concat_schema(l: &Relation, r: &Relation) -> Schema {
-    let mut names: Vec<String> = l.schema().columns().to_vec();
-    names.extend(r.schema().columns().iter().cloned());
-    Schema::from_columns("join", names)
+    fn kind(&self) -> &'static str {
+        match self {
+            Acc::Count(_) => "COUNT",
+            Acc::Sum(_) => "SUM",
+            Acc::MinMax(_) => "MIN/MAX",
+        }
+    }
 }
 
 fn check_columns(cols: &[usize], arity: usize, operator: &'static str) -> Result<()> {
@@ -413,6 +525,99 @@ mod tests {
         let r = execute(&p, &db()).unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r.tuples()[0].get(0), Value::int(5));
+    }
+
+    /// An empty relation named `nothing` alongside the sample data.
+    fn db_with_empty() -> Database {
+        let mut d = db();
+        d.insert(Relation::empty(Schema::new("nothing", &["x", "y"])));
+        d
+    }
+
+    #[test]
+    fn global_count_over_empty_input_is_zero_row() {
+        let p = PhysicalPlan::aggregate(PhysicalPlan::scan("nothing"), vec![], AggFn::Count);
+        let r = execute(&p, &db_with_empty()).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples()[0].get(0), Value::int(0));
+        assert_eq!(r.schema().columns(), &["count".to_string()]);
+    }
+
+    #[test]
+    fn global_sum_over_empty_input_is_zero_row() {
+        let p = PhysicalPlan::aggregate(PhysicalPlan::scan("nothing"), vec![], AggFn::Sum(0));
+        let r = execute(&p, &db_with_empty()).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples()[0].get(0), Value::int(0));
+    }
+
+    #[test]
+    fn global_min_max_over_empty_input_is_empty() {
+        // MIN/MAX have no identity element in a NULL-free domain.
+        for agg in [AggFn::Min(0), AggFn::Max(0)] {
+            let p = PhysicalPlan::aggregate(PhysicalPlan::scan("nothing"), vec![], agg);
+            let r = execute(&p, &db_with_empty()).unwrap();
+            assert!(r.is_empty());
+            assert_eq!(r.schema().arity(), 1);
+        }
+    }
+
+    #[test]
+    fn grouped_aggregate_over_empty_input_is_empty() {
+        // With a non-empty group list there are no groups to report.
+        let p = PhysicalPlan::aggregate(PhysicalPlan::scan("nothing"), vec![0], AggFn::Count);
+        let r = execute(&p, &db_with_empty()).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn accumulator_mismatch_is_error_not_panic() {
+        let mut acc = Acc::new(AggFn::Count);
+        let t = Tuple::from([Value::int(1)]);
+        let err = acc.update(&t, AggFn::Sum(0)).unwrap_err();
+        assert!(matches!(err, EngineError::AggregateType { .. }));
+        let err = Acc::new(AggFn::Count)
+            .merge(Acc::new(AggFn::Min(0)), AggFn::Count)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::AggregateType { .. }));
+    }
+
+    #[test]
+    fn empty_minmax_accumulator_finishes_with_error() {
+        let err = Acc::new(AggFn::Min(0)).finish().unwrap_err();
+        assert!(matches!(err, EngineError::AggregateType { .. }));
+    }
+
+    #[test]
+    fn parallel_execution_matches_single_thread_on_large_input() {
+        // Large enough that workers_for actually fans out (> PAR_THRESHOLD).
+        let n = crate::parallel::PAR_THRESHOLD as i64 * 3;
+        let mut d = Database::new();
+        d.insert(Relation::from_rows(
+            Schema::new("big", &["k", "v"]),
+            (0..n)
+                .map(|i| vec![Value::int(i % 397), Value::int(i)])
+                .collect(),
+        ));
+        let plan = PhysicalPlan::aggregate(
+            PhysicalPlan::select(
+                PhysicalPlan::hash_join(
+                    PhysicalPlan::scan("big"),
+                    PhysicalPlan::scan("big"),
+                    vec![(0, 0)],
+                ),
+                vec![Predicate::col_col(1, CmpOp::Lt, 3)],
+            ),
+            vec![0],
+            AggFn::Count,
+        );
+        let ctx1 = ExecContext::unbounded().with_threads(1);
+        let ctx4 = ExecContext::unbounded().with_threads(4);
+        let one = execute_with(&plan, &d, &ctx1).unwrap();
+        let four = execute_with(&plan, &d, &ctx4).unwrap();
+        assert_eq!(one.tuples(), four.tuples());
+        assert_eq!(ctx1.stats().workers, 1);
+        assert!(ctx4.stats().workers > 1);
     }
 
     #[test]

@@ -26,6 +26,12 @@
 //!   amortized inside loops (every [`CHECK_INTERVAL`] work units), so
 //!   even a filter that materializes nothing notices a deadline.
 //!
+//! All counters are atomics and the context is `Send + Sync`, so one
+//! context governs every worker thread of a parallel operator
+//! ([`crate::parallel`]): each worker charges the shared counters
+//! before materializing, which bounds budget overshoot to at most one
+//! in-flight charge per worker.
+//!
 //! Contexts are cheap to clone and share their counters; use
 //! [`ExecContext::subcontext`] for a *fresh* budget that still honours
 //! the parent's deadline and cancellation (dynamic evaluation uses this
@@ -110,6 +116,8 @@ pub struct ExecStats {
     pub rows: u64,
     /// Estimated bytes materialized under this context.
     pub bytes: u64,
+    /// Largest number of worker threads any single operator used.
+    pub workers: u64,
     /// Graceful degradations recorded anywhere in the context tree.
     pub degradations: Vec<Degradation>,
 }
@@ -127,6 +135,7 @@ struct Counters {
     rows: AtomicU64,
     bytes: AtomicU64,
     work: AtomicU64,
+    workers: AtomicU64,
 }
 
 /// Governor state threaded through plan execution. See the module docs
@@ -138,12 +147,21 @@ pub struct ExecContext {
     deadline: Option<Instant>,
     timeout_ms: u64,
     start: Instant,
+    threads: usize,
     cancel: CancelToken,
     counters: Arc<Counters>,
     degradations: Arc<Mutex<Vec<Degradation>>>,
     #[cfg(feature = "fault-injection")]
     fault: Option<Arc<FaultPoint>>,
 }
+
+// Operators share one `&ExecContext` across scoped worker threads, so
+// the governor must stay `Send + Sync` (all shared state is atomics or
+// mutexes). Compile-time proof:
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ExecContext>();
+};
 
 impl Default for ExecContext {
     fn default() -> ExecContext {
@@ -161,6 +179,7 @@ impl ExecContext {
             deadline: None,
             timeout_ms: 0,
             start: Instant::now(),
+            threads: crate::parallel::default_threads(),
             cancel: CancelToken::new(),
             counters: Arc::new(Counters::default()),
             degradations: Arc::new(Mutex::new(Vec::new())),
@@ -195,6 +214,24 @@ impl ExecContext {
         self
     }
 
+    /// Cap the number of worker threads operators may use (clamped to
+    /// at least 1). The default is [`crate::parallel::default_threads`].
+    pub fn with_threads(mut self, threads: usize) -> ExecContext {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Configured worker-thread cap for parallel operators.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Record that an operator ran with `n` workers; [`ExecStats`]
+    /// reports the maximum seen.
+    pub fn note_workers(&self, n: usize) {
+        self.counters.workers.fetch_max(n as u64, Ordering::Relaxed);
+    }
+
     /// Arm the fault injector: the `fail_on`-th operator invocation
     /// (1-based, counted across the whole context tree) fails with
     /// [`EngineError::FaultInjected`].
@@ -225,6 +262,7 @@ impl ExecContext {
             deadline: self.deadline,
             timeout_ms: self.timeout_ms,
             start: self.start,
+            threads: self.threads,
             cancel: self.cancel.clone(),
             counters: Arc::new(Counters::default()),
             degradations: Arc::clone(&self.degradations),
@@ -362,6 +400,7 @@ impl ExecContext {
         ExecStats {
             rows: self.counters.rows.load(Ordering::Relaxed),
             bytes: self.counters.bytes.load(Ordering::Relaxed),
+            workers: self.counters.workers.load(Ordering::Relaxed),
             degradations: self
                 .degradations
                 .lock()
@@ -472,6 +511,20 @@ mod tests {
         // Cancellation reaches the child.
         ctx.cancel_token().cancel();
         assert_eq!(child.enter("Union").unwrap_err(), EngineError::Cancelled);
+    }
+
+    #[test]
+    fn threads_clamped_and_workers_tracked() {
+        let ctx = ExecContext::unbounded().with_threads(0);
+        assert_eq!(ctx.threads(), 1);
+        let ctx = ctx.with_threads(4);
+        assert_eq!(ctx.threads(), 4);
+        ctx.note_workers(2);
+        ctx.note_workers(4);
+        ctx.note_workers(3);
+        assert_eq!(ctx.stats().workers, 4);
+        // Subcontexts inherit the thread cap.
+        assert_eq!(ctx.subcontext(None, None).threads(), 4);
     }
 
     #[test]

@@ -162,12 +162,12 @@ pub fn order_greedy(graph: &JoinGraph) -> Vec<usize> {
                 .unwrap_or(std::cmp::Ordering::Equal)
         })
         .map(|(pos, _)| pos)
-        .unwrap();
+        .unwrap_or(0);
     let seed = remaining.swap_remove(seed_pos);
     let mut order = vec![seed];
     let mut composite = Composite::from_node(&graph.nodes[seed]);
     while !remaining.is_empty() {
-        let (pos, next_comp) = remaining
+        let Some((pos, next_comp)) = remaining
             .iter()
             .enumerate()
             .map(|(pos, &i)| (pos, composite.join(&graph.nodes[i])))
@@ -176,7 +176,9 @@ pub fn order_greedy(graph: &JoinGraph) -> Vec<usize> {
                     .partial_cmp(&b.rows)
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
-            .unwrap();
+        else {
+            break; // unreachable: remaining is non-empty
+        };
         let chosen = remaining.swap_remove(pos);
         order.push(chosen);
         composite = next_comp;
@@ -234,7 +236,12 @@ pub fn order_optimal_dp(graph: &JoinGraph) -> Vec<usize> {
     let mut order = Vec::with_capacity(n);
     let mut mask = full;
     while mask != 0 {
-        let (_, _, last) = best[mask as usize].clone().expect("dp table hole");
+        let Some((_, _, last)) = best[mask as usize].clone() else {
+            // Every reachable mask is filled by construction; a hole
+            // would be an internal bug. Degrade to as-written order
+            // rather than panicking mid-optimization.
+            return (0..n).collect();
+        };
         order.push(last);
         mask &= !(1u32 << last);
     }

@@ -56,6 +56,7 @@ pub mod expr;
 pub mod governor;
 pub mod joinorder;
 pub mod merge;
+pub mod parallel;
 pub mod plan;
 
 pub use cost::{cost, cost_with};
@@ -65,5 +66,6 @@ pub use exec::{execute, execute_with};
 pub use expr::{CmpOp, Operand, Predicate};
 pub use governor::{CancelToken, Degradation, ExecContext, ExecStats, Resource};
 pub use joinorder::{order_greedy, order_optimal_dp, JoinGraph, JoinNode};
-pub use merge::{join_auto, merge_join, merge_joinable};
+pub use merge::{join_auto, join_auto_with, merge_join, merge_join_with, merge_joinable};
+pub use parallel::{default_threads, par_chunks, par_items, workers_for};
 pub use plan::{AggFn, PhysicalPlan};

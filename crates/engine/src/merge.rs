@@ -5,30 +5,62 @@
 //! tables entirely and merge the two sorted runs. Mining plans hit this
 //! case constantly — `FILTER`-step outputs are keyed by their parameter
 //! columns, which are the leading columns by construction — and the
-//! merge path avoids both the build table and the output sort.
+//! merge path avoids both the build table and the output sort of large
+//! runs.
 //!
-//! [`merge_join`] requires the leading-column precondition and
-//! debug-asserts it; [`join_auto`] picks merge when legal and falls back
-//! to hash join otherwise, and is what the executor uses.
+//! [`merge_join`] requires the leading-column precondition
+//! ([`merge_joinable`]) and asserts the key count fits both arities;
+//! [`join_auto_with`] picks merge when the key layout permits and falls
+//! back to a smaller-side-build hash join with a parallel probe
+//! otherwise. The executor's `HashJoin` operator delegates to
+//! [`join_auto_with`], so every plan-level join gets both the merge
+//! fast path and the build-side choice.
 
 use std::cmp::Ordering;
 
 use qf_storage::{HashIndex, Relation, Schema, Tuple};
 
+use crate::error::Result;
+use crate::governor::ExecContext;
+use crate::parallel;
+
 /// True if `keys` are exactly the leading columns of both inputs, in
-/// order — the precondition under which sorted-run merging is correct.
+/// order — the precondition under which sorted-run merging is correct
+/// (relations are sorted by full tuple, so they are sorted by any
+/// leading-column prefix).
 pub fn merge_joinable(keys: &[(usize, usize)]) -> bool {
     keys.iter().enumerate().all(|(i, &(l, r))| l == i && r == i)
 }
 
-/// Sort-merge join on the leading `keys.len()` columns of both inputs.
-/// Output is `left ++ right`, sorted and deduplicated.
+/// Sort-merge join on the leading `n_keys` columns of both inputs,
+/// governed by `ctx`. Output is `left ++ right`, sorted and
+/// deduplicated.
 ///
-/// Panics (debug) if the precondition of [`merge_joinable`] fails.
-pub fn merge_join(left: &Relation, right: &Relation, n_keys: usize) -> Relation {
-    debug_assert!(n_keys <= left.schema().arity());
-    debug_assert!(n_keys <= right.schema().arity());
+/// # Panics
+///
+/// Asserts that `n_keys` does not exceed either input's arity — the
+/// real precondition of merging sorted runs. (That the inputs are
+/// sorted on those leading columns is guaranteed by `Relation`'s
+/// sorted-by-full-tuple invariant, debug-checked here.)
+pub fn merge_join_with(
+    left: &Relation,
+    right: &Relation,
+    n_keys: usize,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    assert!(
+        n_keys <= left.schema().arity() && n_keys <= right.schema().arity(),
+        "merge_join: {n_keys} key columns exceed input arity ({} / {})",
+        left.schema().arity(),
+        right.schema().arity()
+    );
+    debug_assert!(
+        left.tuples().windows(2).all(|w| w[0] <= w[1])
+            && right.tuples().windows(2).all(|w| w[0] <= w[1]),
+        "merge_join inputs must be sorted"
+    );
     let schema = concat_schema(left, right);
+    let width = schema.arity();
     let lt = left.tuples();
     let rt = right.tuples();
     let mut out: Vec<Tuple> = Vec::new();
@@ -43,6 +75,7 @@ pub fn merge_join(left: &Relation, right: &Relation, n_keys: usize) -> Relation 
         Ordering::Equal
     };
     while i < lt.len() && j < rt.len() {
+        ctx.tick()?;
         match key_cmp(&lt[i], &rt[j]) {
             Ordering::Less => i += 1,
             Ordering::Greater => j += 1,
@@ -52,6 +85,7 @@ pub fn merge_join(left: &Relation, right: &Relation, n_keys: usize) -> Relation 
                 let j_end = run_end(rt, j, n_keys);
                 for a in &lt[i..i_end] {
                     for b in &rt[j..j_end] {
+                        ctx.charge_row(width)?;
                         out.push(a.concat(b));
                     }
                 }
@@ -63,7 +97,12 @@ pub fn merge_join(left: &Relation, right: &Relation, n_keys: usize) -> Relation 
     // The merge emits in left-major sorted order, but concatenated
     // tuples within a run may interleave; a final canonicalization pass
     // is still cheap because runs are short. Use the sorting builder.
-    Relation::from_tuples(schema, out)
+    Ok(Relation::from_tuples(schema, out))
+}
+
+/// Ungoverned [`merge_join_with`] (unbounded context).
+pub fn merge_join(left: &Relation, right: &Relation, n_keys: usize) -> Result<Relation> {
+    merge_join_with(left, right, n_keys, &ExecContext::unbounded())
 }
 
 /// End of the run of tuples sharing `t[start]`'s leading `n_keys` values.
@@ -75,24 +114,59 @@ fn run_end(tuples: &[Tuple], start: usize, n_keys: usize) -> usize {
     end
 }
 
-/// Join two materialized relations, choosing merge when the key layout
-/// permits, hash otherwise. Output is `left ++ right`.
-pub fn join_auto(left: &Relation, right: &Relation, keys: &[(usize, usize)]) -> Relation {
+/// Join two materialized relations under `ctx`, choosing merge when the
+/// key layout permits, hash otherwise. The hash path builds its table
+/// on the **smaller** input and probes the larger one with up to
+/// [`ExecContext::threads`] workers. Output is `left ++ right`, sorted
+/// and deduplicated, identical regardless of path or build side.
+pub fn join_auto_with(
+    left: &Relation,
+    right: &Relation,
+    keys: &[(usize, usize)],
+    ctx: &ExecContext,
+) -> Result<Relation> {
     if !keys.is_empty() && merge_joinable(keys) {
-        return merge_join(left, right, keys.len());
+        return merge_join_with(left, right, keys.len(), ctx);
     }
-    // Hash join path (same logic as the executor's HashJoin).
     let (lk, rk): (Vec<usize>, Vec<usize>) = keys.iter().copied().unzip();
-    let idx = HashIndex::build(right, &rk);
     let schema = concat_schema(left, right);
-    let mut out = Vec::new();
-    for a in left.iter() {
-        let key = a.project(&lk);
-        for &row in idx.probe(&key) {
-            out.push(a.concat(&right.tuples()[row as usize]));
+    let width = schema.arity();
+    // Build on the smaller side: the build table is the O(n) memory
+    // cost, the probe side only streams.
+    let build_left = left.len() < right.len();
+    let (build, probe, build_keys, probe_keys) = if build_left {
+        (left, right, &lk, &rk)
+    } else {
+        (right, left, &rk, &lk)
+    };
+    let idx = HashIndex::build(build, build_keys);
+    let workers = parallel::workers_for(probe.len(), ctx.threads());
+    ctx.note_workers(workers);
+    let chunks = parallel::par_chunks(probe.tuples(), workers, |chunk| -> Result<Vec<Tuple>> {
+        let mut out: Vec<Tuple> = Vec::new();
+        for t in chunk {
+            ctx.tick()?;
+            for &row in idx.probe(&t.project(probe_keys)) {
+                ctx.charge_row(width)?;
+                let bt = &build.tuples()[row as usize];
+                // Output columns are always left ++ right, whichever
+                // side was built.
+                out.push(if build_left {
+                    bt.concat(t)
+                } else {
+                    t.concat(bt)
+                });
+            }
         }
-    }
-    Relation::from_tuples(schema, out)
+        Ok(out)
+    })?;
+    let out: Vec<Tuple> = chunks.into_iter().flatten().collect();
+    Ok(Relation::from_tuples(schema, out))
+}
+
+/// Ungoverned [`join_auto_with`] (unbounded context).
+pub fn join_auto(left: &Relation, right: &Relation, keys: &[(usize, usize)]) -> Result<Relation> {
+    join_auto_with(left, right, keys, &ExecContext::unbounded())
 }
 
 fn concat_schema(l: &Relation, r: &Relation) -> Schema {
@@ -119,9 +193,9 @@ mod tests {
     fn merge_equals_hash_on_leading_keys() {
         let l = rel("l", &[(1, 10), (1, 11), (2, 20), (3, 30)]);
         let r = rel("r", &[(1, 100), (2, 200), (2, 201), (4, 400)]);
-        let merged = merge_join(&l, &r, 1);
-        let hashed = join_auto(&l, &r, &[(0, 1)]); // not merge-joinable layout
-                                                   // Compare against hash join on the same (leading) keys.
+        let merged = merge_join(&l, &r, 1).unwrap();
+        let hashed = join_auto(&l, &r, &[(0, 1)]).unwrap(); // not merge-joinable layout
+                                                            // Compare against hash join on the same (leading) keys.
         let hashed_same = {
             let (lk, rk) = (vec![0], vec![0]);
             let idx = HashIndex::build(&r, &rk);
@@ -142,7 +216,7 @@ mod tests {
     fn composite_leading_keys() {
         let l = rel("l", &[(1, 10), (1, 11), (2, 10)]);
         let r = rel("r", &[(1, 10), (1, 11), (2, 11)]);
-        let merged = merge_join(&l, &r, 2);
+        let merged = merge_join(&l, &r, 2).unwrap();
         assert_eq!(merged.len(), 2); // (1,10) and (1,11) match exactly.
         for t in merged.iter() {
             assert_eq!(t.get(0), t.get(2));
@@ -154,7 +228,7 @@ mod tests {
     fn zero_key_merge_is_cross_product_via_auto() {
         let l = rel("l", &[(1, 1), (2, 2)]);
         let r = rel("r", &[(3, 3)]);
-        let j = join_auto(&l, &r, &[]);
+        let j = join_auto(&l, &r, &[]).unwrap();
         assert_eq!(j.len(), 2);
     }
 
@@ -170,7 +244,29 @@ mod tests {
     fn disjoint_keys_empty_result() {
         let l = rel("l", &[(1, 1)]);
         let r = rel("r", &[(2, 2)]);
-        assert!(merge_join(&l, &r, 1).is_empty());
+        assert!(merge_join(&l, &r, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed input arity")]
+    fn too_many_keys_panics() {
+        let l = rel("l", &[(1, 1)]);
+        let r = rel("r", &[(2, 2)]);
+        let _ = merge_join(&l, &r, 3);
+    }
+
+    #[test]
+    fn build_side_does_not_change_result() {
+        // Same key layout, asymmetric sizes in both directions: the
+        // non-merge-joinable key (0, 1) forces the hash path.
+        let small = rel("s", &[(1, 2), (3, 4)]);
+        let big = rel("b", &(0..50).map(|i| (i % 5, i % 3)).collect::<Vec<_>>());
+        let a = join_auto(&small, &big, &[(0, 1)]).unwrap();
+        let b = join_auto(&big, &small, &[(1, 0)]).unwrap();
+        // a's columns are small ++ big, b's are big ++ small; compare
+        // cardinalities (same match set, transposed columns).
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
     }
 
     #[test]
@@ -182,9 +278,22 @@ mod tests {
             let r_rows: Vec<(i64, i64)> = (0..25).map(|i| ((i + seed) % 7, (i * 3) % 4)).collect();
             let l = rel("l", &l_rows);
             let r = rel("r", &r_rows);
-            let merged = merge_join(&l, &r, 1);
-            let auto = join_auto(&l, &r, &[(0, 0)]);
+            let merged = merge_join(&l, &r, 1).unwrap();
+            let auto = join_auto(&l, &r, &[(0, 0)]).unwrap();
             assert_eq!(merged.tuples(), auto.tuples(), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn governed_merge_join_charges_rows() {
+        let l = rel("l", &[(1, 10), (2, 20)]);
+        let r = rel("r", &[(1, 11), (2, 21)]);
+        let ctx = ExecContext::unbounded();
+        let out = merge_join_with(&l, &r, 1, &ctx).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(ctx.stats().rows, 2);
+        // A 1-row budget trips mid-merge.
+        let tight = ExecContext::unbounded().with_max_rows(1);
+        assert!(merge_join_with(&l, &r, 1, &tight).is_err());
     }
 }

@@ -1,0 +1,214 @@
+//! Partition-parallel execution primitives.
+//!
+//! The engine parallelizes operators by splitting a relation's sorted
+//! tuple slice into contiguous chunks and processing each chunk on a
+//! scoped worker thread (`std::thread::scope` — no external thread-pool
+//! dependency, consistent with the offline `shims/` build). Contiguous
+//! chunks processed in order and concatenated in order preserve the
+//! sortedness invariants that [`qf_storage::Relation::from_sorted_dedup`]
+//! relies on, so order-preserving operators (select, anti-join) stay on
+//! the no-sort path even when parallel.
+//!
+//! Work distribution is dynamic: workers pull the next unclaimed item
+//! from a shared atomic cursor, so skewed chunks (one hot join key) do
+//! not leave the other workers idle.
+//!
+//! Determinism: results are reassembled in item order regardless of
+//! which worker produced them, and every output relation is canonically
+//! sorted/deduplicated, so parallel and single-thread execution produce
+//! identical relations. Governor counters ([`crate::ExecContext`]) are
+//! atomic and shared across workers; budget overshoot is bounded by one
+//! in-flight charge per worker.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Minimum number of items that justifies handing a worker thread its
+/// own chunk. Below this, thread spawn/join overhead dominates and the
+/// work runs inline on the caller's thread.
+pub const PAR_THRESHOLD: usize = 4096;
+
+/// Thread count used when none is configured explicitly: the
+/// `QF_THREADS` environment variable if set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`], otherwise 1.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("QF_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// How many workers to actually use for `len` items under a configured
+/// thread count: never more than `threads`, never so many that a worker
+/// gets fewer than [`PAR_THRESHOLD`] items, and at least 1.
+pub fn workers_for(len: usize, threads: usize) -> usize {
+    threads.min(len.div_ceil(PAR_THRESHOLD)).max(1)
+}
+
+/// Split `0..len` into `workers` near-equal contiguous ranges (the
+/// first `len % workers` ranges get one extra item). Empty ranges are
+/// omitted, so the result may be shorter than `workers`.
+pub fn chunk_ranges(len: usize, workers: usize) -> Vec<Range<usize>> {
+    let workers = workers.max(1);
+    let base = len / workers;
+    let extra = len % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        if size == 0 {
+            break;
+        }
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Apply `f` to every item of `items` on up to `threads` scoped worker
+/// threads, returning results **in item order**. The first `Err` (in
+/// item order) is returned; worker panics are resumed on the caller's
+/// thread. With `threads <= 1` (or a single item) everything runs
+/// inline on the caller's thread — no spawn overhead.
+///
+/// Items are claimed dynamically from a shared cursor, so uneven item
+/// costs balance across workers. Generic over the error type so that
+/// higher layers (the flock pipeline) can parallelize with their own
+/// error enums.
+pub fn par_items<T, R, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    let n_workers = threads.max(1).min(items.len());
+    if n_workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, Result<R, E>)> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, Result<R, E>)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let r = f(&items[i]);
+                        // After an error, later items are moot; stop
+                        // claiming work so the pipeline fails fast.
+                        let failed = r.is_err();
+                        local.push((i, r));
+                        if failed {
+                            break;
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(local) => indexed.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Partition `items` into at most `workers` contiguous chunks and apply
+/// `f` to each chunk in parallel, returning per-chunk results in chunk
+/// order. See [`par_items`] for error/panic semantics.
+pub fn par_chunks<T, R, E, F>(items: &[T], workers: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&[T]) -> Result<R, E> + Sync,
+{
+    let ranges = chunk_ranges(items.len(), workers);
+    par_items(&ranges, workers, |r| f(&items[r.clone()]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::EngineError;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for len in [0usize, 1, 5, 100, 101] {
+            for workers in [1usize, 2, 3, 7] {
+                let ranges = chunk_ranges(len, workers);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "len={len} workers={workers}");
+                    assert!(r.end > r.start);
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+                assert!(ranges.len() <= workers);
+            }
+        }
+    }
+
+    #[test]
+    fn workers_respect_threshold() {
+        assert_eq!(workers_for(0, 8), 1);
+        assert_eq!(workers_for(100, 8), 1);
+        assert_eq!(workers_for(PAR_THRESHOLD + 1, 8), 2);
+        assert_eq!(workers_for(PAR_THRESHOLD * 100, 8), 8);
+        assert_eq!(workers_for(PAR_THRESHOLD * 100, 1), 1);
+    }
+
+    #[test]
+    fn par_items_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1usize, 2, 4] {
+            let out = par_items(&items, threads, |&x| Ok::<u64, EngineError>(x * 2)).unwrap();
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_items_propagates_first_error() {
+        let items: Vec<u64> = (0..100).collect();
+        let err = par_items(&items, 4, |&x| {
+            if x >= 7 {
+                Err(EngineError::Cancelled)
+            } else {
+                Ok(x)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, EngineError::Cancelled);
+    }
+
+    #[test]
+    fn par_chunks_reassembles_in_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        for workers in [1usize, 3, 8] {
+            let chunks = par_chunks(&items, workers, |c| Ok::<_, EngineError>(c.to_vec())).unwrap();
+            let flat: Vec<u64> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, items);
+        }
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}
