@@ -101,6 +101,16 @@ pub struct Session {
     pub program: Option<FlockProgram>,
     /// Resource limits applied to `run`.
     pub limits: Limits,
+    /// Spill directory for out-of-core execution: when set, a governed
+    /// `run` that would trip its memory budget spills intermediate
+    /// state to disk and continues instead of aborting.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Run directory for crash-safe resume: when set, completed
+    /// `FILTER` steps are journaled there and a re-run resumes from
+    /// the last completed step.
+    pub journal_dir: Option<std::path::PathBuf>,
+    /// Emit `run` results as a single JSON object instead of text.
+    pub report_json: bool,
 }
 
 impl Session {
@@ -126,6 +136,9 @@ impl Session {
             "gen" => self.generate(rest),
             "flock" => self.set_flock(rest),
             "limits" => self.set_limits(rest),
+            "spill" => self.set_spill(rest),
+            "resume" => self.set_resume(rest),
+            "report" => self.set_report(rest),
             "run" => self.run(rest),
             "plan" => self.plan(),
             "sql" => self.sql(),
@@ -303,6 +316,75 @@ impl Session {
         Ok(self.limits.to_string())
     }
 
+    fn set_spill(&mut self, rest: &str) -> Result<String, String> {
+        match rest {
+            "" => Ok(match &self.spill_dir {
+                Some(d) => format!("spill directory: {}", d.display()),
+                None => "spilling disabled".to_string(),
+            }),
+            "none" => {
+                self.spill_dir = None;
+                Ok("spilling disabled".to_string())
+            }
+            dir => {
+                self.spill_dir = Some(dir.into());
+                Ok(format!("spill directory: {dir}"))
+            }
+        }
+    }
+
+    fn set_resume(&mut self, rest: &str) -> Result<String, String> {
+        match rest {
+            "" => Ok(match &self.journal_dir {
+                Some(d) => format!("run journal: {}", d.display()),
+                None => "journaling disabled".to_string(),
+            }),
+            "none" => {
+                self.journal_dir = None;
+                Ok("journaling disabled".to_string())
+            }
+            dir => {
+                self.journal_dir = Some(dir.into());
+                Ok(format!("run journal: {dir}"))
+            }
+        }
+    }
+
+    fn set_report(&mut self, rest: &str) -> Result<String, String> {
+        match rest {
+            "json" => {
+                self.report_json = true;
+                Ok("reporting: json".to_string())
+            }
+            "" => Ok(format!(
+                "reporting: {}",
+                if self.report_json { "json" } else { "text" }
+            )),
+            "text" => {
+                self.report_json = false;
+                Ok("reporting: text".to_string())
+            }
+            other => Err(format!("unknown report format `{other}` (text|json)")),
+        }
+    }
+
+    /// Build the execution context for a `run`: the configured limits,
+    /// the `QF_MEM_BUDGET` environment fallback for the memory budget,
+    /// and the spill directory when one is set.
+    fn run_context(&self) -> Result<ExecContext, String> {
+        let mut ctx = self.limits.context();
+        if self.limits.mem_budget.is_none() {
+            if let Some(b) = qf_core::env_mem_budget() {
+                ctx = ctx.with_mem_budget(b);
+            }
+        }
+        if let Some(dir) = &self.spill_dir {
+            let sd = qf_storage::SpillDir::create(dir).map_err(|e| e.to_string())?;
+            ctx = ctx.with_spill(std::sync::Arc::new(sd));
+        }
+        Ok(ctx)
+    }
+
     fn current_program(&self) -> Result<&FlockProgram, String> {
         self.program
             .as_ref()
@@ -322,12 +404,17 @@ impl Session {
             other => return Err(format!("unknown strategy `{other}`")),
         };
         let program = self.current_program()?.clone();
-        let ctx = self.limits.context();
+        let ctx = self.run_context()?;
+        let mut optimizer = Optimizer::with_strategy(strategy);
+        optimizer.config.journal_dir = self.journal_dir.clone();
         let start = std::time::Instant::now();
         let evaluation = program
-            .evaluate_governed(&self.db, &Optimizer::with_strategy(strategy), &ctx)
+            .evaluate_governed(&self.db, &optimizer, &ctx)
             .map_err(|e| e.to_string())?;
         let elapsed = start.elapsed();
+        if self.report_json {
+            return Ok(json_report(&evaluation, elapsed));
+        }
         let mut out = format!(
             "strategy: {} ({elapsed:?})\n{} result(s)",
             evaluation.strategy_used,
@@ -341,6 +428,20 @@ impl Session {
                 evaluation.stats.bytes,
                 evaluation.stats.workers,
                 self.limits
+            );
+        }
+        if evaluation.stats.spilled_bytes > 0 {
+            let _ = write!(
+                out,
+                "\nspilled: {} bytes across {} file(s)",
+                evaluation.stats.spilled_bytes, evaluation.stats.spills
+            );
+        }
+        if evaluation.resumed_steps > 0 {
+            let _ = write!(
+                out,
+                "\nresumed: {} step(s) replayed from the journal",
+                evaluation.resumed_steps
             );
         }
         for d in &evaluation.stats.degradations {
@@ -410,6 +511,57 @@ impl Session {
     }
 }
 
+/// Render an evaluation as one JSON object (hand-rolled: the offline
+/// build carries no serialization dependency).
+fn json_report(evaluation: &qf_core::Evaluation, elapsed: std::time::Duration) -> String {
+    let s = &evaluation.stats;
+    let degradations: Vec<String> = s
+        .degradations
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"stage\":\"{}\",\"detail\":\"{}\"}}",
+                json_escape(&d.stage),
+                json_escape(&d.detail)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"strategy\":\"{}\",\"results\":{},\"elapsed_ms\":{},\"rows\":{},\"bytes\":{},\
+         \"workers\":{},\"spilled_bytes\":{},\"spills\":{},\"resumed_steps\":{},\
+         \"degradations\":[{}]}}",
+        json_escape(&evaluation.strategy_used),
+        evaluation.result.len(),
+        elapsed.as_millis(),
+        s.rows,
+        s.bytes,
+        s.workers,
+        s.spilled_bytes,
+        s.spills,
+        evaluation.resumed_steps,
+        degradations.join(",")
+    )
+}
+
+/// Minimal JSON string escaping.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Parse a non-negative count, accepting decimal `k`/`m`/`g` suffixes
 /// (`64k` = 64 000).
 fn parse_count(value: &str) -> Result<u64, String> {
@@ -451,6 +603,9 @@ commands:
   show <relation> [n]                            preview tuples
   flock [view rules…] QUERY: … FILTER: …         define the current flock (views optional)
   limits [none | max-rows=N mem-budget=BYTES timeout=MS threads=N]   budget every run
+  spill [<dir>|none]                             spill to disk under memory pressure
+  resume [<dir>|none]                            journal steps; re-run resumes from <dir>
+  report [text|json]                             run output format
   run [auto|direct|static|dynamic]               evaluate the flock
   plan                                           show the cost-based best plan
   sql                                            render the flock as SQL
@@ -601,9 +756,104 @@ mod tests {
     fn help_lists_commands() {
         let mut s = Session::new();
         let help = s.execute_line("help").unwrap();
-        for cmd in ["gen", "load", "flock", "run", "plan", "sql", "explain"] {
+        for cmd in [
+            "gen", "load", "flock", "run", "plan", "sql", "explain", "spill", "resume", "report",
+        ] {
             assert!(help.contains(cmd), "missing {cmd}");
         }
+    }
+
+    #[test]
+    fn spill_resume_report_commands_set_and_clear() {
+        let mut s = Session::new();
+        assert_eq!(s.execute_line("spill").unwrap(), "spilling disabled");
+        assert_eq!(
+            s.execute_line("spill /tmp/qf-spill").unwrap(),
+            "spill directory: /tmp/qf-spill"
+        );
+        assert_eq!(
+            s.spill_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/qf-spill"))
+        );
+        assert_eq!(s.execute_line("spill none").unwrap(), "spilling disabled");
+        assert!(s.spill_dir.is_none());
+
+        assert_eq!(s.execute_line("resume").unwrap(), "journaling disabled");
+        assert_eq!(
+            s.execute_line("resume /tmp/qf-run").unwrap(),
+            "run journal: /tmp/qf-run"
+        );
+        assert_eq!(
+            s.journal_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/qf-run"))
+        );
+        assert_eq!(
+            s.execute_line("resume none").unwrap(),
+            "journaling disabled"
+        );
+        assert!(s.journal_dir.is_none());
+
+        assert_eq!(s.execute_line("report json").unwrap(), "reporting: json");
+        assert!(s.report_json);
+        assert_eq!(s.execute_line("report text").unwrap(), "reporting: text");
+        assert!(!s.report_json);
+        assert!(s.execute_line("report xml").is_err());
+    }
+
+    #[test]
+    fn json_report_emits_one_object_with_run_stats() {
+        let mut s = Session::new();
+        s.execute_line("gen baskets").unwrap();
+        s.execute_line(flock_cmd()).unwrap();
+        s.execute_line("report json").unwrap();
+        let out = s.execute_line("run direct").unwrap();
+        assert!(out.starts_with('{') && out.ends_with('}'), "{out}");
+        assert!(!out.contains('\n'), "one line: {out}");
+        for key in [
+            "\"strategy\":",
+            "\"results\":",
+            "\"elapsed_ms\":",
+            "\"rows\":",
+            "\"bytes\":",
+            "\"workers\":",
+            "\"spilled_bytes\":",
+            "\"spills\":",
+            "\"resumed_steps\":",
+            "\"degradations\":[",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+    }
+
+    #[test]
+    fn spilled_journaled_run_resumes_through_the_shell() {
+        let base = std::env::temp_dir().join(format!("qfsh-ooc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let spill = base.join("spill");
+        let journal = base.join("run");
+        std::fs::create_dir_all(&spill).unwrap();
+
+        let mut s = Session::new();
+        s.execute_line("gen baskets").unwrap();
+        s.execute_line(flock_cmd()).unwrap();
+        s.execute_line(&format!("spill {}", spill.display()))
+            .unwrap();
+        s.execute_line(&format!("resume {}", journal.display()))
+            .unwrap();
+        // A budget small enough to force the self-join to spill (its
+        // in-memory footprint is several MB) but large enough for the
+        // resident base relation (~0.5 MB — scans are never evicted).
+        s.execute_line("limits mem-budget=1m").unwrap();
+        let first = s.execute_line("run static").unwrap();
+        assert!(first.contains("spilled:"), "{first}");
+        assert!(!first.contains("resumed:"), "{first}");
+
+        // Second run over the same journal replays every step; report
+        // it as JSON to cover the resumed_steps field end to end.
+        s.execute_line("report json").unwrap();
+        let second = s.execute_line("run static").unwrap();
+        assert!(!second.contains("\"resumed_steps\":0,"), "{second}");
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

@@ -7,8 +7,10 @@ use qf_cli::Session;
 fn main() {
     let mut session = Session::new();
 
-    // Leading flags set resource limits for every evaluation:
-    //   qfsh --timeout 5s --max-rows 1m --mem-budget 256m --threads 4 [command…]
+    // Leading flags set resource limits and run modes for every
+    // evaluation:
+    //   qfsh --timeout 5s --max-rows 1m --mem-budget 256m --threads 4 \
+    //        --spill-dir /tmp/qf --resume run1 --report json [command…]
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     match apply_limit_flags(&mut session, &mut args) {
         Ok(()) => {}
@@ -58,9 +60,22 @@ fn main() {
     }
 }
 
-/// Strip `--timeout`/`--max-rows`/`--mem-budget`/`--threads` (with
+/// Which session command a leading `--flag` maps to: limit flags batch
+/// into one `limits` command; mode flags each map to their own command.
+fn flag_route(key: &str) -> Option<&'static str> {
+    match key {
+        "timeout" | "max-rows" | "mem-budget" | "threads" => Some("limits"),
+        "spill-dir" => Some("spill"),
+        "resume" => Some("resume"),
+        "report" => Some("report"),
+        _ => None,
+    }
+}
+
+/// Strip `--timeout`/`--max-rows`/`--mem-budget`/`--threads` and the
+/// run-mode flags `--spill-dir`/`--resume`/`--report` (with
 /// `--flag value` or `--flag=value` spelling) off the front of `args`,
-/// applying them to the session via the `limits` shell command.
+/// applying them to the session via the matching shell commands.
 fn apply_limit_flags(session: &mut Session, args: &mut Vec<String>) -> Result<(), String> {
     let mut limit_parts: Vec<String> = Vec::new();
     while let Some(first) = args.first().cloned() {
@@ -69,14 +84,14 @@ fn apply_limit_flags(session: &mut Session, args: &mut Vec<String>) -> Result<()
         };
         let (key, value) = match flag.split_once('=') {
             Some((k, v)) => {
-                if !matches!(k, "timeout" | "max-rows" | "mem-budget" | "threads") {
+                if flag_route(k).is_none() {
                     return Err(format!("unknown flag `--{k}`"));
                 }
                 args.remove(0);
                 (k.to_string(), v.to_string())
             }
             None => {
-                if !matches!(flag, "timeout" | "max-rows" | "mem-budget" | "threads") {
+                if flag_route(flag).is_none() {
                     return Err(format!("unknown flag `--{flag}`"));
                 }
                 if args.len() < 2 {
@@ -86,7 +101,15 @@ fn apply_limit_flags(session: &mut Session, args: &mut Vec<String>) -> Result<()
                 (flag.to_string(), args.remove(0))
             }
         };
-        limit_parts.push(format!("{key}={value}"));
+        match flag_route(&key) {
+            Some("limits") => limit_parts.push(format!("{key}={value}")),
+            Some(command) => {
+                session
+                    .execute_line(&format!("{command} {value}"))
+                    .map(|_| ())?;
+            }
+            None => unreachable!("route checked above"),
+        }
     }
     if !limit_parts.is_empty() {
         session

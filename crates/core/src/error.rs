@@ -45,6 +45,12 @@ pub enum FlockError {
         /// The parameter assignment where it happened (best effort).
         detail: String,
     },
+    /// A run journal could not be created, validated, or replayed
+    /// (fingerprint mismatch, I/O failure, corrupted snapshot).
+    Journal {
+        /// What went wrong.
+        detail: String,
+    },
     /// The naive reference evaluator was asked to try more assignments
     /// than its safety cap (it is for tests on tiny data only).
     NaiveTooLarge {
@@ -79,6 +85,7 @@ impl std::fmt::Display for FlockError {
                 f,
                 "negative weight under a SUM filter breaks monotonicity: {detail}"
             ),
+            FlockError::Journal { detail } => write!(f, "journal error: {detail}"),
             FlockError::NaiveTooLarge { assignments, cap } => write!(
                 f,
                 "naive evaluation would try {assignments} assignments (cap {cap})"

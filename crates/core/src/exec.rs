@@ -40,6 +40,9 @@ pub struct StepReport {
     /// True when the step was answered by renaming an earlier step's
     /// result instead of evaluating (parameter symmetry, §4.3 fn. 3).
     pub reused: bool,
+    /// True when the step was replayed from a run journal snapshot
+    /// instead of evaluating (crash recovery, see [`crate::journal`]).
+    pub resumed: bool,
 }
 
 impl StepReport {
@@ -106,6 +109,33 @@ pub fn execute_plan_with(
     strategy: JoinOrderStrategy,
     ctx: &ExecContext,
 ) -> Result<PlanExecution> {
+    execute_plan_inner(plan, db, strategy, ctx, None)
+}
+
+/// [`execute_plan_with`] journaled for crash-safe resume: each step's
+/// output is durably recorded in `journal` as it commits, and steps the
+/// journal already holds are replayed from their snapshots (reported
+/// with [`StepReport::resumed`] set) instead of re-evaluated. A run
+/// killed at any point — budget trip, deadline, cancellation, or
+/// `kill -9` — restarts from its last completed step and produces a
+/// bitwise-identical final result.
+pub fn execute_plan_journaled(
+    plan: &QueryPlan,
+    db: &Database,
+    strategy: JoinOrderStrategy,
+    ctx: &ExecContext,
+    journal: &mut crate::journal::RunJournal,
+) -> Result<PlanExecution> {
+    execute_plan_inner(plan, db, strategy, ctx, Some(journal))
+}
+
+fn execute_plan_inner(
+    plan: &QueryPlan,
+    db: &Database,
+    strategy: JoinOrderStrategy,
+    ctx: &ExecContext,
+    mut journal: Option<&mut crate::journal::RunJournal>,
+) -> Result<PlanExecution> {
     let mut working = db.clone();
     let mut reports = Vec::with_capacity(plan.steps.len());
     let mut result: Option<Relation> = None;
@@ -125,7 +155,33 @@ pub fn execute_plan_with(
         Eval,
     }
 
-    let mut i = 0;
+    // Replay the journal's contiguous completed prefix: each snapshot
+    // is loaded (hash-checked) and committed exactly as its original
+    // evaluation was, so later steps — including symmetry reuse — see
+    // an identical working database.
+    let resume_prefix = journal
+        .as_ref()
+        .map_or(0, |j| j.contiguous_prefix(plan.steps.len()));
+    for (idx, step) in plan.steps.iter().take(resume_prefix).enumerate() {
+        let named = journal
+            .as_ref()
+            .expect("prefix > 0 implies journal")
+            .load_step(idx)?;
+        reports.push(StepReport {
+            name: step.output.clone(),
+            answer_tuples: 0,
+            groups: 0,
+            survivors: named.len(),
+            elapsed: std::time::Duration::ZERO,
+            reused: false,
+            resumed: true,
+        });
+        working.insert(named.clone());
+        executed.push((step, named.clone()));
+        result = Some(named);
+    }
+
+    let mut i = resume_prefix;
     while i < plan.steps.len() {
         // A wave is the maximal run of consecutive steps whose queries
         // reference only relations already materialized (base relations
@@ -214,6 +270,9 @@ pub fn execute_plan_with(
                     eval_commit(step, e)
                 }
             };
+            if let Some(j) = journal.as_deref_mut() {
+                j.record_step(i + w, &named)?;
+            }
             reports.push(report);
             working.insert(named.clone());
             executed.push((step, named.clone()));
@@ -260,6 +319,24 @@ fn evaluate_step(
 ) -> Result<EvaluatedStep> {
     let start = Instant::now();
     let answer = compile_answer(&step.query, working, strategy)?;
+    // Under spill-to-disk, skip materializing the (possibly huge)
+    // extended answer: fuse the filter's group-by/aggregate directly
+    // onto the answer plan so the whole step runs as one spillable tree
+    // and only the (small) surviving assignments materialize. SUM
+    // filters still take the materialized path — the §5 negative-weight
+    // check below needs the answer relation's column statistics — and
+    // the per-step answer/group instrumentation is forgone (reported as
+    // zero, like a symmetry-reused step).
+    if ctx.spill_enabled() && !matches!(plan.flock.filter().agg, FilterAgg::Sum(_)) {
+        let filter_plan = filter_answer(&answer, &step.query.rules()[0], plan.flock.filter())?;
+        let filtered = execute_with(&filter_plan, working, ctx)?;
+        return Ok(EvaluatedStep {
+            answer_tuples: 0,
+            groups: 0,
+            filtered,
+            elapsed: start.elapsed(),
+        });
+    }
     let answer_rel = execute_with(&answer.plan, working, ctx)?;
     // SUM-filter monotonicity precondition: no negative weights.
     if let FilterAgg::Sum(v) = plan.flock.filter().agg {
@@ -304,6 +381,7 @@ fn reuse_commit(
         survivors: renamed.len(),
         elapsed: start.elapsed(),
         reused: true,
+        resumed: false,
     };
     (renamed, report)
 }
@@ -325,6 +403,7 @@ fn eval_commit(step: &crate::plan::FilterStep, e: EvaluatedStep) -> (Relation, S
         survivors: named.len(),
         elapsed: e.elapsed,
         reused: false,
+        resumed: false,
     };
     (named, report)
 }

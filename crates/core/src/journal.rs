@@ -1,0 +1,429 @@
+//! Crash-safe run journal for `FILTER`-step execution.
+//!
+//! A [`RunJournal`] lives in a run directory and records each completed
+//! `FILTER` step durably: the step's output relation is snapshotted
+//! (via [`qf_storage::spill::write_relation`] — the same on-disk tuple
+//! encoding the spill path uses), then a log line naming the step and
+//! the snapshot's content hash is appended and fsynced. A process
+//! killed at *any* point — mid-snapshot, mid-append, between steps —
+//! leaves a journal from which the next run resumes: completed steps
+//! are replayed from their snapshots instead of re-evaluated, and the
+//! final result is bitwise-identical to an uninterrupted run.
+//!
+//! Two fingerprints guard against resuming the wrong work:
+//!
+//! * the **plan fingerprint** — a hash of the rendered plan text (or a
+//!   strategy-tagged flock rendering for single-shot strategies); and
+//! * the **catalog fingerprint** — a hash over every base relation's
+//!   name, column names, and tuple content, in sorted-name order.
+//!
+//! Both are stored in `journal.meta` when the journal is created and
+//! validated on every subsequent open; a mismatch (edited query,
+//! changed data) fails with a clean [`FlockError::Journal`] instead of
+//! silently splicing stale step outputs into a different computation.
+//!
+//! Crash-consistency discipline:
+//!
+//! * snapshots are written to a temp name, fsynced, then renamed into
+//!   place — a torn snapshot is never visible under its final name;
+//! * the log line is appended (and fsynced) only *after* the rename, so
+//!   every logged step has a durable snapshot;
+//! * a trailing partial log line (torn append) is ignored on replay;
+//! * on load, the snapshot's content hash is checked against the logged
+//!   hash, so disk corruption is detected rather than propagated.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use qf_storage::spill::{content_hash, read_relation, write_relation, Fnv1a};
+use qf_storage::{Database, Relation};
+
+use crate::error::{FlockError, Result};
+use crate::plan::QueryPlan;
+
+const META_FILE: &str = "journal.meta";
+const LOG_FILE: &str = "journal.log";
+const FORMAT: &str = "qf-journal v1";
+
+/// Fingerprint of arbitrary plan/strategy text (FNV-1a, process-stable).
+pub fn fingerprint_text(text: &str) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(text.as_bytes());
+    h.finish()
+}
+
+/// Fingerprint of a [`QueryPlan`]: a hash of its rendered Fig. 5-style
+/// text, which covers every step's query, output name, and the flock's
+/// filter condition.
+pub fn plan_fingerprint(plan: &QueryPlan) -> u64 {
+    fingerprint_text(&plan.render())
+}
+
+/// Fingerprint of the input catalog: every relation's name, column
+/// names, and tuple content, folded in sorted-name order so iteration
+/// order cannot perturb it.
+pub fn catalog_fingerprint(db: &Database) -> u64 {
+    let mut names: Vec<&str> = db.names().collect();
+    names.sort_unstable();
+    let mut h = Fnv1a::new();
+    for name in names {
+        let rel = db.get(name).expect("name listed by the catalog");
+        h.write(name.as_bytes());
+        h.write(&[0xff]);
+        for c in rel.schema().columns() {
+            h.write(c.as_bytes());
+            h.write(&[0xfe]);
+        }
+        h.write(&content_hash(rel).to_le_bytes());
+    }
+    h.finish()
+}
+
+/// One completed step as recorded in `journal.log`.
+#[derive(Debug, Clone)]
+struct StepRecord {
+    name: String,
+    hash: u64,
+}
+
+/// A durable journal of completed `FILTER` steps in a run directory.
+///
+/// See the [module docs](self) for the format and crash-consistency
+/// guarantees.
+#[derive(Debug)]
+pub struct RunJournal {
+    dir: PathBuf,
+    completed: BTreeMap<usize, StepRecord>,
+}
+
+impl RunJournal {
+    /// Open (or create) the journal in `dir`, validating that any
+    /// existing journal was written for the same plan and catalog.
+    pub fn open(dir: &Path, plan_fp: u64, catalog_fp: u64) -> Result<RunJournal> {
+        fs::create_dir_all(dir).map_err(|e| io_err("create run directory", dir, &e))?;
+        let meta_path = dir.join(META_FILE);
+        if meta_path.exists() {
+            let text = fs::read_to_string(&meta_path)
+                .map_err(|e| io_err("read journal.meta", &meta_path, &e))?;
+            validate_meta(&text, plan_fp, catalog_fp)?;
+        } else {
+            // Write the meta through a temp file so a crash mid-write
+            // never leaves a half-written (hence unvalidatable) meta.
+            let tmp = dir.join(format!("{META_FILE}.tmp"));
+            let body = format!("{FORMAT}\nplan {plan_fp:016x}\ncatalog {catalog_fp:016x}\n");
+            let mut f =
+                fs::File::create(&tmp).map_err(|e| io_err("create journal.meta", &tmp, &e))?;
+            f.write_all(body.as_bytes())
+                .and_then(|()| f.sync_all())
+                .map_err(|e| io_err("write journal.meta", &tmp, &e))?;
+            fs::rename(&tmp, &meta_path)
+                .map_err(|e| io_err("publish journal.meta", &meta_path, &e))?;
+        }
+        let completed = read_log(&dir.join(LOG_FILE))?;
+        Ok(RunJournal {
+            dir: dir.to_path_buf(),
+            completed,
+        })
+    }
+
+    /// The run directory this journal lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of steps recorded as completed.
+    pub fn completed_len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// True when step `idx` has a durable record.
+    pub fn is_completed(&self, idx: usize) -> bool {
+        self.completed.contains_key(&idx)
+    }
+
+    /// Length of the contiguous completed prefix `0..n` (capped at
+    /// `total`). Steps are journaled in plan order, so anything past a
+    /// gap (which only a corrupted log can produce) is not trusted.
+    pub fn contiguous_prefix(&self, total: usize) -> usize {
+        let mut n = 0;
+        while n < total && self.completed.contains_key(&n) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Load the snapshot of completed step `idx`, verifying its content
+    /// hash against the logged value.
+    pub fn load_step(&self, idx: usize) -> Result<Relation> {
+        let rec = self
+            .completed
+            .get(&idx)
+            .ok_or_else(|| FlockError::Journal {
+                detail: format!("step {idx} is not recorded as completed"),
+            })?;
+        let path = self.snapshot_path(idx);
+        let rel = read_relation(&path).map_err(|e| FlockError::Journal {
+            detail: format!("read snapshot {}: {e}", path.display()),
+        })?;
+        // The content hash deliberately excludes the relation name (a
+        // rename should not invalidate a journal written by the same
+        // plan), so cross-check the journaled name separately.
+        if rel.name() != rec.name {
+            return Err(FlockError::Journal {
+                detail: format!(
+                    "snapshot {} holds relation `{}` but the journal expects `{}`",
+                    path.display(),
+                    rel.name(),
+                    rec.name
+                ),
+            });
+        }
+        let got = content_hash(&rel);
+        if got != rec.hash {
+            return Err(FlockError::Journal {
+                detail: format!(
+                    "snapshot {} content hash {got:016x} does not match journaled {:016x}",
+                    path.display(),
+                    rec.hash
+                ),
+            });
+        }
+        Ok(rel)
+    }
+
+    /// Durably record step `idx` as completed with output `rel`:
+    /// snapshot (temp + fsync + rename), then log append + fsync.
+    pub fn record_step(&mut self, idx: usize, rel: &Relation) -> Result<()> {
+        let path = self.snapshot_path(idx);
+        let tmp = self.dir.join(format!("step-{idx}.qfr.tmp"));
+        write_relation(&tmp, rel).map_err(|e| FlockError::Journal {
+            detail: format!("write snapshot {}: {e}", tmp.display()),
+        })?;
+        fs::rename(&tmp, &path).map_err(|e| io_err("publish snapshot", &path, &e))?;
+        let hash = content_hash(rel);
+        let log_path = self.dir.join(LOG_FILE);
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&log_path)
+            .map_err(|e| io_err("open journal.log", &log_path, &e))?;
+        // Tab-separated; the step name goes last so it cannot confuse
+        // the fixed fields even if it were to contain tabs.
+        writeln!(f, "step\t{idx}\t{hash:016x}\t{}", rel.name())
+            .and_then(|()| f.sync_all())
+            .map_err(|e| io_err("append journal.log", &log_path, &e))?;
+        self.completed.insert(
+            idx,
+            StepRecord {
+                name: rel.name().to_string(),
+                hash,
+            },
+        );
+        Ok(())
+    }
+
+    fn snapshot_path(&self, idx: usize) -> PathBuf {
+        self.dir.join(format!("step-{idx}.qfr"))
+    }
+}
+
+fn validate_meta(text: &str, plan_fp: u64, catalog_fp: u64) -> Result<()> {
+    let mut lines = text.lines();
+    if lines.next() != Some(FORMAT) {
+        return Err(FlockError::Journal {
+            detail: format!("unrecognized journal format (expected `{FORMAT}`)"),
+        });
+    }
+    let mut check = |label: &str, expected: u64| -> Result<()> {
+        let line = lines.next().unwrap_or("");
+        let got = line
+            .strip_prefix(label)
+            .and_then(|s| s.strip_prefix(' '))
+            .and_then(|s| u64::from_str_radix(s.trim(), 16).ok())
+            .ok_or_else(|| FlockError::Journal {
+                detail: format!("malformed journal.meta line `{line}`"),
+            })?;
+        if got != expected {
+            return Err(FlockError::Journal {
+                detail: format!(
+                    "{label} fingerprint mismatch: journal has {got:016x}, \
+                     this run computes {expected:016x} — the {what} changed \
+                     since the journal was written",
+                    what = if label == "plan" {
+                        "query or plan"
+                    } else {
+                        "input data"
+                    }
+                ),
+            });
+        }
+        Ok(())
+    };
+    check("plan", plan_fp)?;
+    check("catalog", catalog_fp)
+}
+
+/// Parse `journal.log`, tolerating a torn (unterminated) final line.
+fn read_log(path: &Path) -> Result<BTreeMap<usize, StepRecord>> {
+    let mut completed = BTreeMap::new();
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(completed),
+        Err(e) => return Err(io_err("read journal.log", path, &e)),
+    };
+    let complete_region = match text.rfind('\n') {
+        Some(last) => &text[..=last],
+        // No terminated line at all: a crash tore the very first append.
+        None => "",
+    };
+    for line in complete_region.lines() {
+        let mut fields = line.splitn(4, '\t');
+        let (tag, idx, hash, name) = (
+            fields.next().unwrap_or(""),
+            fields.next().unwrap_or(""),
+            fields.next().unwrap_or(""),
+            fields.next().unwrap_or(""),
+        );
+        if tag != "step" {
+            continue; // unknown record type: skip, stay forward-compatible
+        }
+        let (Ok(idx), Ok(hash)) = (idx.parse::<usize>(), u64::from_str_radix(hash, 16)) else {
+            return Err(FlockError::Journal {
+                detail: format!("malformed journal.log line `{line}`"),
+            });
+        };
+        completed.insert(
+            idx,
+            StepRecord {
+                name: name.to_string(),
+                hash,
+            },
+        );
+    }
+    Ok(completed)
+}
+
+fn io_err(action: &str, path: &Path, e: &std::io::Error) -> FlockError {
+    FlockError::Journal {
+        detail: format!("{action} {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qf_storage::{Schema, Value};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qf-journal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rel(name: &str, n: i64) -> Relation {
+        Relation::from_rows(
+            Schema::new(name, &["x"]),
+            (0..n).map(|i| vec![Value::int(i)]).collect(),
+        )
+    }
+
+    #[test]
+    fn record_and_resume_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let (r0, r1) = (rel("s0", 5), rel("s1", 3));
+        {
+            let mut j = RunJournal::open(&dir, 1, 2).unwrap();
+            assert_eq!(j.contiguous_prefix(10), 0);
+            j.record_step(0, &r0).unwrap();
+            j.record_step(1, &r1).unwrap();
+        }
+        let j = RunJournal::open(&dir, 1, 2).unwrap();
+        assert_eq!(j.contiguous_prefix(10), 2);
+        assert_eq!(j.load_step(0).unwrap().tuples(), r0.tuples());
+        let got = j.load_step(1).unwrap();
+        assert_eq!(got.tuples(), r1.tuples());
+        assert_eq!(got.name(), "s1");
+        assert_eq!(got.schema().columns(), r1.schema().columns());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let dir = tmp_dir("mismatch");
+        RunJournal::open(&dir, 1, 2).unwrap();
+        let plan_err = RunJournal::open(&dir, 9, 2).unwrap_err();
+        assert!(
+            plan_err.to_string().contains("plan fingerprint"),
+            "{plan_err}"
+        );
+        let cat_err = RunJournal::open(&dir, 1, 9).unwrap_err();
+        assert!(
+            cat_err.to_string().contains("catalog fingerprint"),
+            "{cat_err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_log_tail_is_ignored() {
+        let dir = tmp_dir("torn");
+        let mut j = RunJournal::open(&dir, 1, 2).unwrap();
+        j.record_step(0, &rel("s0", 4)).unwrap();
+        // Simulate a crash mid-append: bytes with no trailing newline.
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(LOG_FILE))
+            .unwrap();
+        f.write_all(b"step\t1\tdead").unwrap();
+        drop(f);
+        let j = RunJournal::open(&dir, 1, 2).unwrap();
+        assert_eq!(j.contiguous_prefix(10), 1);
+        assert!(!j.is_completed(1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_detected() {
+        let dir = tmp_dir("corrupt");
+        let mut j = RunJournal::open(&dir, 1, 2).unwrap();
+        j.record_step(0, &rel("s0", 4)).unwrap();
+        // Overwrite the snapshot with a different (valid) relation: the
+        // content hash no longer matches the journaled one.
+        write_relation(&dir.join("step-0.qfr"), &rel("s0", 5)).unwrap();
+        let err = RunJournal::open(&dir, 1, 2)
+            .unwrap()
+            .load_step(0)
+            .unwrap_err();
+        assert!(err.to_string().contains("content hash"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gap_in_log_truncates_prefix() {
+        let dir = tmp_dir("gap");
+        let mut j = RunJournal::open(&dir, 1, 2).unwrap();
+        j.record_step(0, &rel("s0", 2)).unwrap();
+        j.record_step(2, &rel("s2", 2)).unwrap();
+        assert_eq!(j.contiguous_prefix(5), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn catalog_fingerprint_tracks_content_and_names() {
+        let mut a = Database::new();
+        a.insert(rel("r", 3));
+        let fp_a = catalog_fingerprint(&a);
+        assert_eq!(fp_a, catalog_fingerprint(&a.clone()));
+        let mut b = Database::new();
+        b.insert(rel("r", 4)); // different content
+        assert_ne!(fp_a, catalog_fingerprint(&b));
+        let mut c = Database::new();
+        c.insert(rel("q", 3)); // different name
+        assert_ne!(fp_a, catalog_fingerprint(&c));
+        let mut two = a.clone();
+        two.insert(rel("z", 1));
+        assert_ne!(fp_a, catalog_fingerprint(&two));
+    }
+}

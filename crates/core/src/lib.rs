@@ -54,6 +54,7 @@ pub mod eval;
 pub mod exec;
 pub mod filter;
 pub mod flock;
+pub mod journal;
 pub mod optimizer;
 pub mod plan;
 pub mod plangen;
@@ -67,9 +68,12 @@ pub use dynamic::{
 };
 pub use error::{FlockError, Result};
 pub use eval::{evaluate_direct, evaluate_direct_with, evaluate_naive};
-pub use exec::{execute_plan, execute_plan_with, PlanExecution, StepReport};
+pub use exec::{
+    execute_plan, execute_plan_journaled, execute_plan_with, PlanExecution, StepReport,
+};
 pub use filter::{FilterAgg, FilterCondition};
 pub use flock::QueryFlock;
+pub use journal::{catalog_fingerprint, fingerprint_text, plan_fingerprint, RunJournal};
 pub use optimizer::{Evaluation, Optimizer, OptimizerConfig, Strategy};
 pub use plan::{FilterStep, QueryPlan};
 pub use plangen::{
@@ -81,5 +85,6 @@ pub use sql::{plan_to_sql, to_sql};
 // Governor types, re-exported so downstream crates can budget flock
 // evaluation without depending on qf-engine directly.
 pub use qf_engine::{
-    default_threads, CancelToken, Degradation, EngineError, ExecContext, ExecStats, Resource,
+    default_threads, env_mem_budget, CancelToken, Degradation, EngineError, ExecContext, ExecStats,
+    Resource,
 };

@@ -45,6 +45,11 @@ pub struct OptimizerConfig {
     pub join_order: JoinOrderStrategy,
     /// Tuning for the dynamic evaluator.
     pub dynamic: DynamicConfig,
+    /// Run directory for a crash-safe [`crate::journal::RunJournal`].
+    /// When set, completed `FILTER` steps are durably recorded there
+    /// and a re-run resumes from the last completed step (after
+    /// validating the plan and catalog fingerprints).
+    pub journal_dir: Option<std::path::PathBuf>,
 }
 
 /// What the optimizer did and what it produced.
@@ -62,6 +67,9 @@ pub struct Evaluation {
     /// Governor accounting: rows/bytes materialized and any graceful
     /// degradations (plan-search fallback, skipped dynamic filters).
     pub stats: ExecStats,
+    /// Steps replayed from a run journal instead of re-evaluated
+    /// (always 0 without [`OptimizerConfig::journal_dir`]).
+    pub resumed_steps: usize,
 }
 
 /// The flock optimizer.
@@ -120,13 +128,20 @@ impl Optimizer {
         };
         let evaluation = match strategy {
             Strategy::Direct => {
-                let result = evaluate_direct_with(flock, db, self.config.join_order, ctx)?;
+                let (result, resumed) = self.single_shot(flock, db, "direct", || {
+                    evaluate_direct_with(flock, db, self.config.join_order, ctx)
+                })?;
                 Evaluation {
                     result,
-                    strategy_used: "direct".to_string(),
+                    strategy_used: if resumed > 0 {
+                        "direct (resumed)".to_string()
+                    } else {
+                        "direct".to_string()
+                    },
                     estimated_cost: None,
                     filters_applied: 0,
                     stats: ExecStats::default(),
+                    resumed_steps: resumed,
                 }
             }
             Strategy::BestStatic => {
@@ -137,30 +152,57 @@ impl Optimizer {
                 } else {
                     format!("best-static: {}", plan.reduction_names().join("+"))
                 };
-                let run = execute_plan_with(&plan, db, self.config.join_order, ctx)?;
+                let run = match &self.config.journal_dir {
+                    Some(dir) => {
+                        let mut journal = crate::journal::RunJournal::open(
+                            dir,
+                            crate::journal::plan_fingerprint(&plan),
+                            crate::journal::catalog_fingerprint(db),
+                        )?;
+                        crate::exec::execute_plan_journaled(
+                            &plan,
+                            db,
+                            self.config.join_order,
+                            ctx,
+                            &mut journal,
+                        )?
+                    }
+                    None => execute_plan_with(&plan, db, self.config.join_order, ctx)?,
+                };
+                let resumed = run.steps.iter().filter(|s| s.resumed).count();
                 Evaluation {
                     result: run.result,
                     strategy_used: label,
                     estimated_cost: Some(cost),
                     filters_applied: reductions,
                     stats: ExecStats::default(),
+                    resumed_steps: resumed,
                 }
             }
             Strategy::Dynamic => {
-                let report = evaluate_dynamic_with(flock, db, &self.config.dynamic, ctx)?;
-                let voluntary = report
-                    .decisions
-                    .iter()
-                    .filter(|d| {
-                        d.filtered && d.reason != crate::dynamic::DecisionReason::FinalMandatory
-                    })
-                    .count();
+                let mut voluntary = 0usize;
+                let (result, resumed) = self.single_shot(flock, db, "dynamic", || {
+                    let report = evaluate_dynamic_with(flock, db, &self.config.dynamic, ctx)?;
+                    voluntary = report
+                        .decisions
+                        .iter()
+                        .filter(|d| {
+                            d.filtered && d.reason != crate::dynamic::DecisionReason::FinalMandatory
+                        })
+                        .count();
+                    Ok(report.result)
+                })?;
                 Evaluation {
-                    result: report.result,
-                    strategy_used: format!("dynamic ({voluntary} voluntary filters)"),
+                    result,
+                    strategy_used: if resumed > 0 {
+                        "dynamic (resumed)".to_string()
+                    } else {
+                        format!("dynamic ({voluntary} voluntary filters)")
+                    },
                     estimated_cost: None,
                     filters_applied: voluntary,
                     stats: ExecStats::default(),
+                    resumed_steps: resumed,
                 }
             }
             Strategy::Auto => unreachable!("resolved above"),
@@ -169,6 +211,35 @@ impl Optimizer {
             stats: ctx.stats(),
             ..evaluation
         })
+    }
+
+    /// Run a single-shot strategy (direct / dynamic) under the optional
+    /// journal. These strategies have no intermediate `FILTER` steps,
+    /// so the journal holds the final result as one step: a completed
+    /// journal replays it without recomputation, and an interrupted run
+    /// simply starts over (there is nothing partial to save).
+    fn single_shot(
+        &self,
+        flock: &QueryFlock,
+        db: &Database,
+        tag: &str,
+        eval: impl FnOnce() -> Result<Relation>,
+    ) -> Result<(Relation, usize)> {
+        let Some(dir) = &self.config.journal_dir else {
+            return Ok((eval()?, 0));
+        };
+        let plan_fp = crate::journal::fingerprint_text(&format!("{tag}\n{}", flock.render()));
+        let mut journal = crate::journal::RunJournal::open(
+            dir,
+            plan_fp,
+            crate::journal::catalog_fingerprint(db),
+        )?;
+        if journal.contiguous_prefix(1) == 1 {
+            return Ok((journal.load_step(0)?, 1));
+        }
+        let result = eval()?;
+        journal.record_step(0, &result)?;
+        Ok((result, 0))
     }
 }
 

@@ -43,6 +43,13 @@ pub enum EngineError {
     },
     /// The execution's [`crate::governor::CancelToken`] was tripped.
     Cancelled,
+    /// A parallel worker thread panicked. The panic is caught at the
+    /// worker boundary so shared state (the `ExecContext`) is never
+    /// poisoned; the payload's message is preserved here.
+    WorkerPanic {
+        /// The panic payload's message, when it was a string.
+        detail: String,
+    },
     /// Test-only: an armed fault point fired (see
     /// [`crate::governor::ExecContext::with_fault_point`]).
     #[cfg(feature = "fault-injection")]
@@ -79,6 +86,9 @@ impl std::fmt::Display for EngineError {
                 "resource budget exceeded: {resource} limit {limit}, observed {observed}"
             ),
             EngineError::Cancelled => write!(f, "execution cancelled"),
+            EngineError::WorkerPanic { detail } => {
+                write!(f, "parallel worker panicked: {detail}")
+            }
             #[cfg(feature = "fault-injection")]
             EngineError::FaultInjected {
                 operator,

@@ -36,7 +36,15 @@ pub fn execute(plan: &PhysicalPlan, db: &Database) -> Result<Relation> {
 }
 
 /// Evaluate `plan` against `db` under the governance of `ctx`.
+///
+/// When `ctx` carries a spill directory ([`ExecContext::with_spill`]),
+/// execution routes through the out-of-core path ([`crate::spill`]):
+/// operators that would trip the memory budget spill to disk and
+/// continue instead of failing.
 pub fn execute_with(plan: &PhysicalPlan, db: &Database, ctx: &ExecContext) -> Result<Relation> {
+    if ctx.spill_enabled() {
+        return crate::spill::execute_spill(plan, db, ctx)?.materialize(ctx);
+    }
     match plan {
         PhysicalPlan::Scan { relation } => {
             ctx.enter("Scan")?;
@@ -186,7 +194,12 @@ pub fn execute_with(plan: &PhysicalPlan, db: &Database, ctx: &ExecContext) -> Re
 /// a private accumulator map, and the per-worker maps are merged
 /// ([`Acc::merge`]) on the caller's thread. COUNT/SUM/MIN/MAX all admit
 /// associative merges, so the result is independent of the partitioning.
-fn aggregate(rel: &Relation, group: &[usize], agg: AggFn, ctx: &ExecContext) -> Result<Relation> {
+pub(crate) fn aggregate(
+    rel: &Relation,
+    group: &[usize],
+    agg: AggFn,
+    ctx: &ExecContext,
+) -> Result<Relation> {
     let mut names: Vec<String> = group
         .iter()
         .map(|&c| rel.schema().columns()[c].clone())
@@ -263,14 +276,14 @@ fn aggregate(rel: &Relation, group: &[usize], agg: AggFn, ctx: &ExecContext) -> 
 }
 
 /// Running aggregate state for one group.
-enum Acc {
+pub(crate) enum Acc {
     Count(i64),
     Sum(i64),
     MinMax(Option<Value>),
 }
 
 impl Acc {
-    fn new(agg: AggFn) -> Acc {
+    pub(crate) fn new(agg: AggFn) -> Acc {
         match agg {
             AggFn::Count => Acc::Count(0),
             AggFn::Sum(_) => Acc::Sum(0),
@@ -278,7 +291,7 @@ impl Acc {
         }
     }
 
-    fn update(&mut self, t: &Tuple, agg: AggFn) -> Result<()> {
+    pub(crate) fn update(&mut self, t: &Tuple, agg: AggFn) -> Result<()> {
         match (self, agg) {
             (Acc::Count(n), AggFn::Count) => *n += 1,
             (Acc::Sum(s), AggFn::Sum(c)) => {
@@ -337,7 +350,7 @@ impl Acc {
         Ok(())
     }
 
-    fn finish(self) -> Result<Value> {
+    pub(crate) fn finish(self) -> Result<Value> {
         match self {
             Acc::Count(n) => Ok(Value::int(n)),
             Acc::Sum(s) => Ok(Value::int(s)),
@@ -359,7 +372,7 @@ impl Acc {
     }
 }
 
-fn check_columns(cols: &[usize], arity: usize, operator: &'static str) -> Result<()> {
+pub(crate) fn check_columns(cols: &[usize], arity: usize, operator: &'static str) -> Result<()> {
     for &c in cols {
         if c >= arity {
             return Err(EngineError::ColumnOutOfRange {
@@ -372,7 +385,11 @@ fn check_columns(cols: &[usize], arity: usize, operator: &'static str) -> Result
     Ok(())
 }
 
-fn check_predicates(preds: &[Predicate], arity: usize, operator: &'static str) -> Result<()> {
+pub(crate) fn check_predicates(
+    preds: &[Predicate],
+    arity: usize,
+    operator: &'static str,
+) -> Result<()> {
     for p in preds {
         if let Some(c) = p.max_column() {
             if c >= arity {
@@ -387,7 +404,7 @@ fn check_predicates(preds: &[Predicate], arity: usize, operator: &'static str) -
     Ok(())
 }
 
-fn check_join_keys(
+pub(crate) fn check_join_keys(
     keys: &[(usize, usize)],
     l_arity: usize,
     r_arity: usize,

@@ -18,10 +18,19 @@
 //!   *before* the tuple is stored, so memory use stays within
 //!   budget + O(1), never "budget + one join's worth".
 //! * **Memory** — each charged row also charges an estimated
-//!   `width × size_of::<Value>() + TUPLE_OVERHEAD` bytes. This is an
-//!   estimate of cumulative materialization, not a malloc audit; it is
-//!   the same quantity the cost model reasons about (C_out), so budgets
-//!   compose with the optimizer's estimates.
+//!   `width × size_of::<Value>() + TUPLE_OVERHEAD` bytes against two
+//!   counters: cumulative `bytes` (total materialization work, the
+//!   quantity the cost model reasons about as C_out) and `live_bytes`
+//!   (current residency). The budget checks **live** bytes; an operator
+//!   that flushes buffered tuples to a spill file calls
+//!   [`ExecContext::release_bytes`] so later work can reuse the
+//!   headroom. Without spilling nothing ever releases and the two
+//!   counters agree, preserving PR-1 semantics.
+//! * **Spilling** — when a context carries a spill directory
+//!   ([`ExecContext::with_spill`]), operators consult
+//!   [`ExecContext::mem_would_trip`] and partition state to disk
+//!   instead of failing, recording a `spill` degradation plus
+//!   bytes-spilled in [`ExecStats`].
 //! * **Time / cancellation** — checked at every operator entry and then
 //!   amortized inside loops (every [`CHECK_INTERVAL`] work units), so
 //!   even a filter that materializes nothing notices a deadline.
@@ -45,6 +54,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use qf_storage::SpillDir;
+
 use crate::error::{EngineError, Result};
 
 /// How many work units (rows examined or materialized) between
@@ -53,6 +64,24 @@ pub const CHECK_INTERVAL: u64 = 4096;
 
 /// Estimated bookkeeping bytes per materialized tuple beyond its values.
 pub const TUPLE_OVERHEAD: u64 = 16;
+
+/// Estimated memory cost of one materialized tuple of `width` columns —
+/// the unit charged by [`ExecContext::charge_row`] and released by
+/// [`ExecContext::release_bytes`] when an operator spills.
+#[inline]
+pub fn row_cost(width: usize) -> u64 {
+    width as u64 * std::mem::size_of::<qf_storage::Value>() as u64 + TUPLE_OVERHEAD
+}
+
+/// Memory budget taken from the `QF_MEM_BUDGET` environment variable
+/// (bytes, plain integer), if set and positive. Lets CI run the whole
+/// suite under a deliberately tiny budget so every spill path executes.
+pub fn env_mem_budget() -> Option<u64> {
+    std::env::var("QF_MEM_BUDGET")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&n| n > 0)
+}
 
 /// The budgeted resource named by [`EngineError::ResourceExhausted`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -118,6 +147,10 @@ pub struct ExecStats {
     pub bytes: u64,
     /// Largest number of worker threads any single operator used.
     pub workers: u64,
+    /// Encoded bytes written to spill files under memory pressure.
+    pub spilled_bytes: u64,
+    /// Number of spill-file flushes (sorted runs or Grace partitions).
+    pub spills: u64,
     /// Graceful degradations recorded anywhere in the context tree.
     pub degradations: Vec<Degradation>,
 }
@@ -134,6 +167,9 @@ struct FaultPoint {
 struct Counters {
     rows: AtomicU64,
     bytes: AtomicU64,
+    live_bytes: AtomicU64,
+    spilled_bytes: AtomicU64,
+    spills: AtomicU64,
     work: AtomicU64,
     workers: AtomicU64,
 }
@@ -151,6 +187,7 @@ pub struct ExecContext {
     cancel: CancelToken,
     counters: Arc<Counters>,
     degradations: Arc<Mutex<Vec<Degradation>>>,
+    spill: Option<Arc<SpillDir>>,
     #[cfg(feature = "fault-injection")]
     fault: Option<Arc<FaultPoint>>,
 }
@@ -183,6 +220,7 @@ impl ExecContext {
             cancel: CancelToken::new(),
             counters: Arc::new(Counters::default()),
             degradations: Arc::new(Mutex::new(Vec::new())),
+            spill: None,
             #[cfg(feature = "fault-injection")]
             fault: None,
         }
@@ -226,6 +264,54 @@ impl ExecContext {
         self.threads
     }
 
+    /// Allow operators to spill to `dir` instead of failing when a
+    /// memory charge would trip the budget. Without a spill directory
+    /// the governor keeps its PR-1 behavior: trip → `ResourceExhausted`.
+    pub fn with_spill(mut self, dir: Arc<SpillDir>) -> ExecContext {
+        self.spill = Some(dir);
+        self
+    }
+
+    /// The spill directory, if spilling is enabled.
+    pub fn spill_dir(&self) -> Option<&Arc<SpillDir>> {
+        self.spill.as_ref()
+    }
+
+    /// Is spill-to-disk enabled for this context?
+    pub fn spill_enabled(&self) -> bool {
+        self.spill.is_some()
+    }
+
+    /// Would charging `extra` more live bytes trip the memory budget?
+    /// Spill-capable operators probe this before buffering another
+    /// tuple and flush to disk instead of tripping.
+    pub fn mem_would_trip(&self, extra: u64) -> bool {
+        match self.max_bytes {
+            Some(limit) => self.counters.live_bytes.load(Ordering::Relaxed) + extra > limit,
+            None => false,
+        }
+    }
+
+    /// Release `n` live bytes after their tuples have been flushed to a
+    /// spill file (or otherwise dropped). Cumulative `bytes` stays put —
+    /// it reports total materialization work, not residency.
+    pub fn release_bytes(&self, n: u64) {
+        let _ = self
+            .counters
+            .live_bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Record one spill flush of `bytes` encoded bytes.
+    pub fn note_spill(&self, bytes: u64) {
+        self.counters
+            .spilled_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.counters.spills.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record that an operator ran with `n` workers; [`ExecStats`]
     /// reports the maximum seen.
     pub fn note_workers(&self, n: usize) {
@@ -266,6 +352,7 @@ impl ExecContext {
             cancel: self.cancel.clone(),
             counters: Arc::new(Counters::default()),
             degradations: Arc::clone(&self.degradations),
+            spill: self.spill.clone(),
             #[cfg(feature = "fault-injection")]
             fault: self.fault.clone(),
         }
@@ -302,14 +389,15 @@ impl ExecContext {
                 });
             }
         }
-        let cost = width as u64 * std::mem::size_of::<qf_storage::Value>() as u64 + TUPLE_OVERHEAD;
-        let bytes = self.counters.bytes.fetch_add(cost, Ordering::Relaxed) + cost;
+        let cost = row_cost(width);
+        self.counters.bytes.fetch_add(cost, Ordering::Relaxed);
+        let live = self.counters.live_bytes.fetch_add(cost, Ordering::Relaxed) + cost;
         if let Some(limit) = self.max_bytes {
-            if bytes > limit {
+            if live > limit {
                 return Err(EngineError::ResourceExhausted {
                     resource: Resource::Memory,
                     limit,
-                    observed: bytes,
+                    observed: live,
                 });
             }
         }
@@ -333,15 +421,15 @@ impl ExecContext {
                 });
             }
         }
-        let cost =
-            n * (std::mem::size_of::<qf_storage::Value>() as u64 * width as u64 + TUPLE_OVERHEAD);
-        let bytes = self.counters.bytes.fetch_add(cost, Ordering::Relaxed) + cost;
+        let cost = n * row_cost(width);
+        self.counters.bytes.fetch_add(cost, Ordering::Relaxed);
+        let live = self.counters.live_bytes.fetch_add(cost, Ordering::Relaxed) + cost;
         if let Some(limit) = self.max_bytes {
-            if bytes > limit {
+            if live > limit {
                 return Err(EngineError::ResourceExhausted {
                     resource: Resource::Memory,
                     limit,
-                    observed: bytes,
+                    observed: live,
                 });
             }
         }
@@ -368,11 +456,11 @@ impl ExecContext {
             .map(|limit| limit.saturating_sub(self.counters.rows.load(Ordering::Relaxed)))
     }
 
-    /// Estimated bytes still chargeable before the budget trips
+    /// Estimated live bytes still chargeable before the budget trips
     /// (`None` when unbounded).
     pub fn remaining_bytes(&self) -> Option<u64> {
         self.max_bytes
-            .map(|limit| limit.saturating_sub(self.counters.bytes.load(Ordering::Relaxed)))
+            .map(|limit| limit.saturating_sub(self.counters.live_bytes.load(Ordering::Relaxed)))
     }
 
     /// Non-erroring deadline probe, for callers that degrade rather
@@ -401,6 +489,8 @@ impl ExecContext {
             rows: self.counters.rows.load(Ordering::Relaxed),
             bytes: self.counters.bytes.load(Ordering::Relaxed),
             workers: self.counters.workers.load(Ordering::Relaxed),
+            spilled_bytes: self.counters.spilled_bytes.load(Ordering::Relaxed),
+            spills: self.counters.spills.load(Ordering::Relaxed),
             degradations: self
                 .degradations
                 .lock()
@@ -534,6 +624,52 @@ mod tests {
         child.record_degradation("dynamic-filter", "skipped item probe");
         assert_eq!(ctx.stats().degradations.len(), 1);
         assert_eq!(ctx.stats().degradations[0].stage, "dynamic-filter");
+    }
+
+    #[test]
+    fn released_bytes_free_budget_headroom() {
+        let cost = row_cost(8);
+        let ctx = ExecContext::unbounded().with_mem_budget(4 * cost);
+        for _ in 0..4 {
+            ctx.charge_row(8).unwrap();
+        }
+        assert!(ctx.mem_would_trip(cost));
+        assert!(ctx.charge_row(8).is_err());
+        // Flushing to disk releases live bytes; the budget recovers but
+        // cumulative stats keep counting.
+        ctx.release_bytes(4 * cost);
+        assert!(!ctx.mem_would_trip(cost));
+        for _ in 0..3 {
+            ctx.charge_row(8).unwrap();
+        }
+        assert_eq!(ctx.stats().rows, 8);
+        assert!(ctx.stats().bytes >= 8 * cost);
+    }
+
+    #[test]
+    fn release_saturates_at_zero() {
+        let ctx = ExecContext::unbounded().with_mem_budget(1000);
+        ctx.charge_row(2).unwrap();
+        ctx.release_bytes(u64::MAX);
+        assert_eq!(ctx.remaining_bytes(), Some(1000));
+    }
+
+    #[test]
+    fn spill_plumbing_and_counters() {
+        let ctx = ExecContext::unbounded();
+        assert!(!ctx.spill_enabled());
+        assert!(!ctx.mem_would_trip(u64::MAX / 2));
+        let dir = Arc::new(qf_storage::SpillDir::create_temp().unwrap());
+        let ctx = ctx.with_spill(Arc::clone(&dir));
+        assert!(ctx.spill_enabled());
+        assert!(ctx.spill_dir().is_some());
+        ctx.note_spill(100);
+        ctx.note_spill(28);
+        let stats = ctx.stats();
+        assert_eq!(stats.spilled_bytes, 128);
+        assert_eq!(stats.spills, 2);
+        // Subcontexts inherit the spill directory.
+        assert!(ctx.subcontext(None, None).spill_enabled());
     }
 
     #[cfg(feature = "fault-injection")]

@@ -58,13 +58,16 @@ pub mod joinorder;
 pub mod merge;
 pub mod parallel;
 pub mod plan;
+mod spill;
 
 pub use cost::{cost, cost_with};
 pub use error::{EngineError, Result};
 pub use estimate::{estimate, estimate_with, Estimate, MapStats, StatsSource};
 pub use exec::{execute, execute_with};
 pub use expr::{CmpOp, Operand, Predicate};
-pub use governor::{CancelToken, Degradation, ExecContext, ExecStats, Resource};
+pub use governor::{
+    env_mem_budget, row_cost, CancelToken, Degradation, ExecContext, ExecStats, Resource,
+};
 pub use joinorder::{order_greedy, order_optimal_dp, JoinGraph, JoinNode};
 pub use merge::{join_auto, join_auto_with, merge_join, merge_join_with, merge_joinable};
 pub use parallel::{default_threads, par_chunks, par_items, workers_for};

@@ -22,7 +22,10 @@
 
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::error::EngineError;
 
 /// Minimum number of items that justifies handing a worker thread its
 /// own chunk. Below this, thread spawn/join overhead dominates and the
@@ -74,19 +77,24 @@ pub fn chunk_ranges(len: usize, workers: usize) -> Vec<Range<usize>> {
 
 /// Apply `f` to every item of `items` on up to `threads` scoped worker
 /// threads, returning results **in item order**. The first `Err` (in
-/// item order) is returned; worker panics are resumed on the caller's
-/// thread. With `threads <= 1` (or a single item) everything runs
-/// inline on the caller's thread — no spawn overhead.
+/// item order) is returned. A panic inside `f` on a worker thread is
+/// caught at the worker boundary and surfaced as a clean
+/// [`EngineError::WorkerPanic`]-derived error — it never poisons shared
+/// state (the `ExecContext`) or cascades into sibling-thread panics.
+/// With `threads <= 1` (or a single item) everything runs inline on the
+/// caller's thread — no spawn overhead, and a panic propagates as in
+/// any sequential code.
 ///
 /// Items are claimed dynamically from a shared cursor, so uneven item
 /// costs balance across workers. Generic over the error type so that
 /// higher layers (the flock pipeline) can parallelize with their own
-/// error enums.
+/// error enums; `E: From<EngineError>` lets the panic conversion
+/// surface in those enums too.
 pub fn par_items<T, R, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, E>
 where
     T: Sync,
     R: Send,
-    E: Send,
+    E: Send + From<EngineError>,
     F: Fn(&T) -> Result<R, E> + Sync,
 {
     let n_workers = threads.max(1).min(items.len());
@@ -105,7 +113,13 @@ where
                         if i >= items.len() {
                             break;
                         }
-                        let r = f(&items[i]);
+                        let r = catch_unwind(AssertUnwindSafe(|| f(&items[i]))).unwrap_or_else(
+                            |payload| {
+                                Err(E::from(EngineError::WorkerPanic {
+                                    detail: panic_message(payload.as_ref()),
+                                }))
+                            },
+                        );
                         // After an error, later items are moot; stop
                         // claiming work so the pipeline fails fast.
                         let failed = r.is_err();
@@ -121,12 +135,31 @@ where
         for h in handles {
             match h.join() {
                 Ok(local) => indexed.extend(local),
-                Err(payload) => std::panic::resume_unwind(payload),
+                // Defensive: `f` panics are already caught above, so
+                // this only fires for panics in the claiming loop
+                // itself. Surface them as errors too (ordered last).
+                Err(payload) => indexed.push((
+                    usize::MAX,
+                    Err(E::from(EngineError::WorkerPanic {
+                        detail: panic_message(payload.as_ref()),
+                    })),
+                )),
             }
         }
     });
     indexed.sort_by_key(|(i, _)| *i);
     indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Partition `items` into at most `workers` contiguous chunks and apply
@@ -136,7 +169,7 @@ pub fn par_chunks<T, R, E, F>(items: &[T], workers: usize, f: F) -> Result<Vec<R
 where
     T: Sync,
     R: Send,
-    E: Send,
+    E: Send + From<EngineError>,
     F: Fn(&[T]) -> Result<R, E> + Sync,
 {
     let ranges = chunk_ranges(items.len(), workers);
@@ -210,5 +243,47 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_clean_error() {
+        // Silence the default panic hook for the intentional panic so
+        // test output stays readable; restore it afterwards.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let items: Vec<u64> = (0..10_000).collect();
+        let err = par_items(&items, 4, |&x| {
+            if x == 5000 {
+                panic!("boom at {x}");
+            }
+            Ok::<u64, EngineError>(x)
+        })
+        .unwrap_err();
+        std::panic::set_hook(prev);
+        match err {
+            EngineError::WorkerPanic { detail } => assert!(detail.contains("boom"), "{detail}"),
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_panic_does_not_poison_shared_context() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let ctx = crate::ExecContext::unbounded();
+        let items: Vec<u64> = (0..10_000).collect();
+        let r = par_items(&items, 4, |&x| {
+            ctx.record_degradation("test", "before panic");
+            if x == 0 {
+                panic!("poison attempt");
+            }
+            Ok::<u64, EngineError>(x)
+        });
+        std::panic::set_hook(prev);
+        assert!(matches!(r, Err(EngineError::WorkerPanic { .. })));
+        // The shared context is still fully usable afterwards.
+        ctx.record_degradation("test", "after panic");
+        assert!(!ctx.stats().degradations.is_empty());
+        ctx.charge_row(4).unwrap();
     }
 }

@@ -1,0 +1,91 @@
+//! Property test for out-of-core execution: on random relations and
+//! random join/group-by plan shapes, a governed run with a memory
+//! budget small enough to force spill-to-disk produces a relation
+//! identical to the ungoverned in-memory path — at 1 and at 4 worker
+//! threads.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use qf_engine::{
+    env_mem_budget, execute, execute_with, AggFn, CmpOp, ExecContext, PhysicalPlan, Predicate,
+};
+use qf_storage::{Database, Relation, Schema, SpillDir, Value};
+
+fn rows2(n: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0i64..16, 0i64..16), 0..n)
+}
+
+fn db2(l: &[(i64, i64)], r: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    db.insert(Relation::from_rows(
+        Schema::new("l", &["a", "b"]),
+        l.iter()
+            .map(|&(a, b)| vec![Value::int(a), Value::int(b)])
+            .collect(),
+    ));
+    db.insert(Relation::from_rows(
+        Schema::new("r", &["c", "d"]),
+        r.iter()
+            .map(|&(a, b)| vec![Value::int(a), Value::int(b)])
+            .collect(),
+    ));
+    db
+}
+
+/// Random reducing plan shapes over the two relations. Every shape ends
+/// in an aggregate or projection so the *final* result stays small —
+/// spilling bounds intermediate state, but the materialized result must
+/// always fit the budget.
+fn shape_plan(shape: u8) -> PhysicalPlan {
+    let join = PhysicalPlan::hash_join(
+        PhysicalPlan::scan("l"),
+        PhysicalPlan::scan("r"),
+        vec![(1, 0)],
+    );
+    match shape % 4 {
+        0 => PhysicalPlan::aggregate(join, vec![0], AggFn::Count),
+        1 => PhysicalPlan::aggregate(join, vec![], AggFn::Count),
+        2 => PhysicalPlan::project(
+            PhysicalPlan::union(vec![PhysicalPlan::scan("l"), PhysicalPlan::scan("r")]),
+            vec![1],
+        ),
+        _ => PhysicalPlan::aggregate(
+            PhysicalPlan::select(join, vec![Predicate::col_col(0, CmpOp::Lt, 2)]),
+            vec![3],
+            AggFn::Max(0),
+        ),
+    }
+}
+
+/// The governed budget: `QF_MEM_BUDGET` when set (the CI chaos job runs
+/// the suite under a tiny value), floored so the resident base-relation
+/// scans — which spilling deliberately does not evict — always fit.
+fn budget() -> u64 {
+    env_mem_budget().unwrap_or(48 << 10).max(24 << 10)
+}
+
+proptest! {
+    #[test]
+    fn spill_equals_in_memory(l in rows2(120), r in rows2(120), shape in 0u8..4) {
+        let db = db2(&l, &r);
+        let plan = shape_plan(shape);
+        let expected = execute(&plan, &db).unwrap();
+        for threads in [1usize, 4] {
+            let ctx = ExecContext::unbounded()
+                .with_mem_budget(budget())
+                .with_threads(threads)
+                .with_spill(Arc::new(SpillDir::create_temp().unwrap()));
+            let got = execute_with(&plan, &db, &ctx).unwrap();
+            prop_assert_eq!(
+                got.tuples(),
+                expected.tuples(),
+                "shape {} threads {}",
+                shape,
+                threads
+            );
+            prop_assert_eq!(got.schema().columns(), expected.schema().columns());
+        }
+    }
+}

@@ -46,6 +46,7 @@ pub mod hash;
 pub mod index;
 pub mod relation;
 pub mod schema;
+pub mod spill;
 pub mod stats;
 pub mod symbol;
 pub mod tsv;
@@ -59,6 +60,7 @@ pub use hash::{FastHasher, FastMap, FastSet};
 pub use index::HashIndex;
 pub use relation::{Relation, RelationBuilder};
 pub use schema::Schema;
+pub use spill::{SpillDir, SpillFile, SpillReader, SpillWriter};
 pub use stats::ColumnStats;
 pub use symbol::Symbol;
 pub use tuple::Tuple;

@@ -1,0 +1,669 @@
+//! Out-of-core spill files: temp-file management and a compact on-disk
+//! tuple encoding.
+//!
+//! Operators that would otherwise trip their memory budget partition
+//! state to disk (Grace-hash style) and continue instead of aborting;
+//! the `FILTER`-step journal snapshots parameter relations with the same
+//! encoding so a crashed run can resume. Both live on this format:
+//!
+//! * **Spill run** (`QFS1`): a header (magic, arity) followed by a
+//!   sequence of encoded tuples. Runs written by the engine are sorted
+//!   and deduplicated, so a k-way merge over runs reconstructs the
+//!   canonical set order.
+//! * **Relation snapshot** (`QFR1`): a spill run prefixed with the
+//!   relation's schema (name, column names) and row count, used by the
+//!   journal. [`write_relation`] fsyncs before returning so a
+//!   `kill -9` immediately after cannot tear the snapshot.
+//!
+//! Values are encoded as a tag byte plus a varint: integers as
+//! zigzag-encoded LEB128, symbols as references into a **per-file string
+//! dictionary** whose entries are emitted inline on first use. Interned
+//! [`Symbol`] ids are *not* stable across processes, so readers re-intern
+//! every dictionary string; a snapshot written by a killed run loads
+//! correctly in the resuming process.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::{Result, StorageError};
+use crate::hash::FastMap;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::symbol::Symbol;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Magic bytes opening a spill run.
+const RUN_MAGIC: &[u8; 4] = b"QFS1";
+/// Magic bytes opening a relation snapshot.
+const REL_MAGIC: &[u8; 4] = b"QFR1";
+
+/// Value tag: zigzag-varint integer.
+const TAG_INT: u8 = 0;
+/// Value tag: varint reference to an already-defined dictionary string.
+const TAG_SYM_REF: u8 = 1;
+/// Value tag: inline dictionary definition (varint length + UTF-8
+/// bytes); the string is assigned the next dictionary id.
+const TAG_SYM_DEF: u8 = 2;
+
+/// Distinguishes sibling [`SpillDir`]s created in the same parent.
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A managed directory for spill files.
+///
+/// Allocates uniquely named file paths for concurrent writers and
+/// removes the whole directory (best effort) on drop. One `SpillDir` is
+/// shared by every operator of a governed execution via the context.
+#[derive(Debug)]
+pub struct SpillDir {
+    root: PathBuf,
+    counter: AtomicU64,
+}
+
+impl SpillDir {
+    /// Create a fresh spill directory inside `parent` (the parent is
+    /// created if missing).
+    pub fn create(parent: &Path) -> Result<SpillDir> {
+        let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let root = parent.join(format!("qf-spill-{}-{seq}", std::process::id()));
+        std::fs::create_dir_all(&root)?;
+        Ok(SpillDir {
+            root,
+            counter: AtomicU64::new(0),
+        })
+    }
+
+    /// Create a fresh spill directory under the system temp directory.
+    pub fn create_temp() -> Result<SpillDir> {
+        SpillDir::create(&std::env::temp_dir())
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    /// Allocate a unique file path for a new spill file. Thread-safe.
+    pub fn alloc(&self, tag: &str) -> PathBuf {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        self.root.join(format!("{tag}-{n}.qfs"))
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+/// Handle to one finished spill file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillFile {
+    /// Path of the file.
+    pub path: PathBuf,
+    /// Tuples written.
+    pub rows: u64,
+    /// Encoded size in bytes.
+    pub bytes: u64,
+}
+
+/// Sequential writer for a spill run.
+pub struct SpillWriter {
+    w: BufWriter<File>,
+    path: PathBuf,
+    arity: usize,
+    dict: FastMap<Symbol, u64>,
+    rows: u64,
+    bytes: u64,
+}
+
+impl SpillWriter {
+    /// Create a spill run at `path` for tuples of `arity` columns.
+    pub fn create(path: PathBuf, arity: usize) -> Result<SpillWriter> {
+        let file = File::create(&path)?;
+        let mut w = SpillWriter {
+            w: BufWriter::new(file),
+            path,
+            arity,
+            dict: FastMap::default(),
+            rows: 0,
+            bytes: 0,
+        };
+        w.put(RUN_MAGIC)?;
+        w.put_varint(arity as u64)?;
+        Ok(w)
+    }
+
+    /// Append one tuple.
+    ///
+    /// # Panics
+    /// Debug-asserts the tuple's arity matches the file's.
+    pub fn write_tuple(&mut self, t: &Tuple) -> Result<()> {
+        debug_assert_eq!(t.arity(), self.arity, "spill arity mismatch");
+        for &v in t.values() {
+            match v {
+                Value::Int(i) => {
+                    self.put(&[TAG_INT])?;
+                    self.put_varint(zigzag(i))?;
+                }
+                Value::Sym(s) => match self.dict.get(&s) {
+                    Some(&id) => {
+                        self.put(&[TAG_SYM_REF])?;
+                        self.put_varint(id)?;
+                    }
+                    None => {
+                        let id = self.dict.len() as u64;
+                        self.dict.insert(s, id);
+                        let bytes = s.as_str().as_bytes();
+                        self.put(&[TAG_SYM_DEF])?;
+                        self.put_varint(bytes.len() as u64)?;
+                        self.put(bytes)?;
+                    }
+                },
+            }
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Flush and close, returning the file handle.
+    pub fn finish(self) -> Result<SpillFile> {
+        self.finish_inner(false)
+    }
+
+    /// Flush, `fsync`, and close — for snapshots that must survive a
+    /// process kill.
+    pub fn finish_synced(self) -> Result<SpillFile> {
+        self.finish_inner(true)
+    }
+
+    fn finish_inner(mut self, sync: bool) -> Result<SpillFile> {
+        self.w.flush()?;
+        if sync {
+            self.w.get_ref().sync_all()?;
+        }
+        Ok(SpillFile {
+            path: self.path,
+            rows: self.rows,
+            bytes: self.bytes,
+        })
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> Result<()> {
+        self.w.write_all(bytes)?;
+        self.bytes += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn put_varint(&mut self, v: u64) -> Result<()> {
+        let mut buf = [0u8; 10];
+        let n = encode_varint(v, &mut buf);
+        self.put(&buf[..n])
+    }
+}
+
+/// Sequential reader over a spill run.
+pub struct SpillReader {
+    r: BufReader<File>,
+    arity: usize,
+    dict: Vec<Symbol>,
+}
+
+impl SpillReader {
+    /// Open a spill run, validating the header.
+    pub fn open(path: &Path) -> Result<SpillReader> {
+        let mut r = BufReader::new(File::open(path)?);
+        expect_magic(&mut r, RUN_MAGIC, path)?;
+        let arity = read_varint(&mut r)? as usize;
+        Ok(SpillReader {
+            r,
+            arity,
+            dict: Vec::new(),
+        })
+    }
+
+    /// Column count of the run's tuples.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Read the next tuple, or `None` at end of file.
+    pub fn next_tuple(&mut self) -> Result<Option<Tuple>> {
+        let mut tag = [0u8; 1];
+        match self.r.read_exact(&mut tag) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let mut values = Vec::with_capacity(self.arity);
+        values.push(read_value(&mut self.r, tag[0], &mut self.dict)?);
+        for _ in 1..self.arity {
+            self.r.read_exact(&mut tag)?;
+            values.push(read_value(&mut self.r, tag[0], &mut self.dict)?);
+        }
+        Ok(Some(Tuple::from(values)))
+    }
+}
+
+/// Write `rel` as a crash-safe snapshot at `path` (schema + tuples,
+/// fsynced). Returns the encoded size.
+pub fn write_relation(path: &Path, rel: &Relation) -> Result<u64> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(REL_MAGIC)?;
+    write_str(&mut w, rel.name())?;
+    write_varint(&mut w, rel.schema().arity() as u64)?;
+    for col in rel.schema().columns() {
+        write_str(&mut w, col)?;
+    }
+    write_varint(&mut w, rel.len() as u64)?;
+    w.flush()?;
+    drop(w);
+    // Reuse the run writer for the tuple stream by appending.
+    let file = std::fs::OpenOptions::new().append(true).open(path)?;
+    let mut w = BufWriter::new(file);
+    let mut dict: FastMap<Symbol, u64> = FastMap::default();
+    for t in rel.iter() {
+        for &v in t.values() {
+            match v {
+                Value::Int(i) => {
+                    w.write_all(&[TAG_INT])?;
+                    write_varint(&mut w, zigzag(i))?;
+                }
+                Value::Sym(s) => match dict.get(&s) {
+                    Some(&id) => {
+                        w.write_all(&[TAG_SYM_REF])?;
+                        write_varint(&mut w, id)?;
+                    }
+                    None => {
+                        let id = dict.len() as u64;
+                        dict.insert(s, id);
+                        w.write_all(&[TAG_SYM_DEF])?;
+                        write_str(&mut w, s.as_str())?;
+                    }
+                },
+            }
+        }
+    }
+    w.flush()?;
+    w.get_ref().sync_all()?;
+    Ok(std::fs::metadata(path)?.len())
+}
+
+/// Load a relation snapshot written by [`write_relation`], re-interning
+/// every dictionary string into this process's interner.
+pub fn read_relation(path: &Path) -> Result<Relation> {
+    let mut r = BufReader::new(File::open(path)?);
+    expect_magic(&mut r, REL_MAGIC, path)?;
+    let name = read_str(&mut r)?;
+    let arity = read_varint(&mut r)? as usize;
+    let mut columns = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        columns.push(read_str(&mut r)?);
+    }
+    let rows = read_varint(&mut r)? as usize;
+    let mut dict: Vec<Symbol> = Vec::new();
+    let mut tuples = Vec::with_capacity(rows);
+    let mut tag = [0u8; 1];
+    for _ in 0..rows {
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            r.read_exact(&mut tag).map_err(|_| truncated(path))?;
+            values.push(read_value(&mut r, tag[0], &mut dict)?);
+        }
+        tuples.push(Tuple::from(values));
+    }
+    Ok(Relation::from_tuples(
+        Schema::from_columns(name, columns),
+        tuples,
+    ))
+}
+
+/// Incremental FNV-1a hasher. Unlike [`crate::FastHasher`], its output
+/// is specified byte-for-byte, so fingerprints written to a journal in
+/// one process validate in another.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv1a {
+    /// Fresh hasher.
+    pub fn new() -> Fnv1a {
+        Fnv1a::default()
+    }
+
+    /// Absorb bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Absorb one value, stably across processes (symbols hash by their
+    /// string content, never their intern id).
+    pub fn write_value(&mut self, v: Value) {
+        match v {
+            Value::Int(i) => {
+                self.write(&[TAG_INT]);
+                self.write(&i.to_le_bytes());
+            }
+            Value::Sym(s) => {
+                let bytes = s.as_str().as_bytes();
+                self.write(&[TAG_SYM_DEF]);
+                self.write(&(bytes.len() as u64).to_le_bytes());
+                self.write(bytes);
+            }
+        }
+    }
+
+    /// The digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Process-stable fingerprint of a relation's schema and full content.
+/// Two relations hash equal iff their column names, arity, and tuple
+/// sets are equal (the relation *name* is excluded so renames don't
+/// invalidate journals).
+pub fn content_hash(rel: &Relation) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(&(rel.schema().arity() as u64).to_le_bytes());
+    for col in rel.schema().columns() {
+        h.write(col.as_bytes());
+        h.write(&[0xff]);
+    }
+    h.write(&(rel.len() as u64).to_le_bytes());
+    for t in rel.iter() {
+        for &v in t.values() {
+            h.write_value(v);
+        }
+    }
+    h.finish()
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn encode_varint(mut v: u64, buf: &mut [u8; 10]) -> usize {
+    let mut i = 0;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf[i] = byte;
+            return i + 1;
+        }
+        buf[i] = byte | 0x80;
+        i += 1;
+    }
+}
+
+fn read_varint(r: &mut impl Read) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    let mut byte = [0u8; 1];
+    loop {
+        r.read_exact(&mut byte)?;
+        if shift >= 64 {
+            return Err(StorageError::Malformed {
+                detail: "varint overflows 64 bits".to_string(),
+            });
+        }
+        v |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn read_value(r: &mut impl Read, tag: u8, dict: &mut Vec<Symbol>) -> Result<Value> {
+    match tag {
+        TAG_INT => Ok(Value::Int(unzigzag(read_varint(r)?))),
+        TAG_SYM_REF => {
+            let id = read_varint(r)? as usize;
+            dict.get(id)
+                .copied()
+                .map(Value::Sym)
+                .ok_or_else(|| StorageError::Malformed {
+                    detail: format!("spill file references undefined dictionary id {id}"),
+                })
+        }
+        TAG_SYM_DEF => {
+            let s = read_str(r)?;
+            let sym = Symbol::intern(&s);
+            dict.push(sym);
+            Ok(Value::Sym(sym))
+        }
+        other => Err(StorageError::Malformed {
+            detail: format!("unknown spill value tag {other}"),
+        }),
+    }
+}
+
+fn write_varint(w: &mut impl Write, v: u64) -> Result<()> {
+    let mut buf = [0u8; 10];
+    let n = encode_varint(v, &mut buf);
+    w.write_all(&buf[..n])?;
+    Ok(())
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> Result<()> {
+    write_varint(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+fn read_str(r: &mut impl Read) -> Result<String> {
+    let len = read_varint(r)? as usize;
+    // A corrupt length should error, not attempt a huge allocation.
+    if len > 1 << 30 {
+        return Err(StorageError::Malformed {
+            detail: format!("string length {len} exceeds sanity bound"),
+        });
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| StorageError::Malformed {
+        detail: "spill string is not valid UTF-8".to_string(),
+    })
+}
+
+fn expect_magic(r: &mut impl Read, magic: &[u8; 4], path: &Path) -> Result<()> {
+    let mut got = [0u8; 4];
+    r.read_exact(&mut got).map_err(|_| truncated(path))?;
+    if &got != magic {
+        return Err(StorageError::Malformed {
+            detail: format!("{} is not a spill file (bad magic)", path.display()),
+        });
+    }
+    Ok(())
+}
+
+fn truncated(path: &Path) -> StorageError {
+    StorageError::Malformed {
+        detail: format!("{} is truncated", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_tuples(n: i64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                Tuple::from(vec![
+                    Value::int(i - 5),
+                    Value::str(&format!("item{}", i % 7)),
+                    Value::int(i * 1_000_003),
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_roundtrip_with_dictionary() {
+        let dir = SpillDir::create_temp().unwrap();
+        let tuples = mixed_tuples(100);
+        let mut w = SpillWriter::create(dir.alloc("run"), 3).unwrap();
+        for t in &tuples {
+            w.write_tuple(t).unwrap();
+        }
+        let file = w.finish().unwrap();
+        assert_eq!(file.rows, 100);
+        // 7 distinct strings: the dictionary keeps the file far smaller
+        // than 100 copies of the string data.
+        assert!(file.bytes < 100 * 10 + 7 * 10 + 64, "{}", file.bytes);
+
+        let mut r = SpillReader::open(&file.path).unwrap();
+        assert_eq!(r.arity(), 3);
+        let mut back = Vec::new();
+        while let Some(t) = r.next_tuple().unwrap() {
+            back.push(t);
+        }
+        assert_eq!(back, tuples);
+    }
+
+    #[test]
+    fn empty_run_roundtrip() {
+        let dir = SpillDir::create_temp().unwrap();
+        let file = SpillWriter::create(dir.alloc("run"), 2)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let mut r = SpillReader::open(&file.path).unwrap();
+        assert!(r.next_tuple().unwrap().is_none());
+    }
+
+    #[test]
+    fn extreme_integers_roundtrip() {
+        let dir = SpillDir::create_temp().unwrap();
+        let tuples = vec![
+            Tuple::from([Value::int(i64::MIN)]),
+            Tuple::from([Value::int(-1)]),
+            Tuple::from([Value::int(0)]),
+            Tuple::from([Value::int(i64::MAX)]),
+        ];
+        let mut w = SpillWriter::create(dir.alloc("run"), 1).unwrap();
+        for t in &tuples {
+            w.write_tuple(t).unwrap();
+        }
+        let file = w.finish().unwrap();
+        let mut r = SpillReader::open(&file.path).unwrap();
+        for t in &tuples {
+            assert_eq!(r.next_tuple().unwrap().as_ref(), Some(t));
+        }
+    }
+
+    #[test]
+    fn relation_snapshot_roundtrip() {
+        let dir = SpillDir::create_temp().unwrap();
+        let rel = Relation::from_tuples(
+            Schema::new("ok_s", &["s", "support"]),
+            (0..50)
+                .map(|i| Tuple::from(vec![Value::str(&format!("sym{i}")), Value::int(i)]))
+                .collect(),
+        );
+        let path = dir.alloc("snap");
+        write_relation(&path, &rel).unwrap();
+        let back = read_relation(&path).unwrap();
+        assert_eq!(back, rel);
+        assert_eq!(back.name(), "ok_s");
+        assert_eq!(content_hash(&back), content_hash(&rel));
+    }
+
+    #[test]
+    fn empty_relation_snapshot_roundtrip() {
+        let dir = SpillDir::create_temp().unwrap();
+        let rel = Relation::empty(Schema::new("nothing", &["x"]));
+        let path = dir.alloc("snap");
+        write_relation(&path, &rel).unwrap();
+        assert_eq!(read_relation(&path).unwrap(), rel);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let dir = SpillDir::create_temp().unwrap();
+        let path = dir.alloc("junk");
+        std::fs::write(&path, b"not a spill file").unwrap();
+        assert!(matches!(
+            SpillReader::open(&path),
+            Err(StorageError::Malformed { .. })
+        ));
+        assert!(matches!(
+            read_relation(&path),
+            Err(StorageError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_snapshot_rejected() {
+        let dir = SpillDir::create_temp().unwrap();
+        let rel = Relation::from_tuples(
+            Schema::new("r", &["a"]),
+            (0..20).map(|i| Tuple::from([Value::int(i)])).collect(),
+        );
+        let path = dir.alloc("snap");
+        write_relation(&path, &rel).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(read_relation(&path).is_err());
+    }
+
+    #[test]
+    fn content_hash_is_content_sensitive() {
+        let rel = |rows: &[(i64, &str)]| {
+            Relation::from_tuples(
+                Schema::new("r", &["n", "s"]),
+                rows.iter()
+                    .map(|&(n, s)| Tuple::from(vec![Value::int(n), Value::str(s)]))
+                    .collect(),
+            )
+        };
+        let a = rel(&[(1, "x"), (2, "y")]);
+        let b = rel(&[(1, "x"), (2, "z")]);
+        let c = rel(&[(1, "x")]);
+        assert_ne!(content_hash(&a), content_hash(&b));
+        assert_ne!(content_hash(&a), content_hash(&c));
+        // Renaming the relation does not change the hash; renaming a
+        // column does.
+        assert_eq!(content_hash(&a.renamed("other")), content_hash(&a));
+        let d = Relation::from_tuples(Schema::new("r", &["m", "s"]), a.tuples().to_vec());
+        assert_ne!(content_hash(&a), content_hash(&d));
+    }
+
+    #[test]
+    fn spill_dir_cleans_up_on_drop() {
+        let dir = SpillDir::create_temp().unwrap();
+        let root = dir.path().to_path_buf();
+        let mut w = SpillWriter::create(dir.alloc("run"), 1).unwrap();
+        w.write_tuple(&Tuple::from([Value::int(1)])).unwrap();
+        w.finish().unwrap();
+        assert!(root.exists());
+        drop(dir);
+        assert!(!root.exists());
+    }
+
+    #[test]
+    fn alloc_paths_are_unique() {
+        let dir = SpillDir::create_temp().unwrap();
+        let a = dir.alloc("x");
+        let b = dir.alloc("x");
+        assert_ne!(a, b);
+    }
+}
