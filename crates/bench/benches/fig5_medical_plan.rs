@@ -38,7 +38,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_medical_plan");
     group.sample_size(10);
     for (name, plan) in &plans {
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| execute_plan(plan, db, JoinOrderStrategy::Greedy).unwrap())
         });
     }

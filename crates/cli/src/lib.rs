@@ -111,6 +111,12 @@ pub struct Session {
     pub journal_dir: Option<std::path::PathBuf>,
     /// Emit `run` results as a single JSON object instead of text.
     pub report_json: bool,
+    /// Deterministic I/O fault injection for spill and journal files:
+    /// `(seed, rate)` — roughly one fault per `rate` faultable
+    /// operations, driven by `seed` (`--io-faults seed=N [rate=M]`).
+    pub io_faults: Option<(u64, u64)>,
+    /// Malformed TSV data lines skipped by lossy loads this session.
+    pub tsv_skipped: u64,
 }
 
 impl Session {
@@ -138,6 +144,7 @@ impl Session {
             "limits" => self.set_limits(rest),
             "spill" => self.set_spill(rest),
             "resume" => self.set_resume(rest),
+            "faults" => self.set_faults(rest),
             "report" => self.set_report(rest),
             "run" => self.run(rest),
             "plan" => self.plan(),
@@ -152,8 +159,13 @@ impl Session {
         if path.is_empty() {
             return Err("usage: load <file.tsv>".to_string());
         }
-        let rel = tsv::load_tsv(path).map_err(|e| e.to_string())?;
-        let msg = format!("loaded {} [{} tuples]", rel.schema(), rel.len());
+        let lossy = tsv::load_tsv_lossy(path).map_err(|e| e.to_string())?;
+        let rel = lossy.relation;
+        let mut msg = format!("loaded {} [{} tuples]", rel.schema(), rel.len());
+        if lossy.skipped > 0 {
+            self.tsv_skipped += lossy.skipped as u64;
+            let _ = write!(msg, " (skipped {} malformed line(s))", lossy.skipped);
+        }
         self.db.insert(rel);
         Ok(msg)
     }
@@ -350,6 +362,51 @@ impl Session {
         }
     }
 
+    fn set_faults(&mut self, rest: &str) -> Result<String, String> {
+        match rest {
+            "" => Ok(match self.io_faults {
+                Some((seed, rate)) => format!("fault injection: seed={seed} rate={rate}"),
+                None => "fault injection disabled".to_string(),
+            }),
+            "none" => {
+                self.io_faults = None;
+                Ok("fault injection disabled".to_string())
+            }
+            args => {
+                let mut seed = None;
+                let mut rate = 200u64; // ~one fault per 200 faultable ops
+                for part in args.split_whitespace() {
+                    let (key, value) = part
+                        .split_once('=')
+                        .ok_or("usage: faults [none | seed=N [rate=M]]")?;
+                    match key {
+                        "seed" => seed = Some(parse_count(value)?),
+                        "rate" => {
+                            rate = parse_count(value)?;
+                            if rate == 0 {
+                                return Err("rate must be at least 1".to_string());
+                            }
+                        }
+                        other => return Err(format!("unknown faults key `{other}`")),
+                    }
+                }
+                let seed = seed.ok_or("faults needs seed=N")?;
+                self.io_faults = Some((seed, rate));
+                Ok(format!("fault injection: seed={seed} rate={rate}"))
+            }
+        }
+    }
+
+    /// The filesystem backend spill and journal I/O should use: a
+    /// seeded chaos injector when `faults` is set, the real filesystem
+    /// otherwise.
+    fn io_vfs(&self) -> std::sync::Arc<dyn qf_storage::Vfs> {
+        match self.io_faults {
+            Some((seed, rate)) => std::sync::Arc::new(qf_storage::ChaosFs::seeded(seed, rate)),
+            None => qf_storage::real_fs(),
+        }
+    }
+
     fn set_report(&mut self, rest: &str) -> Result<String, String> {
         match rest {
             "json" => {
@@ -379,7 +436,8 @@ impl Session {
             }
         }
         if let Some(dir) = &self.spill_dir {
-            let sd = qf_storage::SpillDir::create(dir).map_err(|e| e.to_string())?;
+            let sd =
+                qf_storage::SpillDir::create_on(self.io_vfs(), dir).map_err(|e| e.to_string())?;
             ctx = ctx.with_spill(std::sync::Arc::new(sd));
         }
         Ok(ctx)
@@ -407,13 +465,16 @@ impl Session {
         let ctx = self.run_context()?;
         let mut optimizer = Optimizer::with_strategy(strategy);
         optimizer.config.journal_dir = self.journal_dir.clone();
+        if self.io_faults.is_some() {
+            optimizer.config.journal_vfs = Some(self.io_vfs());
+        }
         let start = std::time::Instant::now();
         let evaluation = program
             .evaluate_governed(&self.db, &optimizer, &ctx)
             .map_err(|e| e.to_string())?;
         let elapsed = start.elapsed();
         if self.report_json {
-            return Ok(json_report(&evaluation, elapsed));
+            return Ok(json_report(&evaluation, elapsed, self.tsv_skipped));
         }
         let mut out = format!(
             "strategy: {} ({elapsed:?})\n{} result(s)",
@@ -442,6 +503,13 @@ impl Session {
                 out,
                 "\nresumed: {} step(s) replayed from the journal",
                 evaluation.resumed_steps
+            );
+        }
+        if evaluation.stats.io_retries > 0 || evaluation.stats.corruption_recoveries > 0 {
+            let _ = write!(
+                out,
+                "\nrecovered: {} transient retry(ies), {} corruption recompute(s)",
+                evaluation.stats.io_retries, evaluation.stats.corruption_recoveries
             );
         }
         for d in &evaluation.stats.degradations {
@@ -513,7 +581,11 @@ impl Session {
 
 /// Render an evaluation as one JSON object (hand-rolled: the offline
 /// build carries no serialization dependency).
-fn json_report(evaluation: &qf_core::Evaluation, elapsed: std::time::Duration) -> String {
+fn json_report(
+    evaluation: &qf_core::Evaluation,
+    elapsed: std::time::Duration,
+    tsv_skipped: u64,
+) -> String {
     let s = &evaluation.stats;
     let degradations: Vec<String> = s
         .degradations
@@ -529,7 +601,8 @@ fn json_report(evaluation: &qf_core::Evaluation, elapsed: std::time::Duration) -
     format!(
         "{{\"strategy\":\"{}\",\"results\":{},\"elapsed_ms\":{},\"rows\":{},\"bytes\":{},\
          \"workers\":{},\"spilled_bytes\":{},\"spills\":{},\"resumed_steps\":{},\
-         \"degradations\":[{}]}}",
+         \"io_retries\":{},\"corruption_recoveries\":{},\"spill_files_live\":{},\
+         \"tsv_skipped_lines\":{},\"degradations\":[{}]}}",
         json_escape(&evaluation.strategy_used),
         evaluation.result.len(),
         elapsed.as_millis(),
@@ -539,6 +612,10 @@ fn json_report(evaluation: &qf_core::Evaluation, elapsed: std::time::Duration) -
         s.spilled_bytes,
         s.spills,
         evaluation.resumed_steps,
+        s.io_retries,
+        s.corruption_recoveries,
+        s.spill_files_live,
+        tsv_skipped,
         degradations.join(",")
     )
 }
@@ -605,6 +682,7 @@ commands:
   limits [none | max-rows=N mem-budget=BYTES timeout=MS threads=N]   budget every run
   spill [<dir>|none]                             spill to disk under memory pressure
   resume [<dir>|none]                            journal steps; re-run resumes from <dir>
+  faults [none | seed=N [rate=M]]                inject deterministic I/O faults (spill+journal)
   report [text|json]                             run output format
   run [auto|direct|static|dynamic]               evaluate the flock
   plan                                           show the cost-based best plan
@@ -819,10 +897,88 @@ mod tests {
             "\"spilled_bytes\":",
             "\"spills\":",
             "\"resumed_steps\":",
+            "\"io_retries\":",
+            "\"corruption_recoveries\":",
+            "\"spill_files_live\":",
+            "\"tsv_skipped_lines\":",
             "\"degradations\":[",
         ] {
             assert!(out.contains(key), "missing {key} in {out}");
         }
+    }
+
+    #[test]
+    fn faults_command_sets_and_clears() {
+        let mut s = Session::new();
+        assert_eq!(
+            s.execute_line("faults").unwrap(),
+            "fault injection disabled"
+        );
+        assert_eq!(
+            s.execute_line("faults seed=7").unwrap(),
+            "fault injection: seed=7 rate=200"
+        );
+        assert_eq!(s.io_faults, Some((7, 200)));
+        assert_eq!(
+            s.execute_line("faults seed=7 rate=50").unwrap(),
+            "fault injection: seed=7 rate=50"
+        );
+        assert!(s.execute_line("faults rate=50").is_err()); // needs seed
+        assert!(s.execute_line("faults seed=7 rate=0").is_err());
+        assert!(s.execute_line("faults bogus=1").is_err());
+        assert_eq!(
+            s.execute_line("faults none").unwrap(),
+            "fault injection disabled"
+        );
+        assert!(s.io_faults.is_none());
+    }
+
+    #[test]
+    fn lossy_load_reports_and_accumulates_skipped_lines() {
+        let dir = std::env::temp_dir().join(format!("qfsh-lossy-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.tsv");
+        std::fs::write(&path, "r\ta\tb\n1\t2\n3\t4\t5\n6\t7\n").unwrap();
+        let mut s = Session::new();
+        let msg = s.execute_line(&format!("load {}", path.display())).unwrap();
+        assert!(msg.contains("skipped 1 malformed line(s)"), "{msg}");
+        assert_eq!(s.tsv_skipped, 1);
+        assert_eq!(s.relation("r").unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_with_faults_either_succeeds_identically_or_fails_typed() {
+        let base = std::env::temp_dir().join(format!("qfsh-chaos-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(base.join("spill")).unwrap();
+
+        let mut clean = Session::new();
+        clean.execute_line("gen baskets").unwrap();
+        clean.execute_line(flock_cmd()).unwrap();
+        let expected = clean.execute_line("run static").unwrap();
+        let expected_results: Vec<&str> =
+            expected.lines().filter(|l| l.starts_with("  ")).collect();
+
+        let mut s = Session::new();
+        s.execute_line("gen baskets").unwrap();
+        s.execute_line(flock_cmd()).unwrap();
+        s.execute_line(&format!("spill {}", base.join("spill").display()))
+            .unwrap();
+        s.execute_line(&format!("resume {}", base.join("run").display()))
+            .unwrap();
+        s.execute_line("limits mem-budget=1m threads=1").unwrap();
+        s.execute_line("faults seed=3 rate=40").unwrap();
+        match s.execute_line("run static") {
+            Ok(out) => {
+                let got: Vec<&str> = out.lines().filter(|l| l.starts_with("  ")).collect();
+                assert_eq!(got, expected_results, "chaos run changed the answer");
+            }
+            // Unrecovered faults must surface as typed, descriptive
+            // errors — never a panic or a silent wrong answer.
+            Err(e) => assert!(!e.is_empty(), "empty error"),
+        }
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

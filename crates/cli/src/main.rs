@@ -10,7 +10,8 @@ fn main() {
     // Leading flags set resource limits and run modes for every
     // evaluation:
     //   qfsh --timeout 5s --max-rows 1m --mem-budget 256m --threads 4 \
-    //        --spill-dir /tmp/qf --resume run1 --report json [command…]
+    //        --spill-dir /tmp/qf --resume run1 --report json \
+    //        --io-faults seed=7 [command…]
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     match apply_limit_flags(&mut session, &mut args) {
         Ok(()) => {}
@@ -68,6 +69,7 @@ fn flag_route(key: &str) -> Option<&'static str> {
         "spill-dir" => Some("spill"),
         "resume" => Some("resume"),
         "report" => Some("report"),
+        "io-faults" => Some("faults"),
         _ => None,
     }
 }

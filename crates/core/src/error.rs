@@ -46,9 +46,20 @@ pub enum FlockError {
         detail: String,
     },
     /// A run journal could not be created, validated, or replayed
-    /// (fingerprint mismatch, I/O failure, corrupted snapshot).
+    /// (fingerprint mismatch, I/O failure, lock conflict).
     Journal {
         /// What went wrong.
+        detail: String,
+    },
+    /// A journal snapshot failed integrity verification on replay
+    /// (frame checksum, content hash, or relation-name mismatch).
+    /// Recovery policy: the replayable prefix is truncated to just
+    /// before this step and the rest is recomputed — poisoned state is
+    /// never resumed from.
+    SnapshotCorrupt {
+        /// The step whose snapshot is corrupt.
+        step: usize,
+        /// What the verifier observed.
         detail: String,
     },
     /// The naive reference evaluator was asked to try more assignments
@@ -86,6 +97,9 @@ impl std::fmt::Display for FlockError {
                 "negative weight under a SUM filter breaks monotonicity: {detail}"
             ),
             FlockError::Journal { detail } => write!(f, "journal error: {detail}"),
+            FlockError::SnapshotCorrupt { step, detail } => {
+                write!(f, "journal snapshot for step {step} is corrupt: {detail}")
+            }
             FlockError::NaiveTooLarge { assignments, cap } => write!(
                 f,
                 "naive evaluation would try {assignments} assignments (cap {cap})"

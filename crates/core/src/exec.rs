@@ -158,15 +158,31 @@ fn execute_plan_inner(
     // Replay the journal's contiguous completed prefix: each snapshot
     // is loaded (hash-checked) and committed exactly as its original
     // evaluation was, so later steps — including symmetry reuse — see
-    // an identical working database.
-    let resume_prefix = journal
+    // an identical working database. A snapshot that fails integrity
+    // verification truncates the replayable prefix right there: the
+    // clean earlier steps stay replayed, and everything from the
+    // damaged step on is recomputed instead of resumed.
+    let mut resume_prefix = journal
         .as_ref()
         .map_or(0, |j| j.contiguous_prefix(plan.steps.len()));
     for (idx, step) in plan.steps.iter().take(resume_prefix).enumerate() {
-        let named = journal
+        let named = match journal
             .as_ref()
             .expect("prefix > 0 implies journal")
-            .load_step(idx)?;
+            .load_step(idx)
+        {
+            Ok(named) => named,
+            Err(e @ crate::error::FlockError::SnapshotCorrupt { .. }) => {
+                ctx.record_degradation(
+                    "journal-corrupt-snapshot",
+                    format!("{e}; recomputing from step {idx}"),
+                );
+                ctx.note_corruption_recovery();
+                resume_prefix = idx;
+                break;
+            }
+            Err(e) => return Err(e),
+        };
         reports.push(StepReport {
             name: step.output.clone(),
             answer_tuples: 0,
@@ -271,7 +287,32 @@ fn execute_plan_inner(
                 }
             };
             if let Some(j) = journal.as_deref_mut() {
-                j.record_step(i + w, &named)?;
+                // Journaling is advisory once the run is underway: a
+                // write failure (after bounded retry inside the
+                // journal) must not kill a run that is otherwise
+                // healthy. Record the degradation — resume will start
+                // from the last durable step — and stop journaling.
+                match j.record_step(i + w, &named) {
+                    Ok(()) => {
+                        for _ in 0..j.take_io_retries() {
+                            ctx.note_io_retry();
+                        }
+                    }
+                    Err(e) => {
+                        for _ in 0..j.take_io_retries() {
+                            ctx.note_io_retry();
+                        }
+                        ctx.record_degradation(
+                            "journal-advisory",
+                            format!(
+                                "{e}; continuing without journaling (resume disabled \
+                                 past step {})",
+                                i + w
+                            ),
+                        );
+                        journal = None;
+                    }
+                }
             }
             reports.push(report);
             working.insert(named.clone());

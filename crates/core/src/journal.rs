@@ -28,24 +28,47 @@
 //!   place — a torn snapshot is never visible under its final name;
 //! * the log line is appended (and fsynced) only *after* the rename, so
 //!   every logged step has a durable snapshot;
-//! * a trailing partial log line (torn append) is ignored on replay;
-//! * on load, the snapshot's content hash is checked against the logged
-//!   hash, so disk corruption is detected rather than propagated.
+//! * a trailing partial log line (torn append) is ignored on replay; a
+//!   malformed *interior* line truncates the trusted log there (the
+//!   contiguous-prefix rule then discards everything after the damage);
+//! * on load, every snapshot byte is frame-checksummed by the storage
+//!   layer and the content hash is checked against the logged value;
+//!   either failure surfaces as [`FlockError::SnapshotCorrupt`], which
+//!   replay answers by truncating the replayable prefix — corruption is
+//!   detected and recomputed, never propagated;
+//! * a `journal.lock` file (holding the owner's PID) is taken on open,
+//!   so two *processes* cannot resume the same run directory; locks
+//!   left by dead processes are reclaimed, and re-opens from the owning
+//!   process are allowed (resume within one process);
+//! * orphaned `*.tmp` files — a crash between snapshot write and rename
+//!   — are swept on open;
+//! * a torn or unparsable `journal.meta` means nothing in the directory
+//!   can be trusted: the journal state is wiped and reinitialized (a
+//!   *well-formed* meta whose fingerprints mismatch is still a hard
+//!   error — that's a different query or different data, not damage).
+//!
+//! All file I/O goes through a [`Vfs`], so the chaos backend can
+//! exercise every one of those paths deterministically.
 
 use std::collections::BTreeMap;
-use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-use qf_storage::spill::{content_hash, read_relation, write_relation, Fnv1a};
-use qf_storage::{Database, Relation};
+use qf_storage::spill::{content_hash, read_relation_on, write_relation_on, Fnv1a};
+use qf_storage::vfs::real_fs;
+use qf_storage::{Database, Relation, StorageError, Vfs};
 
 use crate::error::{FlockError, Result};
 use crate::plan::QueryPlan;
 
 const META_FILE: &str = "journal.meta";
 const LOG_FILE: &str = "journal.log";
+const LOCK_FILE: &str = "journal.lock";
 const FORMAT: &str = "qf-journal v1";
+
+/// Transient I/O errors absorbed per journal write before giving up.
+const MAX_IO_RETRIES: u32 = 3;
 
 /// Fingerprint of arbitrary plan/strategy text (FNV-1a, process-stable).
 pub fn fingerprint_text(text: &str) -> u64 {
@@ -96,35 +119,74 @@ struct StepRecord {
 pub struct RunJournal {
     dir: PathBuf,
     completed: BTreeMap<usize, StepRecord>,
+    vfs: Arc<dyn Vfs>,
+    /// The lock file this instance owns (absent when the lock was
+    /// already held by this process — reentrant opens don't own it).
+    lock: Option<PathBuf>,
+    /// Transient I/O errors absorbed by bounded retry since the last
+    /// [`RunJournal::take_io_retries`].
+    io_retries: u64,
 }
 
 impl RunJournal {
-    /// Open (or create) the journal in `dir`, validating that any
-    /// existing journal was written for the same plan and catalog.
+    /// Open (or create) the journal in `dir` on the real filesystem,
+    /// validating that any existing journal was written for the same
+    /// plan and catalog.
     pub fn open(dir: &Path, plan_fp: u64, catalog_fp: u64) -> Result<RunJournal> {
-        fs::create_dir_all(dir).map_err(|e| io_err("create run directory", dir, &e))?;
-        let meta_path = dir.join(META_FILE);
-        if meta_path.exists() {
-            let text = fs::read_to_string(&meta_path)
-                .map_err(|e| io_err("read journal.meta", &meta_path, &e))?;
-            validate_meta(&text, plan_fp, catalog_fp)?;
-        } else {
-            // Write the meta through a temp file so a crash mid-write
-            // never leaves a half-written (hence unvalidatable) meta.
-            let tmp = dir.join(format!("{META_FILE}.tmp"));
-            let body = format!("{FORMAT}\nplan {plan_fp:016x}\ncatalog {catalog_fp:016x}\n");
-            let mut f =
-                fs::File::create(&tmp).map_err(|e| io_err("create journal.meta", &tmp, &e))?;
-            f.write_all(body.as_bytes())
-                .and_then(|()| f.sync_all())
-                .map_err(|e| io_err("write journal.meta", &tmp, &e))?;
-            fs::rename(&tmp, &meta_path)
-                .map_err(|e| io_err("publish journal.meta", &meta_path, &e))?;
+        RunJournal::open_on(real_fs(), dir, plan_fp, catalog_fp)
+    }
+
+    /// [`RunJournal::open`] on an explicit [`Vfs`] backend.
+    pub fn open_on(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        plan_fp: u64,
+        catalog_fp: u64,
+    ) -> Result<RunJournal> {
+        vfs.create_dir_all(dir)
+            .map_err(|e| io_err("create run directory", dir, &e))?;
+        let lock = acquire_lock(&*vfs, dir)?;
+        // A crash between snapshot write and rename leaves a `*.tmp`
+        // orphan; nothing references it, so sweep it.
+        if let Ok(entries) = vfs.read_dir(dir) {
+            for p in entries {
+                if p.extension().is_some_and(|e| e == "tmp") {
+                    let _ = vfs.remove_file(&p);
+                }
+            }
         }
-        let completed = read_log(&dir.join(LOG_FILE))?;
+        let meta_path = dir.join(META_FILE);
+        let mut existing_meta = if vfs.exists(&meta_path) {
+            Some(
+                vfs.read_to_string(&meta_path)
+                    .map_err(|e| io_err("read journal.meta", &meta_path, &e))?,
+            )
+        } else {
+            None
+        };
+        if let Some(text) = &existing_meta {
+            match parse_meta(text) {
+                Some((plan, catalog)) => check_fingerprints(plan, catalog, plan_fp, catalog_fp)?,
+                None => {
+                    // Torn or corrupt meta: nothing in this directory
+                    // can be validated against it. Wipe the journal
+                    // state and start fresh rather than resuming from
+                    // an unverifiable directory.
+                    wipe_journal_state(&*vfs, dir);
+                    existing_meta = None;
+                }
+            }
+        }
+        if existing_meta.is_none() {
+            write_meta(&*vfs, dir, plan_fp, catalog_fp)?;
+        }
+        let completed = read_log(&*vfs, &dir.join(LOG_FILE))?;
         Ok(RunJournal {
             dir: dir.to_path_buf(),
             completed,
+            vfs,
+            lock,
+            io_retries: 0,
         })
     }
 
@@ -155,7 +217,11 @@ impl RunJournal {
     }
 
     /// Load the snapshot of completed step `idx`, verifying its content
-    /// hash against the logged value.
+    /// hash against the logged value. Any integrity failure — a frame
+    /// checksum caught by the storage layer, a missing snapshot, a
+    /// name or content-hash mismatch — surfaces as
+    /// [`FlockError::SnapshotCorrupt`] so replay can truncate the
+    /// prefix instead of failing the run.
     pub fn load_step(&self, idx: usize) -> Result<Relation> {
         let rec = self
             .completed
@@ -164,54 +230,88 @@ impl RunJournal {
                 detail: format!("step {idx} is not recorded as completed"),
             })?;
         let path = self.snapshot_path(idx);
-        let rel = read_relation(&path).map_err(|e| FlockError::Journal {
-            detail: format!("read snapshot {}: {e}", path.display()),
-        })?;
+        let corrupt = |detail: String| FlockError::SnapshotCorrupt { step: idx, detail };
+        let rel = match read_relation_on(&*self.vfs, &path) {
+            Ok(rel) => rel,
+            Err(e)
+                if e.is_corruption()
+                    || matches!(e, StorageError::Malformed { .. })
+                    || matches!(&e, StorageError::Io { kind, .. }
+                        if *kind == std::io::ErrorKind::NotFound) =>
+            {
+                return Err(corrupt(format!("read snapshot {}: {e}", path.display())));
+            }
+            Err(e) => {
+                return Err(FlockError::Journal {
+                    detail: format!("read snapshot {}: {e}", path.display()),
+                });
+            }
+        };
         // The content hash deliberately excludes the relation name (a
         // rename should not invalidate a journal written by the same
         // plan), so cross-check the journaled name separately.
         if rel.name() != rec.name {
-            return Err(FlockError::Journal {
-                detail: format!(
-                    "snapshot {} holds relation `{}` but the journal expects `{}`",
-                    path.display(),
-                    rel.name(),
-                    rec.name
-                ),
-            });
+            return Err(corrupt(format!(
+                "snapshot {} holds relation `{}` but the journal expects `{}`",
+                path.display(),
+                rel.name(),
+                rec.name
+            )));
         }
         let got = content_hash(&rel);
         if got != rec.hash {
-            return Err(FlockError::Journal {
-                detail: format!(
-                    "snapshot {} content hash {got:016x} does not match journaled {:016x}",
-                    path.display(),
-                    rec.hash
-                ),
-            });
+            return Err(corrupt(format!(
+                "snapshot {} content hash {got:016x} does not match journaled {:016x}",
+                path.display(),
+                rec.hash
+            )));
         }
         Ok(rel)
     }
 
     /// Durably record step `idx` as completed with output `rel`:
     /// snapshot (temp + fsync + rename), then log append + fsync.
+    ///
+    /// The snapshot write is retried (bounded, whole-file — the temp
+    /// file is discarded and rewritten) on transient errors; the log
+    /// append is attempted once, because a partially applied append
+    /// retried would corrupt the log. Any failure here leaves the
+    /// journal exactly as it was — the step is simply not recorded —
+    /// so callers can treat journaling as advisory and keep running.
     pub fn record_step(&mut self, idx: usize, rel: &Relation) -> Result<()> {
         let path = self.snapshot_path(idx);
         let tmp = self.dir.join(format!("step-{idx}.qfr.tmp"));
-        write_relation(&tmp, rel).map_err(|e| FlockError::Journal {
-            detail: format!("write snapshot {}: {e}", tmp.display()),
-        })?;
-        fs::rename(&tmp, &path).map_err(|e| io_err("publish snapshot", &path, &e))?;
+        let mut attempt = 0u32;
+        loop {
+            match write_relation_on(&*self.vfs, &tmp, rel) {
+                Ok(_) => break,
+                Err(e) => {
+                    let _ = self.vfs.remove_file(&tmp);
+                    if e.is_transient() && attempt < MAX_IO_RETRIES {
+                        attempt += 1;
+                        self.io_retries += 1;
+                        std::thread::sleep(std::time::Duration::from_millis(1 << attempt.min(4)));
+                    } else {
+                        return Err(FlockError::Journal {
+                            detail: format!("write snapshot {}: {e}", tmp.display()),
+                        });
+                    }
+                }
+            }
+        }
+        self.vfs
+            .rename(&tmp, &path)
+            .map_err(|e| io_err("publish snapshot", &path, &e))?;
         let hash = content_hash(rel);
         let log_path = self.dir.join(LOG_FILE);
-        let mut f = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&log_path)
+        let mut f = self
+            .vfs
+            .append(&log_path)
             .map_err(|e| io_err("open journal.log", &log_path, &e))?;
         // Tab-separated; the step name goes last so it cannot confuse
         // the fixed fields even if it were to contain tabs.
         writeln!(f, "step\t{idx}\t{hash:016x}\t{}", rel.name())
+            .and_then(|()| f.flush())
             .and_then(|()| f.sync_all())
             .map_err(|e| io_err("append journal.log", &log_path, &e))?;
         self.completed.insert(
@@ -224,51 +324,168 @@ impl RunJournal {
         Ok(())
     }
 
+    /// Drain the count of transient errors absorbed by retries since
+    /// the last call (for surfacing in execution stats).
+    pub fn take_io_retries(&mut self) -> u64 {
+        std::mem::take(&mut self.io_retries)
+    }
+
     fn snapshot_path(&self, idx: usize) -> PathBuf {
         self.dir.join(format!("step-{idx}.qfr"))
     }
 }
 
-fn validate_meta(text: &str, plan_fp: u64, catalog_fp: u64) -> Result<()> {
+impl Drop for RunJournal {
+    fn drop(&mut self) {
+        if let Some(lock) = &self.lock {
+            let _ = self.vfs.remove_file(lock);
+        }
+    }
+}
+
+/// Take the journal-directory lock. Returns the lock path when this
+/// call created (and therefore owns) the lock; `None` when the lock is
+/// already held by *this* process (reentrant open — the earlier owner
+/// keeps responsibility for removal). A lock held by a process that no
+/// longer exists is reclaimed; one held by a live foreign process is a
+/// hard error.
+fn acquire_lock(vfs: &dyn Vfs, dir: &Path) -> Result<Option<PathBuf>> {
+    let path = dir.join(LOCK_FILE);
+    for _ in 0..2 {
+        match vfs.create_new(&path) {
+            Ok(mut f) => {
+                let _ = f.write_all(std::process::id().to_string().as_bytes());
+                let _ = f.flush();
+                return Ok(Some(path));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let holder = vfs
+                    .read_to_string(&path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                match holder {
+                    Some(pid) if pid == std::process::id() => return Ok(None),
+                    Some(pid) if process_alive(pid) => {
+                        return Err(FlockError::Journal {
+                            detail: format!(
+                                "journal directory {} is locked by running process {pid}",
+                                dir.display()
+                            ),
+                        });
+                    }
+                    // Dead owner or torn lock content: reclaim.
+                    _ => {
+                        vfs.remove_file(&path)
+                            .map_err(|e| io_err("reclaim stale journal.lock", &path, &e))?;
+                    }
+                }
+            }
+            Err(e) => return Err(io_err("create journal.lock", &path, &e)),
+        }
+    }
+    Err(FlockError::Journal {
+        detail: format!(
+            "could not acquire journal.lock in {} (lock keeps reappearing)",
+            dir.display()
+        ),
+    })
+}
+
+#[cfg(unix)]
+fn process_alive(pid: u32) -> bool {
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+#[cfg(not(unix))]
+fn process_alive(_pid: u32) -> bool {
+    true // no cheap liveness probe: never steal a foreign lock
+}
+
+/// Remove every piece of journal state (meta, log, snapshots) except
+/// the lock file — used when `journal.meta` is unverifiable.
+fn wipe_journal_state(vfs: &dyn Vfs, dir: &Path) {
+    if let Ok(entries) = vfs.read_dir(dir) {
+        for p in entries {
+            if p.file_name().is_some_and(|n| n == LOCK_FILE) {
+                continue;
+            }
+            let _ = vfs.remove_file(&p);
+        }
+    }
+}
+
+/// Write a fresh `journal.meta` through a temp file + fsync + rename so
+/// a crash mid-write never leaves a half-written meta under the final
+/// name.
+fn write_meta(vfs: &dyn Vfs, dir: &Path, plan_fp: u64, catalog_fp: u64) -> Result<()> {
+    let meta_path = dir.join(META_FILE);
+    let tmp = dir.join(format!("{META_FILE}.tmp"));
+    let body = format!("{FORMAT}\nplan {plan_fp:016x}\ncatalog {catalog_fp:016x}\n");
+    let mut f = vfs
+        .create(&tmp)
+        .map_err(|e| io_err("create journal.meta", &tmp, &e))?;
+    f.write_all(body.as_bytes())
+        .and_then(|()| f.flush())
+        .and_then(|()| f.sync_all())
+        .map_err(|e| io_err("write journal.meta", &tmp, &e))?;
+    drop(f);
+    vfs.rename(&tmp, &meta_path)
+        .map_err(|e| io_err("publish journal.meta", &meta_path, &e))
+}
+
+/// Parse `journal.meta` into its `(plan, catalog)` fingerprints.
+/// `None` means the file is torn or unparsable — i.e. damage, which the
+/// caller answers by wiping and reinitializing (unlike a well-formed
+/// meta with *different* fingerprints, which is a hard error).
+fn parse_meta(text: &str) -> Option<(u64, u64)> {
     let mut lines = text.lines();
     if lines.next() != Some(FORMAT) {
-        return Err(FlockError::Journal {
-            detail: format!("unrecognized journal format (expected `{FORMAT}`)"),
-        });
+        return None;
     }
-    let mut check = |label: &str, expected: u64| -> Result<()> {
-        let line = lines.next().unwrap_or("");
-        let got = line
-            .strip_prefix(label)
-            .and_then(|s| s.strip_prefix(' '))
+    let mut field = |label: &str| -> Option<u64> {
+        lines
+            .next()?
+            .strip_prefix(label)?
+            .strip_prefix(' ')
             .and_then(|s| u64::from_str_radix(s.trim(), 16).ok())
-            .ok_or_else(|| FlockError::Journal {
-                detail: format!("malformed journal.meta line `{line}`"),
-            })?;
+    };
+    let plan = field("plan")?;
+    let catalog = field("catalog")?;
+    Some((plan, catalog))
+}
+
+/// A well-formed meta must carry exactly this run's fingerprints; a
+/// mismatch means the journal belongs to a different query or different
+/// data and must not be resumed from.
+fn check_fingerprints(
+    got_plan: u64,
+    got_catalog: u64,
+    plan_fp: u64,
+    catalog_fp: u64,
+) -> Result<()> {
+    let check = |label: &str, got: u64, expected: u64, what: &str| -> Result<()> {
         if got != expected {
             return Err(FlockError::Journal {
                 detail: format!(
                     "{label} fingerprint mismatch: journal has {got:016x}, \
                      this run computes {expected:016x} — the {what} changed \
-                     since the journal was written",
-                    what = if label == "plan" {
-                        "query or plan"
-                    } else {
-                        "input data"
-                    }
+                     since the journal was written"
                 ),
             });
         }
         Ok(())
     };
-    check("plan", plan_fp)?;
-    check("catalog", catalog_fp)
+    check("plan", got_plan, plan_fp, "query or plan")?;
+    check("catalog", got_catalog, catalog_fp, "input data")
 }
 
-/// Parse `journal.log`, tolerating a torn (unterminated) final line.
-fn read_log(path: &Path) -> Result<BTreeMap<usize, StepRecord>> {
+/// Parse `journal.log`, tolerating a torn (unterminated) final line. A
+/// malformed *interior* line truncates the trusted log at that point —
+/// the earlier, well-formed records are kept, and the contiguous-prefix
+/// rule discards anything logged after the damage.
+fn read_log(vfs: &dyn Vfs, path: &Path) -> Result<BTreeMap<usize, StepRecord>> {
     let mut completed = BTreeMap::new();
-    let text = match fs::read_to_string(path) {
+    let text = match vfs.read_to_string(path) {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(completed),
         Err(e) => return Err(io_err("read journal.log", path, &e)),
@@ -290,9 +507,8 @@ fn read_log(path: &Path) -> Result<BTreeMap<usize, StepRecord>> {
             continue; // unknown record type: skip, stay forward-compatible
         }
         let (Ok(idx), Ok(hash)) = (idx.parse::<usize>(), u64::from_str_radix(hash, 16)) else {
-            return Err(FlockError::Journal {
-                detail: format!("malformed journal.log line `{line}`"),
-            });
+            // Damaged interior line: everything after it is untrusted.
+            break;
         };
         completed.insert(
             idx,
@@ -314,7 +530,9 @@ fn io_err(action: &str, path: &Path, e: &std::io::Error) -> FlockError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qf_storage::spill::write_relation;
     use qf_storage::{Schema, Value};
+    use std::fs;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("qf-journal-{tag}-{}", std::process::id()));
@@ -407,6 +625,156 @@ mod tests {
         j.record_step(0, &rel("s0", 2)).unwrap();
         j.record_step(2, &rel("s2", 2)).unwrap();
         assert_eq!(j.contiguous_prefix(5), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_typed_snapshot_corrupt() {
+        let dir = tmp_dir("corrupt-typed");
+        let mut j = RunJournal::open(&dir, 1, 2).unwrap();
+        j.record_step(0, &rel("s0", 4)).unwrap();
+        // Flip one byte in the middle of the snapshot payload.
+        let path = dir.join("step-0.qfr");
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        fs::write(&path, &bytes).unwrap();
+        drop(j);
+        let err = RunJournal::open(&dir, 1, 2)
+            .unwrap()
+            .load_step(0)
+            .unwrap_err();
+        assert!(
+            matches!(err, FlockError::SnapshotCorrupt { step: 0, .. }),
+            "{err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_is_typed_snapshot_corrupt() {
+        let dir = tmp_dir("missing-snap");
+        let mut j = RunJournal::open(&dir, 1, 2).unwrap();
+        j.record_step(0, &rel("s0", 4)).unwrap();
+        fs::remove_file(dir.join("step-0.qfr")).unwrap();
+        drop(j);
+        let err = RunJournal::open(&dir, 1, 2)
+            .unwrap()
+            .load_step(0)
+            .unwrap_err();
+        assert!(
+            matches!(err, FlockError::SnapshotCorrupt { step: 0, .. }),
+            "{err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_interior_log_line_truncates_there() {
+        let dir = tmp_dir("interior");
+        let mut j = RunJournal::open(&dir, 1, 2).unwrap();
+        j.record_step(0, &rel("s0", 2)).unwrap();
+        j.record_step(1, &rel("s1", 2)).unwrap();
+        j.record_step(2, &rel("s2", 2)).unwrap();
+        drop(j);
+        // Damage the middle line (step 1): its hash field becomes junk.
+        let log = dir.join(LOG_FILE);
+        let text = fs::read_to_string(&log).unwrap();
+        let damaged: String = text
+            .lines()
+            .map(|l| {
+                if l.contains("\t1\t") {
+                    "step\t1\tnothex\ts1".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        fs::write(&log, damaged).unwrap();
+        let j = RunJournal::open(&dir, 1, 2).unwrap();
+        // Step 0 survives; steps 1 and 2 (after the damage) do not.
+        assert_eq!(j.contiguous_prefix(5), 1);
+        assert!(!j.is_completed(2));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lock_held_by_live_foreign_process_is_rejected() {
+        let dir = tmp_dir("lock-live");
+        fs::create_dir_all(&dir).unwrap();
+        // PID 1 (init) is always alive and never us.
+        fs::write(dir.join(LOCK_FILE), "1").unwrap();
+        let err = RunJournal::open(&dir, 1, 2).unwrap_err();
+        assert!(
+            err.to_string().contains("locked by running process"),
+            "{err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_lock_from_dead_process_is_reclaimed() {
+        let dir = tmp_dir("lock-stale");
+        fs::create_dir_all(&dir).unwrap();
+        // A PID far beyond pid_max: certainly not a running process.
+        fs::write(dir.join(LOCK_FILE), "4999999").unwrap();
+        let j = RunJournal::open(&dir, 1, 2).unwrap();
+        // We now own the lock; its content is our PID.
+        let holder = fs::read_to_string(dir.join(LOCK_FILE)).unwrap();
+        assert_eq!(holder.trim(), std::process::id().to_string());
+        drop(j);
+        // Dropping the owner removes the lock.
+        assert!(!dir.join(LOCK_FILE).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn same_process_reopen_is_reentrant() {
+        let dir = tmp_dir("lock-reentrant");
+        let owner = RunJournal::open(&dir, 1, 2).unwrap();
+        // Second open from the same process succeeds and does NOT own
+        // (and therefore does not remove) the lock when dropped.
+        let second = RunJournal::open(&dir, 1, 2).unwrap();
+        drop(second);
+        assert!(dir.join(LOCK_FILE).exists());
+        drop(owner);
+        assert!(!dir.join(LOCK_FILE).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphaned_tmp_snapshots_are_swept_on_open() {
+        let dir = tmp_dir("orphan");
+        {
+            let mut j = RunJournal::open(&dir, 1, 2).unwrap();
+            j.record_step(0, &rel("s0", 2)).unwrap();
+        }
+        // Simulate a crash between snapshot write and rename.
+        fs::write(dir.join("step-1.qfr.tmp"), b"torn").unwrap();
+        let j = RunJournal::open(&dir, 1, 2).unwrap();
+        assert!(!dir.join("step-1.qfr.tmp").exists());
+        assert_eq!(j.contiguous_prefix(5), 1); // real state untouched
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_meta_wipes_and_reinitializes() {
+        let dir = tmp_dir("torn-meta");
+        {
+            let mut j = RunJournal::open(&dir, 1, 2).unwrap();
+            j.record_step(0, &rel("s0", 2)).unwrap();
+        }
+        // Truncate the meta mid-line: unparsable.
+        fs::write(dir.join(META_FILE), "qf-journal v1\npla").unwrap();
+        let j = RunJournal::open(&dir, 1, 2).unwrap();
+        // Nothing survived the wipe — the directory restarted fresh.
+        assert_eq!(j.contiguous_prefix(5), 0);
+        assert!(!dir.join("step-0.qfr").exists());
+        drop(j);
+        // And the rewritten meta validates on the next open.
+        RunJournal::open(&dir, 1, 2).unwrap();
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -50,6 +50,9 @@ pub struct OptimizerConfig {
     /// and a re-run resumes from the last completed step (after
     /// validating the plan and catalog fingerprints).
     pub journal_dir: Option<std::path::PathBuf>,
+    /// Filesystem backend for the journal (fault injection); `None`
+    /// means the real filesystem.
+    pub journal_vfs: Option<std::sync::Arc<dyn qf_storage::Vfs>>,
 }
 
 /// What the optimizer did and what it produced.
@@ -128,7 +131,7 @@ impl Optimizer {
         };
         let evaluation = match strategy {
             Strategy::Direct => {
-                let (result, resumed) = self.single_shot(flock, db, "direct", || {
+                let (result, resumed) = self.single_shot(flock, db, ctx, "direct", || {
                     evaluate_direct_with(flock, db, self.config.join_order, ctx)
                 })?;
                 Evaluation {
@@ -154,7 +157,8 @@ impl Optimizer {
                 };
                 let run = match &self.config.journal_dir {
                     Some(dir) => {
-                        let mut journal = crate::journal::RunJournal::open(
+                        let mut journal = crate::journal::RunJournal::open_on(
+                            self.journal_vfs(),
                             dir,
                             crate::journal::plan_fingerprint(&plan),
                             crate::journal::catalog_fingerprint(db),
@@ -181,7 +185,7 @@ impl Optimizer {
             }
             Strategy::Dynamic => {
                 let mut voluntary = 0usize;
-                let (result, resumed) = self.single_shot(flock, db, "dynamic", || {
+                let (result, resumed) = self.single_shot(flock, db, ctx, "dynamic", || {
                     let report = evaluate_dynamic_with(flock, db, &self.config.dynamic, ctx)?;
                     voluntary = report
                         .decisions
@@ -218,10 +222,20 @@ impl Optimizer {
     /// so the journal holds the final result as one step: a completed
     /// journal replays it without recomputation, and an interrupted run
     /// simply starts over (there is nothing partial to save).
+    /// The filesystem backend journals should use (configured injector
+    /// or the real filesystem).
+    fn journal_vfs(&self) -> std::sync::Arc<dyn qf_storage::Vfs> {
+        self.config
+            .journal_vfs
+            .clone()
+            .unwrap_or_else(qf_storage::real_fs)
+    }
+
     fn single_shot(
         &self,
         flock: &QueryFlock,
         db: &Database,
+        ctx: &ExecContext,
         tag: &str,
         eval: impl FnOnce() -> Result<Relation>,
     ) -> Result<(Relation, usize)> {
@@ -229,16 +243,41 @@ impl Optimizer {
             return Ok((eval()?, 0));
         };
         let plan_fp = crate::journal::fingerprint_text(&format!("{tag}\n{}", flock.render()));
-        let mut journal = crate::journal::RunJournal::open(
+        let mut journal = crate::journal::RunJournal::open_on(
+            self.journal_vfs(),
             dir,
             plan_fp,
             crate::journal::catalog_fingerprint(db),
         )?;
         if journal.contiguous_prefix(1) == 1 {
-            return Ok((journal.load_step(0)?, 1));
+            match journal.load_step(0) {
+                Ok(rel) => return Ok((rel, 1)),
+                Err(e @ crate::error::FlockError::SnapshotCorrupt { .. }) => {
+                    // Same policy as the plan executor: a damaged
+                    // snapshot costs the resume, never the run.
+                    ctx.record_degradation("journal-corrupt-snapshot", format!("{e}; recomputing"));
+                    ctx.note_corruption_recovery();
+                }
+                Err(e) => return Err(e),
+            }
         }
         let result = eval()?;
-        journal.record_step(0, &result)?;
+        match journal.record_step(0, &result) {
+            Ok(()) => {
+                for _ in 0..journal.take_io_retries() {
+                    ctx.note_io_retry();
+                }
+            }
+            Err(e) => {
+                for _ in 0..journal.take_io_retries() {
+                    ctx.note_io_retry();
+                }
+                ctx.record_degradation(
+                    "journal-advisory",
+                    format!("{e}; continuing without journaling (resume disabled)"),
+                );
+            }
+        }
         Ok((result, 0))
     }
 }

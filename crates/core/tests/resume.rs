@@ -41,7 +41,7 @@ fn run_dir(tag: &str) -> PathBuf {
     dir
 }
 
-fn open_journal(dir: &PathBuf, plan: &qf_core::QueryPlan, db: &Database) -> RunJournal {
+fn open_journal(dir: &std::path::Path, plan: &qf_core::QueryPlan, db: &Database) -> RunJournal {
     RunJournal::open(dir, plan_fingerprint(plan), catalog_fingerprint(db)).unwrap()
 }
 

@@ -16,8 +16,8 @@ fn cq_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
     let pred = prop::sample::select(vec!["r", "s", "t"]);
     let param = prop::sample::select(vec!["a", "b"]);
     let term = prop_oneof![
-        3 => var.prop_map(|v| Term::var(v)),
-        1 => param.prop_map(|p| Term::param(p)),
+        3 => var.prop_map(Term::var),
+        1 => param.prop_map(Term::param),
         1 => (0i64..5).prop_map(Term::constant),
     ];
     let atom = (pred, prop::collection::vec(term, 1..3)).prop_map(|(p, args)| Atom::new(p, args));

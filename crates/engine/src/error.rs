@@ -61,6 +61,15 @@ pub enum EngineError {
     },
 }
 
+impl EngineError {
+    /// Is this a detected storage-integrity violation (see
+    /// [`StorageError::is_corruption`])? The spill executor recomputes
+    /// the affected pipeline (bounded) instead of failing.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, EngineError::Storage(e) if e.is_corruption())
+    }
+}
+
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -43,7 +43,27 @@ pub fn execute(plan: &PhysicalPlan, db: &Database) -> Result<Relation> {
 /// continue instead of failing.
 pub fn execute_with(plan: &PhysicalPlan, db: &Database, ctx: &ExecContext) -> Result<Relation> {
     if ctx.spill_enabled() {
-        return crate::spill::execute_spill(plan, db, ctx)?.materialize(ctx);
+        // Corruption-recovery loop: a spill run whose frame checksum
+        // fails verification is deleted state we can regenerate — the
+        // inputs are still in the catalog — so recompute the pipeline
+        // (bounded) rather than failing the query over a flipped bit.
+        // Live-byte accounting from the abandoned attempt is left
+        // charged (shared counters; a sibling wave step may own some),
+        // which is conservative: the retry spills earlier, never later.
+        let mut attempts = 0u32;
+        loop {
+            match crate::spill::execute_spill(plan, db, ctx).and_then(|o| o.materialize(ctx)) {
+                Err(e) if e.is_corruption() && attempts < 2 => {
+                    attempts += 1;
+                    ctx.note_corruption_recovery();
+                    ctx.record_degradation(
+                        "spill-corruption",
+                        format!("{e}; recomputing pipeline (attempt {attempts})"),
+                    );
+                }
+                other => return other,
+            }
+        }
     }
     match plan {
         PhysicalPlan::Scan { relation } => {

@@ -151,6 +151,15 @@ pub struct ExecStats {
     pub spilled_bytes: u64,
     /// Number of spill-file flushes (sorted runs or Grace partitions).
     pub spills: u64,
+    /// Transient I/O errors absorbed by bounded retry (whole-file
+    /// rewrites of spill runs or journal snapshots).
+    pub io_retries: u64,
+    /// Detected spill corruptions recovered by recomputing the
+    /// affected pipeline instead of serving bad bytes.
+    pub corruption_recoveries: u64,
+    /// Spill files currently on disk (leak detector: 0 after a
+    /// successful run whose output has been materialized).
+    pub spill_files_live: u64,
     /// Graceful degradations recorded anywhere in the context tree.
     pub degradations: Vec<Degradation>,
 }
@@ -170,8 +179,15 @@ struct Counters {
     live_bytes: AtomicU64,
     spilled_bytes: AtomicU64,
     spills: AtomicU64,
+    io_retries: AtomicU64,
+    corruption_recoveries: AtomicU64,
     work: AtomicU64,
     workers: AtomicU64,
+    /// Set by the ENOSPC policy: the disk can no longer absorb spills,
+    /// so the memory budget is waived (execution continues in memory,
+    /// with the degradation recorded) rather than aborting a run that
+    /// was promised graceful degradation.
+    mem_waived: AtomicBool,
 }
 
 /// Governor state threaded through plan execution. See the module docs
@@ -286,10 +302,21 @@ impl ExecContext {
     /// Spill-capable operators probe this before buffering another
     /// tuple and flush to disk instead of tripping.
     pub fn mem_would_trip(&self, extra: u64) -> bool {
+        if self.counters.mem_waived.load(Ordering::Relaxed) {
+            return false;
+        }
         match self.max_bytes {
             Some(limit) => self.counters.live_bytes.load(Ordering::Relaxed) + extra > limit,
             None => false,
         }
+    }
+
+    /// Waive the memory budget for the rest of this context tree — the
+    /// ENOSPC degradation path: the disk cannot absorb further spills,
+    /// so continuing in memory (and possibly swapping) beats aborting.
+    /// Callers record the matching [`Degradation`].
+    pub fn waive_mem_budget(&self) {
+        self.counters.mem_waived.store(true, Ordering::Relaxed);
     }
 
     /// Release `n` live bytes after their tuples have been flushed to a
@@ -310,6 +337,18 @@ impl ExecContext {
             .spilled_bytes
             .fetch_add(bytes, Ordering::Relaxed);
         self.counters.spills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one transient I/O error absorbed by a bounded retry.
+    pub fn note_io_retry(&self) {
+        self.counters.io_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one detected spill corruption recovered by recompute.
+    pub fn note_corruption_recovery(&self) {
+        self.counters
+            .corruption_recoveries
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record that an operator ran with `n` workers; [`ExecStats`]
@@ -393,7 +432,7 @@ impl ExecContext {
         self.counters.bytes.fetch_add(cost, Ordering::Relaxed);
         let live = self.counters.live_bytes.fetch_add(cost, Ordering::Relaxed) + cost;
         if let Some(limit) = self.max_bytes {
-            if live > limit {
+            if live > limit && !self.counters.mem_waived.load(Ordering::Relaxed) {
                 return Err(EngineError::ResourceExhausted {
                     resource: Resource::Memory,
                     limit,
@@ -425,7 +464,7 @@ impl ExecContext {
         self.counters.bytes.fetch_add(cost, Ordering::Relaxed);
         let live = self.counters.live_bytes.fetch_add(cost, Ordering::Relaxed) + cost;
         if let Some(limit) = self.max_bytes {
-            if live > limit {
+            if live > limit && !self.counters.mem_waived.load(Ordering::Relaxed) {
                 return Err(EngineError::ResourceExhausted {
                     resource: Resource::Memory,
                     limit,
@@ -491,6 +530,9 @@ impl ExecContext {
             workers: self.counters.workers.load(Ordering::Relaxed),
             spilled_bytes: self.counters.spilled_bytes.load(Ordering::Relaxed),
             spills: self.counters.spills.load(Ordering::Relaxed),
+            io_retries: self.counters.io_retries.load(Ordering::Relaxed),
+            corruption_recoveries: self.counters.corruption_recoveries.load(Ordering::Relaxed),
+            spill_files_live: self.spill.as_ref().map_or(0, |d| d.live_files()),
             degradations: self
                 .degradations
                 .lock()

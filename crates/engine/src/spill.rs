@@ -35,9 +35,10 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use qf_storage::{
-    Database, FastHasher, FastMap, HashIndex, Relation, Schema, SpillFile, SpillReader,
+    Database, FastHasher, FastMap, HashIndex, Relation, Schema, SpillDir, SpillFile, SpillReader,
     SpillWriter, Tuple, Value,
 };
 
@@ -48,6 +49,17 @@ use crate::plan::{AggFn, PhysicalPlan};
 
 /// Fan-out of one Grace partitioning pass.
 const N_PARTS: usize = 8;
+
+/// Transient I/O errors absorbed per spill-file write before giving up
+/// (whole-file granularity: a partially written run is discarded and
+/// rewritten from the still-buffered tuples).
+const MAX_IO_RETRIES: u32 = 3;
+
+/// Exponential-ish backoff before transient-error retry `attempt`
+/// (1-based).
+fn retry_backoff(attempt: u32) {
+    std::thread::sleep(std::time::Duration::from_millis(1 << attempt.min(4)));
+}
 
 /// Maximum recursive repartitioning depth. A partition that stays too
 /// big at this depth (all-identical keys) is processed in memory and
@@ -66,6 +78,19 @@ pub(crate) struct SpilledRel {
     runs: Vec<SpillFile>,
     /// Upper bound on distinct tuples (cross-run duplicates inflate it).
     rows: u64,
+    dir: Arc<SpillDir>,
+}
+
+impl Drop for SpilledRel {
+    /// Run files are single-consumption: whether the merge completed or
+    /// the pipeline aborted mid-way, they are dead once the value drops.
+    /// Removing them here (best effort) is what keeps the spill dir
+    /// empty after a run — the leak check in `ExecStats` counts on it.
+    fn drop(&mut self) {
+        for run in &self.runs {
+            let _ = self.dir.remove(&run.path);
+        }
+    }
 }
 
 impl OpOut {
@@ -138,7 +163,7 @@ impl SpilledRel {
         let mut readers: Vec<SpillReader> = Vec::with_capacity(self.runs.len());
         let mut heap: BinaryHeap<Reverse<(Tuple, usize)>> = BinaryHeap::new();
         for (i, run) in self.runs.iter().enumerate() {
-            let mut r = SpillReader::open(&run.path)?;
+            let mut r = self.dir.reader(&run.path)?;
             if let Some(t) = r.next_tuple()? {
                 heap.push(Reverse((t, i)));
             }
@@ -212,14 +237,33 @@ impl<'a> SpillSink<'a> {
         let dir = self
             .ctx
             .spill_dir()
-            .expect("SpillSink::flush without a spill directory");
+            .expect("SpillSink::flush without a spill directory")
+            .clone();
         self.buf.sort_unstable();
         self.buf.dedup();
-        let mut w = SpillWriter::create(dir.alloc(self.op), self.width)?;
-        for t in &self.buf {
-            w.write_tuple(t)?;
-        }
-        let file = w.finish()?;
+        // Whole-file retry: the tuples are still buffered, so a failed
+        // write costs nothing but the discarded partial file. Transient
+        // errors get bounded retries with backoff; ENOSPC degrades to
+        // memory-only (below); anything else is a hard, typed error.
+        let mut attempt = 0u32;
+        let file = loop {
+            let path = dir.alloc(self.op);
+            match write_run(&dir, path.clone(), self.width, &self.buf) {
+                Ok(file) => break file,
+                Err(e) => {
+                    let _ = dir.remove(&path);
+                    if e.is_transient() && attempt < MAX_IO_RETRIES {
+                        attempt += 1;
+                        self.ctx.note_io_retry();
+                        retry_backoff(attempt);
+                    } else if e.is_disk_full() {
+                        return self.absorb_enospc(&dir);
+                    } else {
+                        return Err(e.into());
+                    }
+                }
+            }
+        };
         if self.runs.is_empty() {
             self.ctx.record_degradation(
                 "spill",
@@ -235,6 +279,40 @@ impl<'a> SpillSink<'a> {
         Ok(())
     }
 
+    /// ENOSPC policy: the disk is full, so spilling can no longer buy
+    /// headroom. Reabsorb the completed runs (freeing their disk space
+    /// for anyone else on the volume), waive the memory budget, record
+    /// the degradation, and continue purely in memory. The run still
+    /// terminates with a correct answer — just without its memory
+    /// ceiling — instead of aborting.
+    fn absorb_enospc(&mut self, dir: &Arc<SpillDir>) -> Result<()> {
+        self.ctx.waive_mem_budget();
+        self.ctx.record_degradation(
+            "spill-enospc",
+            format!(
+                "{}: disk full while spilling; reabsorbed {} completed run(s) and continuing \
+                 in memory with the budget waived",
+                self.op,
+                self.runs.len()
+            ),
+        );
+        for run in std::mem::take(&mut self.runs) {
+            let mut r = dir.reader(&run.path)?;
+            while let Some(t) = r.next_tuple()? {
+                // Waived budget: only the row cap or deadline can trip.
+                self.ctx.charge_row(self.width)?;
+                self.buf_bytes += row_cost(self.width);
+                self.buf.push(t);
+            }
+            drop(r);
+            dir.remove(&run.path)?;
+        }
+        self.buf.sort_unstable();
+        self.buf.dedup();
+        self.spilled_rows = 0;
+        Ok(())
+    }
+
     fn finish(mut self) -> Result<OpOut> {
         if self.runs.is_empty() {
             return Ok(OpOut::Mem(Relation::from_tuples(
@@ -243,12 +321,39 @@ impl<'a> SpillSink<'a> {
             )));
         }
         self.flush()?;
+        let dir = self
+            .ctx
+            .spill_dir()
+            .expect("spilled sink without a spill directory")
+            .clone();
+        // `flush` may have hit ENOSPC and reabsorbed everything.
+        if self.runs.is_empty() {
+            return Ok(OpOut::Mem(Relation::from_tuples(
+                self.schema.clone(),
+                std::mem::take(&mut self.buf),
+            )));
+        }
         Ok(OpOut::Spilled(SpilledRel {
             schema: self.schema.clone(),
             runs: std::mem::take(&mut self.runs),
             rows: self.spilled_rows,
+            dir,
         }))
     }
+}
+
+/// Write one sorted/deduplicated run through the directory's vfs.
+fn write_run(
+    dir: &SpillDir,
+    path: std::path::PathBuf,
+    width: usize,
+    tuples: &[Tuple],
+) -> qf_storage::Result<SpillFile> {
+    let mut w = SpillWriter::create_on(&**dir.vfs(), path, width)?;
+    for t in tuples {
+        w.write_tuple(t)?;
+    }
+    w.finish()
 }
 
 /// Evaluate `plan` with spilling enabled. Within an operator this path
@@ -447,9 +552,13 @@ fn join_mem_into(
 }
 
 /// One disk partition produced by Grace partitioning: a raw (unsorted)
-/// tuple file private to the operator that wrote it.
+/// tuple file private to the operator that wrote it. The file is
+/// removed when the partition drops — consumed or abandoned alike — so
+/// Grace recursion never accumulates dead partition files.
 struct Part {
     file: SpillFile,
+    arity: usize,
+    dir: Arc<SpillDir>,
 }
 
 impl Part {
@@ -458,12 +567,18 @@ impl Part {
     }
 
     fn for_each(&self, ctx: &ExecContext, f: &mut dyn FnMut(Tuple) -> Result<()>) -> Result<()> {
-        let mut r = SpillReader::open(&self.file.path)?;
+        let mut r = self.dir.reader(&self.file.path)?;
         while let Some(t) = r.next_tuple()? {
             ctx.tick()?;
             f(t)?;
         }
         Ok(())
+    }
+}
+
+impl Drop for Part {
+    fn drop(&mut self) {
+        let _ = self.dir.remove(&self.file.path);
     }
 }
 
@@ -488,33 +603,72 @@ type TupleEmit<'a> = &'a mut dyn FnMut(Tuple) -> Result<()>;
 /// hash of `keys`. Every partition file is counted as spilled bytes.
 fn partition_stream(
     ctx: &ExecContext,
-    dir: &qf_storage::SpillDir,
+    dir: &Arc<SpillDir>,
     tag: &str,
     arity: usize,
     keys: &[usize],
     salt: u64,
     source: &mut dyn FnMut(TupleEmit) -> Result<()>,
 ) -> Result<Vec<Part>> {
-    let mut writers: Vec<SpillWriter> = (0..N_PARTS)
-        .map(|_| SpillWriter::create(dir.alloc(tag), arity).map_err(EngineError::from))
-        .collect::<Result<_>>()?;
-    source(&mut |t| {
+    // Writer *creation* precedes any consumption of the source, so
+    // transient errors here are safely retryable. Once the source
+    // starts streaming it can only be consumed once — a mid-stream
+    // failure propagates typed (the plan-level corruption/recompute
+    // loop in `execute_with` is the recovery of last resort).
+    let mut writers: Vec<SpillWriter> = Vec::with_capacity(N_PARTS);
+    for _ in 0..N_PARTS {
+        let mut attempt = 0u32;
+        let w = loop {
+            match dir.writer(tag, arity) {
+                Ok(w) => break w,
+                Err(e) if e.is_transient() && attempt < MAX_IO_RETRIES => {
+                    attempt += 1;
+                    ctx.note_io_retry();
+                    retry_backoff(attempt);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+        writers.push(w);
+    }
+    let mut failed: Option<EngineError> = source(&mut |t| {
         writers[part_of(&t, keys, salt, N_PARTS)].write_tuple(&t)?;
         Ok(())
-    })?;
+    })
+    .err();
     let mut parts = Vec::with_capacity(N_PARTS);
     for w in writers {
-        let file = w.finish()?;
-        ctx.note_spill(file.bytes);
-        parts.push(Part { file });
+        if failed.is_some() {
+            // Abandon (and remove) partial partition files so a
+            // recompute starts from a clean directory.
+            let path = w.path().to_path_buf();
+            drop(w);
+            let _ = dir.remove(&path);
+            continue;
+        }
+        match w.finish() {
+            Ok(file) => {
+                ctx.note_spill(file.bytes);
+                parts.push(Part {
+                    file,
+                    arity,
+                    dir: Arc::clone(dir),
+                });
+            }
+            Err(e) => failed = Some(e.into()),
+        }
     }
-    Ok(parts)
+    match failed {
+        // Dropping `parts` here removes any already-finished files.
+        Some(e) => Err(e),
+        None => Ok(parts),
+    }
 }
 
 /// Partition an operator output (consuming it, releasing its memory).
 fn partition_out(
     ctx: &ExecContext,
-    dir: &qf_storage::SpillDir,
+    dir: &Arc<SpillDir>,
     tag: &str,
     keys: &[usize],
     salt: u64,
@@ -532,7 +686,7 @@ fn partition_out(
 /// Repartition one skewed partition with a fresh salt.
 fn repartition(
     ctx: &ExecContext,
-    dir: &qf_storage::SpillDir,
+    dir: &Arc<SpillDir>,
     tag: &str,
     keys: &[usize],
     salt: u64,
@@ -565,7 +719,7 @@ fn join_parts(
     } else {
         (&rpart, &lpart, rk, lk)
     };
-    let build_arity = SpillReader::open(&build.file.path)?.arity();
+    let build_arity = build.arity;
     let build_bytes = build.rows() * row_cost(build_arity);
     if ctx.mem_would_trip(build_bytes) {
         // Free the output sink's buffer first — the build side deserves
@@ -577,10 +731,8 @@ fn join_parts(
             .spill_dir()
             .expect("grace join without spill dir")
             .clone();
-        let l_arity = SpillReader::open(&lpart.file.path)?.arity();
-        let r_arity = SpillReader::open(&rpart.file.path)?.arity();
-        let lps = repartition(ctx, &dir, "jpart-l", lk, depth, l_arity, &lpart)?;
-        let rps = repartition(ctx, &dir, "jpart-r", rk, depth, r_arity, &rpart)?;
+        let lps = repartition(ctx, &dir, "jpart-l", lk, depth, lpart.arity, &lpart)?;
+        let rps = repartition(ctx, &dir, "jpart-r", rk, depth, rpart.arity, &rpart)?;
         for (lp, rp) in lps.into_iter().zip(rps) {
             join_parts(lp, rp, lk, rk, ctx, sink, depth + 1)?;
         }
@@ -802,6 +954,8 @@ mod tests {
                 stats.degradations.iter().any(|d| d.stage == "spill"),
                 "{stats:?}"
             );
+            // Leak check: every run file was consumed and removed.
+            assert_eq!(stats.spill_files_live, 0, "leaked spill files: {stats:?}");
         }
     }
 
@@ -898,6 +1052,78 @@ mod tests {
         assert_eq!(got.tuples(), expected.tuples());
         assert_eq!(ctx.stats().spilled_bytes, 0);
         assert_eq!(ctx.stats().spills, 0);
+    }
+
+    fn chaos_ctx(chaos: qf_storage::ChaosFs, budget: u64) -> ExecContext {
+        let dir = qf_storage::SpillDir::create_on(Arc::new(chaos), &std::env::temp_dir()).unwrap();
+        ExecContext::unbounded()
+            .with_mem_budget(budget)
+            .with_threads(1)
+            .with_spill(Arc::new(dir))
+    }
+
+    #[test]
+    fn enospc_during_spill_reabsorbs_and_degrades() {
+        use qf_storage::{ChaosFs, Fault, OpClass};
+        let db = big_db(4000);
+        let expected = execute(&explosive_plan(), &db).unwrap();
+        // Create #1 is the spill dir itself; a later create is some
+        // sink run. The documented policy: free completed runs, waive
+        // the budget, finish in memory with the degradation recorded.
+        let ctx = chaos_ctx(
+            ChaosFs::quiet().with_fault(OpClass::Create, 4, Fault::DiskFull),
+            400 << 10,
+        );
+        let got = execute_with(&explosive_plan(), &db, &ctx).unwrap();
+        assert_eq!(got.tuples(), expected.tuples());
+        let stats = ctx.stats();
+        assert!(
+            stats.degradations.iter().any(|d| d.stage == "spill-enospc"),
+            "{stats:?}"
+        );
+        assert_eq!(stats.spill_files_live, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn transient_write_errors_absorbed_by_whole_run_retry() {
+        use qf_storage::{ChaosFs, Fault, OpClass};
+        let db = big_db(4000);
+        let expected = execute(&explosive_plan(), &db).unwrap();
+        let ctx = chaos_ctx(
+            ChaosFs::quiet().with_fault(OpClass::Write, 3, Fault::Transient),
+            400 << 10,
+        );
+        let got = execute_with(&explosive_plan(), &db, &ctx).unwrap();
+        assert_eq!(got.tuples(), expected.tuples());
+        let stats = ctx.stats();
+        assert!(stats.io_retries >= 1, "{stats:?}");
+        assert_eq!(stats.spill_files_live, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn corrupt_spill_run_recovered_by_recompute() {
+        use qf_storage::{ChaosFs, Fault, OpClass};
+        let db = big_db(4000);
+        let expected = execute(&explosive_plan(), &db).unwrap();
+        // One scheduled bit flip lands in some run's payload; the
+        // writer believes it succeeded, the reader's frame checksum
+        // catches it, and the plan is recomputed (fault is one-shot).
+        let ctx = chaos_ctx(
+            ChaosFs::quiet().with_fault(OpClass::Write, 3, Fault::BitFlip),
+            400 << 10,
+        );
+        let got = execute_with(&explosive_plan(), &db, &ctx).unwrap();
+        assert_eq!(got.tuples(), expected.tuples());
+        let stats = ctx.stats();
+        assert_eq!(stats.corruption_recoveries, 1, "{stats:?}");
+        assert!(
+            stats
+                .degradations
+                .iter()
+                .any(|d| d.stage == "spill-corruption"),
+            "{stats:?}"
+        );
+        assert_eq!(stats.spill_files_live, 0, "{stats:?}");
     }
 
     #[test]

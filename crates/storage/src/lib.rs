@@ -52,6 +52,7 @@ pub mod symbol;
 pub mod tsv;
 pub mod tuple;
 pub mod value;
+pub mod vfs;
 
 pub use catalog::Database;
 pub use cmp::CmpOp;
@@ -65,3 +66,4 @@ pub use stats::ColumnStats;
 pub use symbol::Symbol;
 pub use tuple::Tuple;
 pub use value::Value;
+pub use vfs::{real_fs, ChaosConfig, ChaosFs, Fault, OpClass, RealFs, Vfs, VfsFile};

@@ -116,6 +116,7 @@ fn read_rows(
 
 fn annotate_io(source: &str, e: &std::io::Error) -> StorageError {
     StorageError::Io {
+        kind: e.kind(),
         detail: format!("{source}: {e}"),
     }
 }

@@ -1,0 +1,669 @@
+//! Virtual filesystem: the single seam between the storage layer and
+//! the operating system's filesystem.
+//!
+//! Everything the spill path and the run journal do to disk goes
+//! through a [`Vfs`] trait object — open/create/append, rename, remove,
+//! fsync — with two backends:
+//!
+//! * [`RealFs`]: a thin delegation to `std::fs`. The default; zero
+//!   behavioral change over direct calls.
+//! * [`ChaosFs`]: a deterministic, seed-driven fault injector wrapping
+//!   the real filesystem. It perturbs I/O at *scheduled injection
+//!   points* — short writes, transient errors ([`Fault::Transient`]),
+//!   `ENOSPC` ([`Fault::DiskFull`]), fsync failures, torn
+//!   writes-on-crash ([`Fault::TornWrite`], which silently drops the
+//!   tail of a stream the writer believes it wrote), and single-bit
+//!   corruption ([`Fault::BitFlip`]) — so recovery policies can be
+//!   exercised in-process, reproducibly, without root or `LD_PRELOAD`
+//!   tricks.
+//!
+//! Determinism: every faultable operation draws a number from a global
+//! atomic counter and hashes it (splitmix64) with the seed; the same
+//! seed therefore yields the same fault sequence for a single-threaded
+//! run. Tests can also pin exact faults with
+//! [`ChaosFs::with_fault`] — "the 3rd fsync fails" — independent of the
+//! random stream.
+//!
+//! Faults that *lie* (torn writes, bit flips) are precisely the ones
+//! the frame checksums in [`crate::spill`] exist to catch: the chaos
+//! matrix asserts that a lied-to writer is always caught by a verifying
+//! reader, never served as wrong data.
+
+use std::fmt::Debug;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An open file handle behind a [`Vfs`].
+pub trait VfsFile: Read + Write + Send {
+    /// Flush file content (and metadata) to stable storage.
+    fn sync_all(&mut self) -> io::Result<()>;
+}
+
+impl VfsFile for std::fs::File {
+    fn sync_all(&mut self) -> io::Result<()> {
+        std::fs::File::sync_all(self)
+    }
+}
+
+/// The filesystem operations the storage layer needs, as a trait so a
+/// fault injector can sit between the engine and the disk.
+pub trait Vfs: Debug + Send + Sync {
+    /// Create (truncate) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Create a file that must not already exist (`O_EXCL`), for locks.
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Open an existing file for reading.
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Open (creating if missing) a file for appending.
+    fn append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Atomically rename `from` to `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Remove a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Create a directory and any missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Remove a directory tree.
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// List the entries of a directory.
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Does `path` exist?
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Read a whole file as UTF-8 text (routed through [`Vfs::open`] so
+    /// fault injection covers it).
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        let mut f = self.open(path)?;
+        let mut s = String::new();
+        f.read_to_string(&mut s)?;
+        Ok(s)
+    }
+}
+
+/// The real filesystem: direct delegation to `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealFs;
+
+/// A shared handle to the real filesystem.
+pub fn real_fs() -> Arc<dyn Vfs> {
+    Arc::new(RealFs)
+}
+
+impl Vfs for RealFs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(std::fs::File::create(path)?))
+    }
+
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(
+            std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(path)?,
+        ))
+    }
+
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(std::fs::File::open(path)?))
+    }
+
+    fn append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?,
+        ))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_dir_all(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(path)? {
+            out.push(entry?.path());
+        }
+        Ok(out)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// A fault class the chaos backend can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// A write accepts only a prefix of the buffer (honestly reported);
+    /// correct callers loop, incorrect ones silently lose data.
+    ShortWrite,
+    /// A retryable failure (`ETIMEDOUT`-class). Policy: bounded retry
+    /// with backoff.
+    Transient,
+    /// Out of disk space (`ENOSPC`). Policy: free completed spill runs,
+    /// degrade to memory-only.
+    DiskFull,
+    /// `fsync` fails after data was accepted. Policy: the journal
+    /// becomes advisory for the rest of the run.
+    FsyncFail,
+    /// The process "crashes" mid-write: a prefix reaches disk, the rest
+    /// of this handle's stream is silently dropped while every call
+    /// reports success. Detected later by frame checksums / the missing
+    /// end-of-stream terminator.
+    TornWrite,
+    /// One bit of the written buffer is flipped on its way to disk.
+    /// Detected later by frame checksums.
+    BitFlip,
+}
+
+/// The operation classes faults are scheduled against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// `create` / `create_new`.
+    Create,
+    /// `open` (for read).
+    Open,
+    /// A `read` call on an open handle.
+    Read,
+    /// A `write` call on an open handle.
+    Write,
+    /// A `sync_all` call.
+    Fsync,
+    /// A `rename`.
+    Rename,
+    /// A `remove_file` / `remove_dir_all`.
+    Remove,
+}
+
+impl OpClass {
+    fn index(self) -> usize {
+        match self {
+            OpClass::Create => 0,
+            OpClass::Open => 1,
+            OpClass::Read => 2,
+            OpClass::Write => 3,
+            OpClass::Fsync => 4,
+            OpClass::Rename => 5,
+            OpClass::Remove => 6,
+        }
+    }
+
+    /// Faults that make sense for this class, in the order the random
+    /// stream indexes them.
+    fn applicable(self) -> &'static [Fault] {
+        match self {
+            OpClass::Create => &[Fault::Transient, Fault::DiskFull],
+            OpClass::Open | OpClass::Read | OpClass::Rename | OpClass::Remove => {
+                &[Fault::Transient]
+            }
+            OpClass::Write => &[
+                Fault::ShortWrite,
+                Fault::Transient,
+                Fault::DiskFull,
+                Fault::TornWrite,
+                Fault::BitFlip,
+            ],
+            OpClass::Fsync => &[Fault::FsyncFail, Fault::Transient],
+        }
+    }
+}
+
+const N_CLASSES: usize = 7;
+
+/// Configuration for [`ChaosFs`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Seed for the deterministic fault stream.
+    pub seed: u64,
+    /// Average number of faultable operations between random faults;
+    /// `0` disables the random stream (scheduled faults still fire).
+    pub fault_every: u64,
+}
+
+/// One pinned injection point: the `nth` occurrence (1-based) of an
+/// operation class suffers `fault`.
+#[derive(Debug, Clone, Copy)]
+struct ScheduledFault {
+    class: OpClass,
+    nth: u64,
+    fault: Fault,
+}
+
+#[derive(Debug)]
+struct ChaosState {
+    cfg: ChaosConfig,
+    /// Global faultable-operation counter: the random stream's clock.
+    ops: AtomicU64,
+    /// Per-class occurrence counters: the scheduled faults' clock.
+    class_counts: [AtomicU64; N_CLASSES],
+    schedule: Mutex<Vec<ScheduledFault>>,
+    injected: AtomicU64,
+    log: Mutex<Vec<(OpClass, Fault)>>,
+}
+
+impl ChaosState {
+    /// Decide whether this operation faults; returns the fault plus the
+    /// operation's hash (used to derive positions for partial faults).
+    fn decide(&self, class: OpClass) -> Option<(Fault, u64)> {
+        let occ = self.class_counts[class.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        let op = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
+        let h = splitmix64(self.cfg.seed ^ op.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let scheduled = {
+            let sched = self.schedule.lock().unwrap_or_else(|e| e.into_inner());
+            sched
+                .iter()
+                .find(|s| s.class == class && s.nth == occ)
+                .map(|s| s.fault)
+        };
+        let fault = scheduled.or_else(|| {
+            let every = self.cfg.fault_every;
+            if every == 0 || !h.is_multiple_of(every) {
+                return None;
+            }
+            let menu = class.applicable();
+            Some(menu[((h >> 32) % menu.len() as u64) as usize])
+        })?;
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        self.log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((class, fault));
+        Some((fault, h))
+    }
+}
+
+/// Deterministic seed-driven fault-injecting filesystem over [`RealFs`].
+#[derive(Debug, Clone)]
+pub struct ChaosFs {
+    state: Arc<ChaosState>,
+}
+
+impl ChaosFs {
+    /// A chaos filesystem with the given config.
+    pub fn new(cfg: ChaosConfig) -> ChaosFs {
+        ChaosFs {
+            state: Arc::new(ChaosState {
+                cfg,
+                ops: AtomicU64::new(0),
+                class_counts: Default::default(),
+                schedule: Mutex::new(Vec::new()),
+                injected: AtomicU64::new(0),
+                log: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Random faults driven by `seed`, roughly one per `fault_every`
+    /// faultable operations.
+    pub fn seeded(seed: u64, fault_every: u64) -> ChaosFs {
+        ChaosFs::new(ChaosConfig { seed, fault_every })
+    }
+
+    /// No random faults; only faults pinned via [`ChaosFs::with_fault`].
+    pub fn quiet() -> ChaosFs {
+        ChaosFs::seeded(0, 0)
+    }
+
+    /// Pin a fault: the `nth` (1-based) occurrence of `class` suffers
+    /// `fault`, regardless of the random stream.
+    pub fn with_fault(self, class: OpClass, nth: u64, fault: Fault) -> ChaosFs {
+        self.state
+            .schedule
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(ScheduledFault { class, nth, fault });
+        self
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.state.injected.load(Ordering::Relaxed)
+    }
+
+    /// The sequence of injected faults (class, fault), for assertions.
+    pub fn injection_log(&self) -> Vec<(OpClass, Fault)> {
+        self.state
+            .log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+fn transient() -> io::Error {
+    io::Error::new(io::ErrorKind::TimedOut, "chaos: transient i/o failure")
+}
+
+fn disk_full() -> io::Error {
+    io::Error::new(io::ErrorKind::StorageFull, "chaos: no space left on device")
+}
+
+/// Fail path-level (non-handle) operations that admit only hard faults.
+fn path_op_fault(state: &ChaosState, class: OpClass) -> io::Result<()> {
+    match state.decide(class) {
+        Some((Fault::DiskFull, _)) => Err(disk_full()),
+        Some((_, _)) => Err(transient()),
+        None => Ok(()),
+    }
+}
+
+impl Vfs for ChaosFs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        path_op_fault(&self.state, OpClass::Create)?;
+        Ok(Box::new(ChaosFile {
+            inner: std::fs::File::create(path)?,
+            state: Arc::clone(&self.state),
+            dead: false,
+        }))
+    }
+
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        path_op_fault(&self.state, OpClass::Create)?;
+        Ok(Box::new(ChaosFile {
+            inner: std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(path)?,
+            state: Arc::clone(&self.state),
+            dead: false,
+        }))
+    }
+
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        path_op_fault(&self.state, OpClass::Open)?;
+        Ok(Box::new(ChaosFile {
+            inner: std::fs::File::open(path)?,
+            state: Arc::clone(&self.state),
+            dead: false,
+        }))
+    }
+
+    fn append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        path_op_fault(&self.state, OpClass::Create)?;
+        Ok(Box::new(ChaosFile {
+            inner: std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?,
+            state: Arc::clone(&self.state),
+            dead: false,
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        path_op_fault(&self.state, OpClass::Rename)?;
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        path_op_fault(&self.state, OpClass::Remove)?;
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        path_op_fault(&self.state, OpClass::Create)?;
+        std::fs::create_dir_all(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        path_op_fault(&self.state, OpClass::Remove)?;
+        std::fs::remove_dir_all(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        path_op_fault(&self.state, OpClass::Open)?;
+        RealFs.read_dir(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// A real file handle with fault injection on read/write/fsync.
+struct ChaosFile {
+    inner: std::fs::File,
+    state: Arc<ChaosState>,
+    /// A [`Fault::TornWrite`] fired: the rest of the stream is silently
+    /// dropped while every call reports success, emulating data that
+    /// never reached disk before a crash.
+    dead: bool,
+}
+
+impl Read for ChaosFile {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.state.decide(OpClass::Read) {
+            Some(_) => Err(transient()),
+            None => self.inner.read(buf),
+        }
+    }
+}
+
+impl Write for ChaosFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.dead {
+            return Ok(buf.len());
+        }
+        match self.state.decide(OpClass::Write) {
+            None => self.inner.write(buf),
+            Some((Fault::ShortWrite, _)) => {
+                // Accept only the first half (at least one byte) and
+                // report it honestly: `write_all` callers loop and lose
+                // nothing; raw `write` callers that ignore the count
+                // would corrupt — which the checksums then catch.
+                let n = (buf.len() / 2).max(1).min(buf.len());
+                self.inner.write_all(&buf[..n])?;
+                Ok(n)
+            }
+            Some((Fault::Transient, _)) => Err(transient()),
+            Some((Fault::DiskFull, _)) => Err(disk_full()),
+            Some((Fault::TornWrite, h)) => {
+                let n = if buf.is_empty() {
+                    0
+                } else {
+                    (h as usize) % buf.len()
+                };
+                self.inner.write_all(&buf[..n])?;
+                self.dead = true;
+                Ok(buf.len())
+            }
+            Some((Fault::BitFlip, h)) => {
+                if buf.is_empty() {
+                    return Ok(0);
+                }
+                let mut flipped = buf.to_vec();
+                let bit = (h as usize) % (flipped.len() * 8);
+                flipped[bit / 8] ^= 1 << (bit % 8);
+                self.inner.write_all(&flipped)?;
+                Ok(buf.len())
+            }
+            Some((Fault::FsyncFail, _)) => {
+                // Fsync faults are not scheduled on writes; treat as
+                // transient if the random menu ever changes.
+                Err(transient())
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Ok(());
+        }
+        self.inner.flush()
+    }
+}
+
+impl VfsFile for ChaosFile {
+    fn sync_all(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Ok(());
+        }
+        match self.state.decide(OpClass::Fsync) {
+            Some((Fault::FsyncFail, _)) => Err(io::Error::other("chaos: fsync failed")),
+            Some(_) => Err(transient()),
+            None => std::fs::File::sync_all(&self.inner),
+        }
+    }
+}
+
+/// splitmix64: a tiny, high-quality deterministic mixer — the whole
+/// fault stream derives from it, so no `rand` dependency is needed.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qf-vfs-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn real_fs_roundtrip() {
+        let dir = tmp("real");
+        let fs = RealFs;
+        let path = dir.join("a.txt");
+        let mut f = fs.create(&path).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+        assert_eq!(fs.read_to_string(&path).unwrap(), "hello");
+        let renamed = dir.join("b.txt");
+        fs.rename(&path, &renamed).unwrap();
+        assert!(fs.exists(&renamed) && !fs.exists(&path));
+        assert_eq!(fs.read_dir(&dir).unwrap(), vec![renamed.clone()]);
+        fs.remove_file(&renamed).unwrap();
+        fs.remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scheduled_faults_fire_at_exact_points() {
+        let dir = tmp("sched");
+        let fs = ChaosFs::quiet()
+            .with_fault(OpClass::Write, 2, Fault::Transient)
+            .with_fault(OpClass::Fsync, 1, Fault::FsyncFail);
+        let mut f = fs.create(&dir.join("x")).unwrap();
+        f.write_all(b"first").unwrap();
+        let err = f.write_all(b"second").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        // The failed write consumed occurrence 2; this one succeeds.
+        f.write_all(b"third").unwrap();
+        assert!(f.sync_all().is_err());
+        assert_eq!(fs.injected(), 2);
+        assert_eq!(
+            fs.injection_log(),
+            vec![
+                (OpClass::Write, Fault::Transient),
+                (OpClass::Fsync, Fault::FsyncFail)
+            ]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_silently_drops_the_tail() {
+        let dir = tmp("torn");
+        let fs = ChaosFs::quiet().with_fault(OpClass::Write, 2, Fault::TornWrite);
+        let path = dir.join("x");
+        let mut f = fs.create(&path).unwrap();
+        f.write_all(b"kept:").unwrap();
+        f.write_all(b"partially-torn").unwrap(); // lies: reports success
+        f.write_all(b"fully-dropped").unwrap();
+        f.sync_all().unwrap(); // also lies
+        drop(f);
+        let on_disk = std::fs::read(&path).unwrap();
+        assert!(on_disk.starts_with(b"kept:"));
+        assert!(on_disk.len() < b"kept:partially-tornfully-dropped".len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_corrupts_exactly_one_bit() {
+        let dir = tmp("flip");
+        let fs = ChaosFs::quiet().with_fault(OpClass::Write, 1, Fault::BitFlip);
+        let path = dir.join("x");
+        let payload = vec![0u8; 64];
+        let mut f = fs.create(&path).unwrap();
+        f.write_all(&payload).unwrap();
+        drop(f);
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(on_disk.len(), 64);
+        let flipped_bits: u32 = on_disk.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped_bits, 1, "{on_disk:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_write_reports_partial_count() {
+        let dir = tmp("short");
+        let fs = ChaosFs::quiet().with_fault(OpClass::Write, 1, Fault::ShortWrite);
+        let path = dir.join("x");
+        let mut f = fs.create(&path).unwrap();
+        // write_all loops over the short write, so nothing is lost.
+        f.write_all(b"0123456789").unwrap();
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), b"0123456789");
+        assert_eq!(fs.injected(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seeded_stream_is_deterministic() {
+        let dir = tmp("seeded");
+        let run = |seed: u64| {
+            let fs = ChaosFs::seeded(seed, 3);
+            let path = dir.join(format!("s{seed}"));
+            let mut outcomes = Vec::new();
+            for i in 0..50 {
+                match fs.create(&path) {
+                    Ok(mut f) => outcomes.push(f.write_all(format!("{i}").as_bytes()).is_ok()),
+                    Err(_) => outcomes.push(false),
+                }
+            }
+            (outcomes, fs.injection_log())
+        };
+        let (a1, log1) = run(42);
+        let (a2, log2) = run(42);
+        assert_eq!(a1, a2);
+        assert_eq!(log1, log2);
+        assert!(!log1.is_empty(), "fault_every=3 over 100 ops must fire");
+        let (b, _) = run(43);
+        assert_ne!(a1, b, "different seeds should differ (w.h.p.)");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_full_surfaces_storage_full_kind() {
+        let dir = tmp("full");
+        let fs = ChaosFs::quiet().with_fault(OpClass::Create, 1, Fault::DiskFull);
+        let err = match fs.create(&dir.join("x")) {
+            Ok(_) => panic!("scheduled DiskFull did not fire"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -621,7 +621,7 @@ mod tests {
         }
 
         #[test]
-        fn oneof_and_map(t in prop_oneof![3 => (0i64..5).prop_map(|v| v * 2), 1 => (10i64..12)]) {
+        fn oneof_and_map(t in prop_oneof![3 => (0i64..5).prop_map(|v| v * 2), 1 => 10i64..12]) {
             prop_assert!(t < 12);
         }
 
@@ -637,7 +637,7 @@ mod tests {
 
         #[test]
         fn bool_any(b in any::<bool>()) {
-            prop_assert!(b || !b);
+            prop_assert!(usize::from(b) <= 1);
         }
     }
 
