@@ -286,6 +286,16 @@ impl Session {
                 None => Err("no flock set; usage: flock [views…] QUERY: … FILTER: …".to_string()),
             };
         }
+        // `flock fingerprint`: canonical form + fingerprint of the
+        // current program — the identity the server's caches key on.
+        if text == "fingerprint" {
+            let program = self.current_program()?;
+            return Ok(format!(
+                "fingerprint: {:016x}\n{}",
+                program.fingerprint(),
+                program.canonical_text()
+            ));
+        }
         let program = FlockProgram::parse(text).map_err(|e| e.to_string())?;
         let n = program.flock().params().len();
         let v = program.views().len();
@@ -579,64 +589,152 @@ impl Session {
     }
 }
 
-/// Render an evaluation as one JSON object (hand-rolled: the offline
-/// build carries no serialization dependency).
+/// Render an evaluation as one JSON object. Delegates to the server's
+/// shared report builder so local runs and server responses emit the
+/// same shape; local runs have no cache in play, so the cache keys are
+/// all zero/false.
 fn json_report(
     evaluation: &qf_core::Evaluation,
     elapsed: std::time::Duration,
     tsv_skipped: u64,
 ) -> String {
-    let s = &evaluation.stats;
-    let degradations: Vec<String> = s
-        .degradations
-        .iter()
-        .map(|d| {
-            format!(
-                "{{\"stage\":\"{}\",\"detail\":\"{}\"}}",
-                json_escape(&d.stage),
-                json_escape(&d.detail)
-            )
-        })
-        .collect();
-    format!(
-        "{{\"strategy\":\"{}\",\"results\":{},\"elapsed_ms\":{},\"rows\":{},\"bytes\":{},\
-         \"workers\":{},\"spilled_bytes\":{},\"spills\":{},\"resumed_steps\":{},\
-         \"io_retries\":{},\"corruption_recoveries\":{},\"spill_files_live\":{},\
-         \"tsv_skipped_lines\":{},\"degradations\":[{}]}}",
-        json_escape(&evaluation.strategy_used),
+    qf_server::json_report(
+        &evaluation.strategy_used,
         evaluation.result.len(),
         elapsed.as_millis(),
-        s.rows,
-        s.bytes,
-        s.workers,
-        s.spilled_bytes,
-        s.spills,
+        &evaluation.stats,
         evaluation.resumed_steps,
-        s.io_retries,
-        s.corruption_recoveries,
-        s.spill_files_live,
         tsv_skipped,
-        degradations.join(",")
+        &qf_server::CacheReport::default(),
     )
 }
 
-/// Minimal JSON string escaping.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
+/// `qfsh serve --addr host:port [--threads N --queue-cap N
+/// --cache-entries K --max-rows N --mem-budget BYTES --timeout MS]`:
+/// run the resident flock server. Blocks until a client sends
+/// `shutdown` (the server drains in-flight work first).
+pub fn serve_main(args: &[String]) -> Result<String, String> {
+    let mut config = qf_server::ServerConfig::default();
+    let mut addr = "127.0.0.1:7447".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let (key, value) = flag_value(args, &mut i)?;
+        match key.as_str() {
+            "addr" => addr = value,
+            "threads" => config.threads = parse_count(&value)? as usize,
+            "queue-cap" => config.queue_cap = parse_count(&value)? as usize,
+            "cache-entries" => config.cache_entries = parse_count(&value)? as usize,
+            "max-rows" => config.max_rows = Some(parse_count(&value)?),
+            "mem-budget" => config.mem_budget = Some(parse_count(&value)?),
+            "timeout" => config.timeout_ms = Some(parse_millis(&value)?),
+            other => return Err(format!("unknown serve flag `--{other}`")),
         }
     }
-    out
+    let server = qf_server::Server::serve(config, Database::new(), &addr)
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    println!("qf-server listening on {}", server.addr());
+    server.join();
+    Ok("qf-server drained and shut down".to_string())
+}
+
+/// `qfsh client --addr host:port [--support N --max-rows N
+/// --mem-budget BYTES --timeout MS --threads N] <command…>`: one
+/// request against a running server. Commands: `ping`, `stats`,
+/// `shutdown`, `gen <kind> [seed]`, `load <file.tsv>`,
+/// `fingerprint <program>`, `flock <program>`. A flock response prints
+/// the same one-line JSON report as a local `--report json` run,
+/// followed by the result TSV.
+pub fn client_main(args: &[String]) -> Result<String, String> {
+    let mut addr: Option<String> = None;
+    let mut support: Option<i64> = None;
+    let mut limits = qf_server::RequestLimits::default();
+    let mut i = 0;
+    while i < args.len() && args[i].starts_with("--") {
+        let (key, value) = flag_value(args, &mut i)?;
+        match key.as_str() {
+            "addr" => addr = Some(value),
+            "support" => {
+                support = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad support `{value}`"))?,
+                )
+            }
+            "max-rows" => limits.max_rows = Some(parse_count(&value)?),
+            "mem-budget" => limits.mem_budget = Some(parse_count(&value)?),
+            "timeout" => limits.timeout_ms = Some(parse_millis(&value)?),
+            "threads" => limits.threads = Some(parse_count(&value)? as usize),
+            other => return Err(format!("unknown client flag `--{other}`")),
+        }
+    }
+    let addr = addr.ok_or("client needs --addr host:port")?;
+    let cmd = args.get(i).map(String::as_str).unwrap_or("ping");
+    let rest = args[i + 1..].join(" ");
+    let mut client = qf_server::Client::connect(&addr).map_err(|e| e.to_string())?;
+    let response = match cmd {
+        "ping" => client.ping(),
+        "stats" => client.stats(),
+        "shutdown" => client.shutdown(),
+        "fingerprint" => client.fingerprint(&rest),
+        "flock" => client.flock(&rest, support, limits),
+        "gen" => {
+            let mut parts = rest.split_whitespace();
+            let kind = parts.next().ok_or("usage: gen <kind> [seed]")?;
+            let seed = parts
+                .next()
+                .map(|s| s.parse().map_err(|_| "bad seed".to_string()))
+                .transpose()?
+                .unwrap_or(1);
+            client.gen(kind, seed)
+        }
+        "load" => {
+            let path = rest.trim();
+            if path.is_empty() {
+                return Err("usage: load <file.tsv>".to_string());
+            }
+            let tsv = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            client.load(&tsv)
+        }
+        other => return Err(format!("unknown client command `{other}`")),
+    }
+    .map_err(|e| e.to_string())?;
+    match response {
+        qf_server::Response::Ok { meta, body } => {
+            let body = body.trim_end();
+            if body.is_empty() || meta == "{}" {
+                Ok(if body.is_empty() {
+                    meta
+                } else {
+                    body.to_string()
+                })
+            } else {
+                Ok(format!("{meta}\n{body}"))
+            }
+        }
+        qf_server::Response::Err { kind, detail } => Err(format!("{kind}: {detail}")),
+    }
+}
+
+/// Parse `--key value` or `--key=value` at `args[*i]`, advancing `i`.
+fn flag_value(args: &[String], i: &mut usize) -> Result<(String, String), String> {
+    let arg = &args[*i];
+    let flag = arg
+        .strip_prefix("--")
+        .ok_or_else(|| format!("expected --flag, got `{arg}`"))?;
+    match flag.split_once('=') {
+        Some((k, v)) => {
+            *i += 1;
+            Ok((k.to_string(), v.to_string()))
+        }
+        None => {
+            if *i + 1 >= args.len() {
+                return Err(format!("flag `--{flag}` needs a value"));
+            }
+            let v = args[*i + 1].clone();
+            *i += 2;
+            Ok((flag.to_string(), v))
+        }
+    }
 }
 
 /// Parse a non-negative count, accepting decimal `k`/`m`/`g` suffixes
@@ -679,6 +777,7 @@ commands:
   rels                                           list relations
   show <relation> [n]                            preview tuples
   flock [view rules…] QUERY: … FILTER: …         define the current flock (views optional)
+  flock fingerprint                              canonical form + cache identity of the flock
   limits [none | max-rows=N mem-budget=BYTES timeout=MS threads=N]   budget every run
   spill [<dir>|none]                             spill to disk under memory pressure
   resume [<dir>|none]                            journal steps; re-run resumes from <dir>
@@ -688,7 +787,13 @@ commands:
   plan                                           show the cost-based best plan
   sql                                            render the flock as SQL
   explain                                        physical plan + dynamic trace
-  quit";
+  quit
+
+server mode (top-level subcommands, not shell commands):
+  qfsh serve --addr host:port [--threads N --queue-cap N --cache-entries K
+             --max-rows N --mem-budget BYTES --timeout MS]
+  qfsh client --addr host:port [--support N --max-rows N --mem-budget BYTES
+              --timeout MS --threads N] <ping|stats|shutdown|gen|load|fingerprint|flock> …";
 
 #[cfg(test)]
 mod tests {
@@ -901,10 +1006,37 @@ mod tests {
             "\"corruption_recoveries\":",
             "\"spill_files_live\":",
             "\"tsv_skipped_lines\":",
+            "\"cache_hit\":false",
+            "\"plan_cached\":false",
+            "\"cache_hits\":0",
+            "\"cache_misses\":0",
+            "\"rejected\":0",
+            "\"queue_depth_max\":0",
             "\"degradations\":[",
         ] {
             assert!(out.contains(key), "missing {key} in {out}");
         }
+    }
+
+    #[test]
+    fn flock_fingerprint_is_syntax_insensitive() {
+        let mut s = Session::new();
+        assert!(
+            s.execute_line("flock fingerprint").is_err(),
+            "no flock set yet"
+        );
+        s.execute_line(flock_cmd()).unwrap();
+        let a = s.execute_line("flock fingerprint").unwrap();
+        assert!(a.starts_with("fingerprint: "), "{a}");
+        // The same flock spelled with different variable names and
+        // subgoal order must canonicalize to the same identity.
+        s.execute_line(
+            "flock QUERY: answer(X) :- baskets(X,$2) AND baskets(X,$1) AND $1 < $2 \
+             FILTER: COUNT(answer.X) >= 20",
+        )
+        .unwrap();
+        let b = s.execute_line("flock fingerprint").unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -13,6 +13,33 @@ fn main() {
     //        --spill-dir /tmp/qf --resume run1 --report json \
     //        --io-faults seed=7 [command…]
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Server modes are top-level subcommands, dispatched before the
+    // local-run flag parsing (their flags mean different things).
+    match args.first().map(String::as_str) {
+        Some("serve") => {
+            match qf_cli::serve_main(&args[1..]) {
+                Ok(out) => println!("{out}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+            return;
+        }
+        Some("client") => {
+            match qf_cli::client_main(&args[1..]) {
+                Ok(out) => println!("{out}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+            return;
+        }
+        _ => {}
+    }
+
     match apply_limit_flags(&mut session, &mut args) {
         Ok(()) => {}
         Err(e) => {

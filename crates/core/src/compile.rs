@@ -396,6 +396,48 @@ pub fn filter_answer(
     Ok(PhysicalPlan::project(plan, group))
 }
 
+/// [`filter_answer`] without the final parameter projection: the plan
+/// yields `(params…, aggregate)` rows for every parameter assignment
+/// passing the filter. Projecting away the trailing aggregate column
+/// recovers the flock result exactly; *keeping* it lets a result cache
+/// re-filter the rows to answer any request whose filter the baseline
+/// [subsumes](FilterCondition::subsumes) — the server's monotone reuse.
+pub fn filter_answer_scored(
+    answer: &CompiledRule,
+    rule0: &ConjunctiveQuery,
+    filter: &FilterCondition,
+) -> Result<PhysicalPlan> {
+    let group: Vec<usize> = (0..answer.n_params).collect();
+    let agg = match filter.agg {
+        FilterAgg::Count => AggFn::Count,
+        FilterAgg::Sum(v) | FilterAgg::Min(v) | FilterAgg::Max(v) => {
+            let pos = rule0
+                .head
+                .args
+                .iter()
+                .position(|&t| t == Term::Var(v))
+                .ok_or_else(|| FlockError::FilterVarUnknown {
+                    var: format!("{v}"),
+                })?;
+            let col = answer.n_params + pos;
+            match filter.agg {
+                FilterAgg::Sum(_) => AggFn::Sum(col),
+                FilterAgg::Min(_) => AggFn::Min(col),
+                _ => AggFn::Max(col),
+            }
+        }
+    };
+    let plan = PhysicalPlan::aggregate(answer.plan.clone(), group, agg);
+    Ok(PhysicalPlan::select(
+        plan,
+        vec![Predicate::col_const(
+            answer.n_params,
+            filter.op,
+            qf_storage::Value::int(filter.threshold),
+        )],
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

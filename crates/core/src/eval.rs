@@ -30,6 +30,31 @@ pub(crate) fn as_flock_result(flock: &QueryFlock, rel: &Relation) -> Relation {
     )
 }
 
+/// Recover a flock result from a *scored* relation (`params…, agg`,
+/// see [`crate::execute_plan_scored_with`]): keep rows whose aggregate
+/// value passes `filter`, drop the aggregate column, and rebuild under
+/// the flock-result schema. When the scored relation's baseline filter
+/// [subsumes](crate::FilterCondition::subsumes) `filter`, the output is
+/// bitwise identical to evaluating the flock cold with `filter` — both
+/// are `from_sorted_dedup` over the same parameter tuples.
+pub fn flock_result_from_scored(
+    flock: &QueryFlock,
+    scored: &Relation,
+    filter: &crate::filter::FilterCondition,
+) -> Relation {
+    let n_params = scored.schema().arity() - 1;
+    let cols: Vec<usize> = (0..n_params).collect();
+    let tuples: Vec<Tuple> = scored
+        .iter()
+        .filter(|t| filter.accepts(t.get(n_params)))
+        .map(|t| t.project(&cols))
+        .collect();
+    Relation::from_sorted_dedup(
+        Schema::from_columns("flock_result", flock.param_names()),
+        tuples,
+    )
+}
+
 /// Evaluate the flock with a single monolithic plan (no a-priori
 /// prefiltering). The join order within the plan is controlled by
 /// `strategy`; [`JoinOrderStrategy::AsWritten`] reproduces the naive

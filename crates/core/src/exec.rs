@@ -330,6 +330,76 @@ fn execute_plan_inner(
     })
 }
 
+/// The outcome of a *scored* plan execution: the flock's surviving
+/// parameter assignments with their aggregate values still attached.
+#[derive(Clone, Debug)]
+pub struct ScoredExecution {
+    /// `(params…, aggregate)` rows for every assignment passing the
+    /// flock's filter; columns are the parameter names plus `agg`.
+    /// Projecting away `agg` recovers the flock result exactly;
+    /// re-filtering by any condition the flock's filter
+    /// [subsumes](crate::FilterCondition::subsumes) answers that
+    /// condition exactly (see [`crate::flock_result_from_scored`]).
+    pub scored: Relation,
+    /// Per-step instrumentation, in execution order.
+    pub steps: Vec<StepReport>,
+}
+
+/// [`execute_plan_with`], but the final `FILTER` step keeps the
+/// aggregate column: the plan's reductions run exactly as usual
+/// (including symmetry reuse), while the last step aggregates and
+/// thresholds *without* projecting the aggregate away. This is what the
+/// server's result cache stores — one scored run at support `s` answers
+/// every request at a subsumed threshold `s' ≥ s` by re-filtering.
+///
+/// Steps run sequentially here (the server overlaps whole requests
+/// instead of waves within one); the engine still parallelizes inside
+/// each step's plan under `ctx.threads()`.
+pub fn execute_plan_scored_with(
+    plan: &QueryPlan,
+    db: &Database,
+    strategy: JoinOrderStrategy,
+    ctx: &ExecContext,
+) -> Result<ScoredExecution> {
+    let mut working = db.clone();
+    let mut reports = Vec::with_capacity(plan.steps.len());
+    let mut executed: Vec<(&crate::plan::FilterStep, Relation)> = Vec::new();
+    let last = plan.steps.len() - 1;
+    for step in &plan.steps[..last] {
+        let (named, report) = match try_symmetric_reuse(step, &executed) {
+            Some(renamed) => reuse_commit(step, renamed, Instant::now()),
+            None => {
+                let e = evaluate_step(plan, step, &working, strategy, ctx)?;
+                eval_commit(step, e)
+            }
+        };
+        reports.push(report);
+        working.insert(named.clone());
+        executed.push((step, named));
+    }
+    let step = &plan.steps[last];
+    let e = evaluate_step_scored(plan, step, &working, strategy, ctx)?;
+    let mut columns: Vec<String> = step.params.iter().map(|p| p.to_string()).collect();
+    columns.push("agg".to_string());
+    let scored = Relation::from_sorted_dedup(
+        Schema::from_columns("scored_result", columns),
+        e.filtered.tuples().to_vec(),
+    );
+    reports.push(StepReport {
+        name: step.output.clone(),
+        answer_tuples: e.answer_tuples,
+        groups: e.groups,
+        survivors: scored.len(),
+        elapsed: e.elapsed,
+        reused: false,
+        resumed: false,
+    });
+    Ok(ScoredExecution {
+        scored,
+        steps: reports,
+    })
+}
+
 /// True when every relation `step`'s query references already exists in
 /// `working` — the condition for joining the current wave.
 fn step_inputs_ready(step: &crate::plan::FilterStep, working: &Database) -> bool {
@@ -400,6 +470,74 @@ fn evaluate_step(
     }
     // Group by parameters, apply the flock's condition, keep params.
     let filtered = filter_answer_rel(plan, step, &answer, &answer_rel, working, ctx)?;
+    let groups = count_groups(&answer_rel, answer.n_params);
+    Ok(EvaluatedStep {
+        answer_tuples: answer_rel.len(),
+        groups,
+        filtered,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// [`evaluate_step`] in scored mode: aggregate and threshold but keep
+/// the aggregate column (`filter_answer_scored` instead of
+/// `filter_answer`). Same spill fusing and §5 negative-weight check.
+fn evaluate_step_scored(
+    plan: &QueryPlan,
+    step: &crate::plan::FilterStep,
+    working: &Database,
+    strategy: JoinOrderStrategy,
+    ctx: &ExecContext,
+) -> Result<EvaluatedStep> {
+    let start = Instant::now();
+    let answer = compile_answer(&step.query, working, strategy)?;
+    if ctx.spill_enabled() && !matches!(plan.flock.filter().agg, FilterAgg::Sum(_)) {
+        let scored_plan = crate::compile::filter_answer_scored(
+            &answer,
+            &step.query.rules()[0],
+            plan.flock.filter(),
+        )?;
+        let filtered = execute_with(&scored_plan, working, ctx)?;
+        return Ok(EvaluatedStep {
+            answer_tuples: 0,
+            groups: 0,
+            filtered,
+            elapsed: start.elapsed(),
+        });
+    }
+    let answer_rel = execute_with(&answer.plan, working, ctx)?;
+    if let FilterAgg::Sum(v) = plan.flock.filter().agg {
+        let rule0 = &step.query.rules()[0];
+        if let Some(pos) = rule0
+            .head
+            .args
+            .iter()
+            .position(|&t| t == qf_datalog::Term::Var(v))
+        {
+            let col = answer.n_params + pos;
+            if let Some(min) = answer_rel.stats().column(col).min {
+                if min < qf_storage::Value::int(0) {
+                    return Err(crate::error::FlockError::NegativeWeight {
+                        detail: format!("step `{}`: minimum weight {min}", step.output),
+                    });
+                }
+            }
+        }
+    }
+    let mut tmp = working.clone();
+    const TMP: &str = "__step_answer";
+    tmp.insert(answer_rel.renamed(TMP));
+    let wrapped = crate::compile::CompiledRule {
+        plan: qf_engine::PhysicalPlan::scan(TMP),
+        n_params: answer.n_params,
+        n_head: answer.n_head,
+    };
+    let scored_plan = crate::compile::filter_answer_scored(
+        &wrapped,
+        &step.query.rules()[0],
+        plan.flock.filter(),
+    )?;
+    let filtered = execute_with(&scored_plan, &tmp, ctx)?;
     let groups = count_groups(&answer_rel, answer.n_params);
     Ok(EvaluatedStep {
         answer_tuples: answer_rel.len(),
@@ -698,6 +836,34 @@ mod tests {
         assert!(!db.contains("okS"));
         assert!(!db.contains("okM"));
         assert!(!db.contains("ok"));
+    }
+
+    #[test]
+    fn scored_execution_answers_subsumed_thresholds() {
+        let db = medical_db();
+        // Score once at the loosest threshold the cache will hold.
+        let run = execute_plan_scored_with(
+            &fig5_plan(2),
+            &db,
+            JoinOrderStrategy::Greedy,
+            &ExecContext::unbounded(),
+        )
+        .unwrap();
+        assert_eq!(run.scored.schema().columns().last().unwrap(), "agg");
+        // Every subsumed (tighter) threshold is answered bitwise
+        // identically to a cold run by re-filtering the scored rows.
+        for t in [2, 3, 4] {
+            let baseline = crate::FilterCondition::support(2);
+            let request = crate::FilterCondition::support(t);
+            assert!(baseline.subsumes(&request));
+            let reused =
+                crate::eval::flock_result_from_scored(&medical_flock(t), &run.scored, &request);
+            let cold = execute_plan(&fig5_plan(t), &db, JoinOrderStrategy::Greedy).unwrap();
+            assert_eq!(reused.tuples(), cold.result.tuples(), "threshold {t}");
+            assert_eq!(reused.schema().columns(), cold.result.schema().columns());
+        }
+        // A looser threshold is NOT subsumed — the cache must refuse it.
+        assert!(!crate::FilterCondition::support(2).subsumes(&crate::FilterCondition::support(1)));
     }
 
     #[test]

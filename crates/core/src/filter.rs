@@ -106,6 +106,32 @@ impl FilterCondition {
         self.op.eval(agg_value.cmp(&Value::int(self.threshold)))
     }
 
+    /// Does every aggregate value accepted by `other` pass `self` too?
+    ///
+    /// When true, a materialized *scored* result for `self` (parameter
+    /// tuples paired with their aggregate values) answers `other`
+    /// exactly, by re-filtering rows with [`FilterCondition::accepts`] —
+    /// the server's monotone cache reuse: a run at support `s` serves
+    /// any later request at `s' ≥ s`.
+    pub fn subsumes(&self, other: &FilterCondition) -> bool {
+        if self.agg != other.agg {
+            return false;
+        }
+        match (self.op, other.op) {
+            // `agg >= s` covers `agg >= s'` (and `agg > s'`) for s' ≥ s.
+            (CmpOp::Ge, CmpOp::Ge) | (CmpOp::Gt, CmpOp::Gt) => other.threshold >= self.threshold,
+            (CmpOp::Ge, CmpOp::Gt) => other.threshold >= self.threshold - 1,
+            (CmpOp::Gt, CmpOp::Ge) => other.threshold > self.threshold,
+            // Dually for upper bounds.
+            (CmpOp::Le, CmpOp::Le) | (CmpOp::Lt, CmpOp::Lt) => other.threshold <= self.threshold,
+            (CmpOp::Le, CmpOp::Lt) => other.threshold <= self.threshold + 1,
+            (CmpOp::Lt, CmpOp::Le) => other.threshold < self.threshold,
+            // Equality/inequality only answers itself.
+            (CmpOp::Eq, CmpOp::Eq) | (CmpOp::Ne, CmpOp::Ne) => other.threshold == self.threshold,
+            _ => false,
+        }
+    }
+
     /// Render in the paper's `FILTER:` notation over head variable(s).
     pub fn render(&self, head_pred: &str) -> String {
         let arg = match self.agg.head_var() {
@@ -254,6 +280,32 @@ mod tests {
         assert!(FilterCondition::parse("AVG(answer.W) >= 20").is_err());
         assert!(FilterCondition::parse("COUNT(answer.B) >= lots").is_err());
         assert!(FilterCondition::parse("COUNT(answer.B) ~ 20").is_err());
+    }
+
+    #[test]
+    fn subsumption_covers_tightened_thresholds() {
+        let base = FilterCondition::support(10);
+        assert!(base.subsumes(&FilterCondition::support(10)));
+        assert!(base.subsumes(&FilterCondition::support(25)));
+        assert!(!base.subsumes(&FilterCondition::support(9)));
+        // `COUNT > 9` and `COUNT >= 10` accept the same integers.
+        let gt9 = FilterCondition {
+            agg: FilterAgg::Count,
+            op: CmpOp::Gt,
+            threshold: 9,
+        };
+        assert!(base.subsumes(&gt9));
+        assert!(gt9.subsumes(&base));
+        // Different aggregates never subsume.
+        assert!(!base.subsumes(&FilterCondition::weighted_support("W", 25)));
+        // MIN upper bounds are the dual: smaller threshold tightens.
+        let min = |t| FilterCondition {
+            agg: FilterAgg::Min(Symbol::intern("W")),
+            op: CmpOp::Le,
+            threshold: t,
+        };
+        assert!(min(5).subsumes(&min(3)));
+        assert!(!min(3).subsumes(&min(5)));
     }
 
     #[test]

@@ -139,6 +139,44 @@ impl QueryFlock {
             self.filter.render(&self.query.head_pred().to_string())
         )
     }
+
+    /// Canonical rendering of the *query* section alone: every rule in
+    /// canonical form (normalized variable names, sorted subgoals, via
+    /// [`qf_datalog::canonical_rule`]), rules sorted by text. Two
+    /// flocks that differ only in variable names, subgoal order, or
+    /// rule order produce identical text. The filter is deliberately
+    /// excluded so a result cache can share one entry across support
+    /// thresholds (monotone reuse).
+    pub fn canonical_query_text(&self) -> String {
+        let mut rules: Vec<String> = self
+            .query
+            .rules()
+            .iter()
+            .map(|r| qf_datalog::canonical_rule(r).to_string())
+            .collect();
+        rules.sort();
+        rules.join("\n")
+    }
+
+    /// Canonical rendering of the whole flock: the canonical query plus
+    /// the filter condition. Syntax-insensitive in the same sense as
+    /// [`QueryFlock::canonical_query_text`].
+    pub fn canonical_text(&self) -> String {
+        format!(
+            "QUERY:\n{}\nFILTER:\n{}",
+            self.canonical_query_text(),
+            self.filter.render("answer")
+        )
+    }
+
+    /// Syntax-insensitive fingerprint of the flock: the hash of its
+    /// [canonical rendering](QueryFlock::canonical_text). Equal for any
+    /// two spellings of the same flock; this is the flock half of the
+    /// server's result-cache key (`qf serve`) and what the shell's
+    /// `flock fingerprint` command prints.
+    pub fn fingerprint(&self) -> u64 {
+        crate::journal::fingerprint_text(&self.canonical_text())
+    }
 }
 
 impl std::fmt::Display for QueryFlock {
@@ -223,6 +261,37 @@ mod tests {
         assert!(
             QueryFlock::parse("FILTER: COUNT(answer.B) >= 2 QUERY: answer(B) :- r(B,$1)").is_err()
         );
+    }
+
+    #[test]
+    fn canonical_text_is_syntax_insensitive() {
+        let a = QueryFlock::parse(
+            "QUERY: answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+             FILTER: COUNT(answer.B) >= 20",
+        )
+        .unwrap();
+        // Renamed variable, reordered body, `(*)` spelling of COUNT.
+        let b = QueryFlock::parse(
+            "QUERY: answer(X) :- baskets(X,$2) AND $1 < $2 AND baskets(X,$1)
+             FILTER: COUNT(answer(*)) >= 20",
+        )
+        .unwrap();
+        assert_eq!(a.canonical_text(), b.canonical_text());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Same query at a different threshold: query text shared (one
+        // cache entry), full fingerprint distinct.
+        let c = QueryFlock::parse(
+            "QUERY: answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+             FILTER: COUNT(answer.B) >= 30",
+        )
+        .unwrap();
+        assert_eq!(a.canonical_query_text(), c.canonical_query_text());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // A genuinely different query fingerprints differently.
+        let d =
+            QueryFlock::parse("QUERY: answer(B) :- baskets(B,$1) FILTER: COUNT(answer.B) >= 20")
+                .unwrap();
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 
     #[test]

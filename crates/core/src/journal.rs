@@ -86,22 +86,11 @@ pub fn plan_fingerprint(plan: &QueryPlan) -> u64 {
 
 /// Fingerprint of the input catalog: every relation's name, column
 /// names, and tuple content, folded in sorted-name order so iteration
-/// order cannot perturb it.
+/// order cannot perturb it. Delegates to the catalog's **memoized**
+/// fingerprint ([`Database::fingerprint`]): the hash is computed once
+/// per catalog mutation, not once per journaled run.
 pub fn catalog_fingerprint(db: &Database) -> u64 {
-    let mut names: Vec<&str> = db.names().collect();
-    names.sort_unstable();
-    let mut h = Fnv1a::new();
-    for name in names {
-        let rel = db.get(name).expect("name listed by the catalog");
-        h.write(name.as_bytes());
-        h.write(&[0xff]);
-        for c in rel.schema().columns() {
-            h.write(c.as_bytes());
-            h.write(&[0xfe]);
-        }
-        h.write(&content_hash(rel).to_le_bytes());
-    }
-    h.finish()
+    db.fingerprint()
 }
 
 /// One completed step as recorded in `journal.log`.

@@ -61,15 +61,18 @@ pub mod plangen;
 pub mod program;
 pub mod sql;
 
-pub use compile::{compile_answer, compile_rule, CompiledRule, JoinOrderStrategy};
+pub use compile::{
+    compile_answer, compile_rule, filter_answer_scored, CompiledRule, JoinOrderStrategy,
+};
 pub use dynamic::{
     evaluate_dynamic, evaluate_dynamic_with, DecisionReason, DynamicConfig, DynamicDecision,
     DynamicReport,
 };
 pub use error::{FlockError, Result};
-pub use eval::{evaluate_direct, evaluate_direct_with, evaluate_naive};
+pub use eval::{evaluate_direct, evaluate_direct_with, evaluate_naive, flock_result_from_scored};
 pub use exec::{
-    execute_plan, execute_plan_journaled, execute_plan_with, PlanExecution, StepReport,
+    execute_plan, execute_plan_journaled, execute_plan_scored_with, execute_plan_with,
+    PlanExecution, ScoredExecution, StepReport,
 };
 pub use filter::{FilterAgg, FilterCondition};
 pub use flock::QueryFlock;

@@ -98,6 +98,52 @@ impl FlockProgram {
         &self.flock
     }
 
+    /// Canonical rendering of the whole program: canonical view rules
+    /// (sorted by text) above the flock's canonical text. Two programs
+    /// that differ only in variable names, subgoal order, or rule order
+    /// render identically — the program half of the server's
+    /// result-cache key.
+    pub fn canonical_text(&self) -> String {
+        let mut views: Vec<String> = self
+            .views
+            .iter()
+            .map(|v| qf_datalog::canonical_rule(v).to_string())
+            .collect();
+        views.sort();
+        let mut text = String::new();
+        for v in &views {
+            text.push_str(v);
+            text.push('\n');
+        }
+        text.push_str(&self.flock.canonical_text());
+        text
+    }
+
+    /// Canonical query-only rendering (views + canonical query, filter
+    /// excluded) — what the server's monotone result cache keys on, so
+    /// one entry serves every subsumed support threshold.
+    pub fn canonical_query_text(&self) -> String {
+        let mut views: Vec<String> = self
+            .views
+            .iter()
+            .map(|v| qf_datalog::canonical_rule(v).to_string())
+            .collect();
+        views.sort();
+        let mut text = String::new();
+        for v in &views {
+            text.push_str(v);
+            text.push('\n');
+        }
+        text.push_str(&self.flock.canonical_query_text());
+        text
+    }
+
+    /// Syntax-insensitive fingerprint of the program (hash of
+    /// [`FlockProgram::canonical_text`]).
+    pub fn fingerprint(&self) -> u64 {
+        crate::journal::fingerprint_text(&self.canonical_text())
+    }
+
     /// Materialize every view into a copy of `db`, in dependency order.
     pub fn materialize_views(
         &self,
@@ -454,6 +500,42 @@ mod tests {
         let db = multi_disease_db();
         let err = program.evaluate(&db).unwrap_err();
         assert!(matches!(err, FlockError::IllegalPlan { .. }), "{err}");
+    }
+
+    #[test]
+    fn program_canonical_text_covers_views() {
+        let a = FlockProgram::parse(
+            "explained(P,S) :- diagnoses(P,D) AND causes(D,S)
+             QUERY: answer(P) :- exhibits(P,$s) AND NOT explained(P,$s)
+             FILTER: COUNT(answer.P) >= 20",
+        )
+        .unwrap();
+        // Renamed view variables and reordered view body.
+        let b = FlockProgram::parse(
+            "explained(Q,T) :- causes(E,T) AND diagnoses(Q,E)
+             QUERY: answer(X) :- exhibits(X,$s) AND NOT explained(X,$s)
+             FILTER: COUNT(answer(*)) >= 20",
+        )
+        .unwrap();
+        assert_eq!(a.canonical_text(), b.canonical_text());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // A different view definition changes the fingerprint even when
+        // the flock is identical.
+        let c = FlockProgram::parse(
+            "explained(P,S) :- diagnoses(P,S)
+             QUERY: answer(P) :- exhibits(P,$s) AND NOT explained(P,$s)
+             FILTER: COUNT(answer.P) >= 20",
+        )
+        .unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Query-only text ignores the threshold.
+        let d = FlockProgram::parse(
+            "explained(P,S) :- diagnoses(P,D) AND causes(D,S)
+             QUERY: answer(P) :- exhibits(P,$s) AND NOT explained(P,$s)
+             FILTER: COUNT(answer.P) >= 99",
+        )
+        .unwrap();
+        assert_eq!(a.canonical_query_text(), d.canonical_query_text());
     }
 
     #[test]

@@ -55,6 +55,32 @@ pub fn canonicalize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
     ConjunctiveQuery::new(head, body)
 }
 
+/// Fully canonical form: canonical variable names **and** a canonical
+/// body order, reached by alternating [`canonicalize`] with sorting the
+/// body by display text until a fixpoint. Two queries that differ only
+/// by variable names and subgoal order produce the *same* rule — the
+/// rendered text of this form is a syntax-insensitive cache key.
+///
+/// Parameters and constants are untouched (a flock's parameters are its
+/// output columns, so `$1` and `$2` are not interchangeable).
+pub fn canonical_rule(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut c = canonicalize(q);
+    // The alternation converges in a couple of passes for the small
+    // rules flocks use; the bound keeps pathological inputs from
+    // spinning (the last form is still deterministic for a given input,
+    // merely not provably order-insensitive).
+    for _ in 0..4 {
+        let mut sorted = c.clone();
+        sorted.body.sort_by_key(|l| l.to_string());
+        let renamed = canonicalize(&sorted);
+        if renamed == c {
+            break;
+        }
+        c = renamed;
+    }
+    c
+}
+
 /// Syntactic isomorphism: equal after canonical renaming **and** body
 /// reordering. Sound (isomorphic queries are equivalent) but not
 /// complete for semantic equivalence — use
@@ -219,6 +245,24 @@ mod tests {
         assert!(is_isomorphic(&a, &b));
         let c = q("answer(P) :- d(P,X) AND c(X,$s)");
         assert!(!is_isomorphic(&a, &c));
+    }
+
+    #[test]
+    fn canonical_rule_is_syntax_insensitive() {
+        // Same rule, different variable names AND different body order.
+        let a = q("answer(X) :- r(X,Y) AND s(Y,$p) AND X < 9");
+        let b = q("answer(U) :- s(W,$p) AND U < 9 AND r(U,W)");
+        assert_eq!(canonical_rule(&a), canonical_rule(&b));
+        assert_eq!(
+            canonical_rule(&a).to_string(),
+            canonical_rule(&b).to_string()
+        );
+        // Canonicalizing a canonical rule is a no-op.
+        let c = canonical_rule(&a);
+        assert_eq!(canonical_rule(&c), c);
+        // Different parameters stay different.
+        let d = q("answer(X) :- r(X,Y) AND s(Y,$q) AND X < 9");
+        assert_ne!(canonical_rule(&a), canonical_rule(&d));
     }
 
     #[test]

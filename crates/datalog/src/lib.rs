@@ -44,7 +44,9 @@ pub mod safety;
 pub mod subquery;
 
 pub use ast::{Atom, Comparison, ConjunctiveQuery, Literal, Term, UnionQuery};
-pub use canonical::{canonicalize, is_isomorphic, param_isomorphism, substitute_params};
+pub use canonical::{
+    canonical_rule, canonicalize, is_isomorphic, param_isomorphism, substitute_params,
+};
 pub use containment::{contained_in, equivalent, minimize};
 pub use error::{DatalogError, Result};
 pub use parser::{parse_query, parse_rule};

@@ -1,0 +1,236 @@
+//! The flock result cache and the plan cache.
+//!
+//! Both caches key on the **canonical** program text (normalized
+//! variable names, sorted subgoals/rules — see
+//! [`qf_core::FlockProgram::canonical_text`]) plus the **catalog
+//! fingerprint**, so a hit is impossible against stale data: any
+//! `load`/`gen` changes the fingerprint and old entries simply never
+//! match again (the service additionally clears both caches on
+//! mutation to reclaim the memory immediately).
+//!
+//! The result cache stores *scored* results — `(params…, aggregate)`
+//! rows at the baseline filter they were computed under — which makes
+//! reuse **monotone**: a cached run at support `s` answers any request
+//! whose filter the baseline [subsumes](FilterCondition::subsumes)
+//! (e.g. any `s' ≥ s`) by re-filtering rows, bitwise identically to a
+//! cold evaluation. The plan cache remembers the searched `FILTER`
+//! steps so a repeat flock at a *non*-subsumed threshold still skips
+//! the exponential §4.3 plan search.
+
+use qf_core::FilterCondition;
+use qf_storage::Relation;
+
+/// Cache key: canonical query text (filter excluded — that is what
+/// makes one entry serve a family of thresholds) + catalog fingerprint.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical views + query text, no filter.
+    pub query: String,
+    /// [`qf_storage::Database::fingerprint`] of the catalog the entry
+    /// was computed against.
+    pub catalog_fp: u64,
+}
+
+/// One cached scored evaluation.
+#[derive(Clone, Debug)]
+pub struct CachedResult {
+    /// The filter the scored run was computed under; answers any
+    /// request filter it subsumes.
+    pub baseline: FilterCondition,
+    /// `(params…, agg)` rows passing `baseline`.
+    pub scored: Relation,
+    /// Strategy label of the original run (for response meta).
+    pub strategy: String,
+}
+
+/// A tiny exact-key LRU: most-recently-used at the front. Entry counts
+/// are small (tens), so linear scans beat hash-map bookkeeping.
+struct Lru<V> {
+    cap: usize,
+    entries: Vec<(CacheKey, V)>,
+}
+
+impl<V> Lru<V> {
+    fn new(cap: usize) -> Lru<V> {
+        Lru {
+            cap: cap.max(1),
+            entries: Vec::new(),
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<&V> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let hit = self.entries.remove(pos);
+        self.entries.insert(0, hit);
+        Some(&self.entries[0].1)
+    }
+
+    fn insert(&mut self, key: CacheKey, value: V) {
+        self.entries.retain(|(k, _)| *k != key);
+        self.entries.insert(0, (key, value));
+        self.entries.truncate(self.cap);
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// LRU cache of scored flock results with monotone reuse.
+pub struct ResultCache {
+    lru: Lru<CachedResult>,
+}
+
+impl ResultCache {
+    /// Cache holding up to `cap` scored results.
+    pub fn new(cap: usize) -> ResultCache {
+        ResultCache { lru: Lru::new(cap) }
+    }
+
+    /// Look up an entry able to answer `filter` exactly: same key and
+    /// a baseline that subsumes the requested condition. Refreshes LRU
+    /// order on hit.
+    pub fn lookup(&mut self, key: &CacheKey, filter: &FilterCondition) -> Option<CachedResult> {
+        let entry = self.lru.get(key)?;
+        if entry.baseline.subsumes(filter) {
+            Some(entry.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Store a scored result (replacing any entry under the same key —
+    /// most recent baseline wins).
+    pub fn insert(&mut self, key: CacheKey, entry: CachedResult) {
+        self.lru.insert(key, entry);
+    }
+
+    /// Drop everything (catalog mutation).
+    pub fn clear(&mut self) {
+        self.lru.clear();
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.lru.len() == 0
+    }
+}
+
+/// LRU cache of searched plan shapes (`FILTER` steps). The steps carry
+/// no threshold — the filter is applied from the flock at execution
+/// time — so one searched shape serves every threshold of the query.
+pub struct PlanCache {
+    lru: Lru<Vec<qf_core::FilterStep>>,
+}
+
+impl PlanCache {
+    /// Cache holding up to `cap` plan shapes.
+    pub fn new(cap: usize) -> PlanCache {
+        PlanCache { lru: Lru::new(cap) }
+    }
+
+    /// Fetch the cached steps for a key, refreshing LRU order.
+    pub fn lookup(&mut self, key: &CacheKey) -> Option<Vec<qf_core::FilterStep>> {
+        self.lru.get(key).cloned()
+    }
+
+    /// Store a searched plan shape.
+    pub fn insert(&mut self, key: CacheKey, steps: Vec<qf_core::FilterStep>) {
+        self.lru.insert(key, steps);
+    }
+
+    /// Drop everything (catalog mutation — plan choice depends on
+    /// catalog statistics).
+    pub fn clear(&mut self) {
+        self.lru.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qf_storage::{Schema, Value};
+
+    fn key(q: &str, fp: u64) -> CacheKey {
+        CacheKey {
+            query: q.to_string(),
+            catalog_fp: fp,
+        }
+    }
+
+    fn entry(support: i64) -> CachedResult {
+        CachedResult {
+            baseline: FilterCondition::support(support),
+            scored: Relation::from_rows(
+                Schema::new("scored_result", &["p", "agg"]),
+                vec![vec![Value::str("a"), Value::int(5)]],
+            ),
+            strategy: "static".to_string(),
+        }
+    }
+
+    #[test]
+    fn monotone_lookup() {
+        let mut c = ResultCache::new(4);
+        c.insert(key("q", 1), entry(3));
+        // Subsumed thresholds hit; looser ones and other keys miss.
+        assert!(c
+            .lookup(&key("q", 1), &FilterCondition::support(3))
+            .is_some());
+        assert!(c
+            .lookup(&key("q", 1), &FilterCondition::support(9))
+            .is_some());
+        assert!(c
+            .lookup(&key("q", 1), &FilterCondition::support(2))
+            .is_none());
+        assert!(c
+            .lookup(&key("q", 2), &FilterCondition::support(3))
+            .is_none());
+        assert!(c
+            .lookup(&key("r", 1), &FilterCondition::support(3))
+            .is_none());
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = ResultCache::new(2);
+        c.insert(key("a", 1), entry(1));
+        c.insert(key("b", 1), entry(1));
+        // Touch `a` so `b` is the LRU victim.
+        assert!(c
+            .lookup(&key("a", 1), &FilterCondition::support(1))
+            .is_some());
+        c.insert(key("c", 1), entry(1));
+        assert_eq!(c.len(), 2);
+        assert!(c
+            .lookup(&key("a", 1), &FilterCondition::support(1))
+            .is_some());
+        assert!(c
+            .lookup(&key("b", 1), &FilterCondition::support(1))
+            .is_none());
+        assert!(c
+            .lookup(&key("c", 1), &FilterCondition::support(1))
+            .is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let mut c = ResultCache::new(2);
+        c.insert(key("a", 1), entry(5));
+        c.insert(key("a", 1), entry(2));
+        assert_eq!(c.len(), 1);
+        // The newer, looser baseline answers support 2.
+        assert!(c
+            .lookup(&key("a", 1), &FilterCondition::support(2))
+            .is_some());
+    }
+}

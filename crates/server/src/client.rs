@@ -1,0 +1,86 @@
+//! A blocking client for the framed protocol — used by `qfsh client`
+//! and the integration tests.
+
+use std::net::TcpStream;
+
+use crate::error::{Result, ServerError};
+use crate::frame::{read_frame, write_frame};
+use crate::protocol::{Request, RequestLimits, Response};
+
+/// One connection to a `qf-server`. Requests are strictly sequential
+/// per connection (the protocol has no request IDs); open more
+/// connections for concurrency.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server address like `127.0.0.1:7447`.
+    pub fn connect(addr: &str) -> Result<Client> {
+        let stream = TcpStream::connect(addr).map_err(|e| ServerError::Io(e.to_string()))?;
+        Ok(Client { stream })
+    }
+
+    /// Send one request and read its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response> {
+        write_frame(&mut self.stream, req.render().as_bytes())
+            .map_err(|e| ServerError::Io(e.to_string()))?;
+        let payload = read_frame(&mut self.stream)
+            .map_err(|e| ServerError::Io(e.to_string()))?
+            .ok_or_else(|| ServerError::Io("server closed the connection".to_string()))?;
+        let text = String::from_utf8(payload)
+            .map_err(|_| ServerError::Proto("response payload is not UTF-8".to_string()))?;
+        Response::parse(&text)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<Response> {
+        self.request(&Request::Ping)
+    }
+
+    /// Generate a demo workload in the server catalog.
+    pub fn gen(&mut self, kind: &str, seed: u64) -> Result<Response> {
+        self.request(&Request::Gen {
+            kind: kind.to_string(),
+            seed,
+        })
+    }
+
+    /// Load a relation from TSV text.
+    pub fn load(&mut self, tsv: &str) -> Result<Response> {
+        self.request(&Request::Load {
+            tsv: tsv.to_string(),
+        })
+    }
+
+    /// Evaluate a flock program.
+    pub fn flock(
+        &mut self,
+        text: &str,
+        support: Option<i64>,
+        limits: RequestLimits,
+    ) -> Result<Response> {
+        self.request(&Request::Flock {
+            text: text.to_string(),
+            support,
+            limits,
+        })
+    }
+
+    /// Canonicalize + fingerprint a flock program.
+    pub fn fingerprint(&mut self, text: &str) -> Result<Response> {
+        self.request(&Request::Fingerprint {
+            text: text.to_string(),
+        })
+    }
+
+    /// Server-wide counters.
+    pub fn stats(&mut self) -> Result<Response> {
+        self.request(&Request::Stats)
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<Response> {
+        self.request(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,89 @@
+//! Typed server errors and their stable wire kinds.
+
+use qf_core::{EngineError, FlockError};
+
+/// Everything a request can fail with. Each variant maps to a stable
+/// one-token `kind` carried on the wire (`err <kind>` status line), so
+/// clients can branch on failure class without parsing prose.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerError {
+    /// The admission queue is full: the server is at capacity and this
+    /// request was rejected *before* consuming any execution resources.
+    /// Retry later.
+    Overloaded {
+        /// Jobs queued when the request arrived.
+        queue_depth: usize,
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
+    /// The request asked for more than the server's per-request caps
+    /// allow, or its governed evaluation tripped a budget (rows, bytes,
+    /// deadline, cancellation).
+    Budget(String),
+    /// The server is draining for shutdown; no new work is accepted.
+    ShuttingDown,
+    /// The request frame or header line could not be understood.
+    Proto(String),
+    /// Flock/program/TSV text was rejected by a parser.
+    Parse(String),
+    /// Evaluation failed for a non-budget reason (unknown relation,
+    /// unsafe query, …).
+    Eval(String),
+    /// Transport I/O failure (client side).
+    Io(String),
+}
+
+impl ServerError {
+    /// The stable wire token for this error class.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServerError::Overloaded { .. } => "overloaded",
+            ServerError::Budget(_) => "budget",
+            ServerError::ShuttingDown => "shutting-down",
+            ServerError::Proto(_) => "proto",
+            ServerError::Parse(_) => "parse",
+            ServerError::Eval(_) => "eval",
+            ServerError::Io(_) => "io",
+        }
+    }
+
+    /// Classify an evaluation failure: governor budget trips become
+    /// typed [`ServerError::Budget`] errors, parse-stage failures
+    /// [`ServerError::Parse`], everything else [`ServerError::Eval`].
+    pub fn from_eval(e: FlockError) -> ServerError {
+        match &e {
+            FlockError::Engine(EngineError::ResourceExhausted { .. } | EngineError::Cancelled) => {
+                ServerError::Budget(e.to_string())
+            }
+            FlockError::Datalog(_) | FlockError::FilterParse { .. } => {
+                ServerError::Parse(e.to_string())
+            }
+            _ => ServerError::Eval(e.to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Overloaded {
+                queue_depth,
+                capacity,
+            } => write!(
+                f,
+                "server overloaded: {queue_depth} request(s) queued (capacity {capacity})"
+            ),
+            ServerError::Budget(d) => write!(f, "budget: {d}"),
+            ServerError::ShuttingDown => f.write_str("server is shutting down"),
+            ServerError::Proto(d) => write!(f, "protocol: {d}"),
+            ServerError::Parse(d) => write!(f, "parse: {d}"),
+            ServerError::Eval(d) => write!(f, "evaluation: {d}"),
+            ServerError::Io(d) => write!(f, "i/o: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Server result alias.
+pub type Result<T> = std::result::Result<T, ServerError>;

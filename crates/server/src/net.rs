@@ -1,0 +1,177 @@
+//! The TCP front end: framed accept loop, connection threads, and
+//! shutdown wiring.
+//!
+//! One thread per connection reads framed requests in a loop. Light
+//! requests (`ping`, `stats`, `load`, `gen`, `fingerprint`,
+//! `shutdown`) are answered inline on the connection thread; `flock`
+//! requests go through the admission queue to the worker pool, with
+//! over-cap budgets rejected *before* queueing so an impossible
+//! request never occupies a queue slot.
+//!
+//! The accept loop polls a nonblocking listener so it can observe the
+//! shutdown flag; once `shutdown` is accepted it stops listening and
+//! closes the admission queue, and [`Server::join`] then waits for the
+//! workers to drain every admitted job.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use qf_storage::Database;
+
+use crate::frame::{read_frame, write_frame};
+use crate::pool::{Job, WorkerPool};
+use crate::protocol::{Request, Response};
+use crate::service::{FlockService, ServerConfig};
+
+/// A running server: bound listener, accept thread, worker pool.
+pub struct Server {
+    service: Arc<FlockService>,
+    addr: SocketAddr,
+    pool: WorkerPool,
+    accept_handle: JoinHandle<()>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// serving the given catalog.
+    pub fn serve(config: ServerConfig, db: Database, addr: &str) -> std::io::Result<Server> {
+        let service = Arc::new(FlockService::new(config, db));
+        let (pool, worker_handles) = WorkerPool::spawn(Arc::clone(&service));
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let accept_handle = {
+            let service = Arc::clone(&service);
+            let pool = pool.clone();
+            std::thread::Builder::new()
+                .name("qf-accept".to_string())
+                .spawn(move || accept_loop(&listener, &service, &pool))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            service,
+            addr: local,
+            pool,
+            accept_handle,
+            worker_handles,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service state (tests, embedded use).
+    pub fn service(&self) -> &Arc<FlockService> {
+        &self.service
+    }
+
+    /// Request shutdown without a client connection (Ctrl-C path).
+    pub fn shutdown(&self) {
+        self.service.begin_shutdown();
+    }
+
+    /// Wait for shutdown to complete: the accept thread to exit and the
+    /// workers to drain every admitted job. Connection threads are
+    /// detached — an idle keep-alive connection does not hold the
+    /// server open.
+    pub fn join(self) {
+        let _ = self.accept_handle.join();
+        // Belt and braces: the accept loop closes the queue on exit,
+        // but close() is idempotent and this covers panicked loops.
+        self.pool.close();
+        for h in self.worker_handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, service: &Arc<FlockService>, pool: &WorkerPool) {
+    loop {
+        if service.is_shutting_down() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let service = Arc::clone(service);
+                let pool = pool.clone();
+                let _ = std::thread::Builder::new()
+                    .name("qf-conn".to_string())
+                    .spawn(move || handle_connection(stream, &service, &pool));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+    // Stop admitting; workers drain what was already accepted.
+    pool.close();
+}
+
+fn handle_connection(stream: TcpStream, service: &Arc<FlockService>, pool: &WorkerPool) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => return, // client hung up / broken stream
+        };
+        let response = dispatch(&payload, service, pool);
+        if write_frame(&mut writer, response.render().as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+fn dispatch(payload: &[u8], service: &Arc<FlockService>, pool: &WorkerPool) -> Response {
+    let text = match std::str::from_utf8(payload) {
+        Ok(t) => t,
+        Err(_) => {
+            return Response::Err {
+                kind: "proto".to_string(),
+                detail: "request payload is not UTF-8".to_string(),
+            }
+        }
+    };
+    let request = match Request::parse(text) {
+        Ok(r) => r,
+        Err(e) => return Response::from_error(&e),
+    };
+    match request {
+        Request::Flock {
+            text,
+            support,
+            limits,
+        } => {
+            // Over-cap budgets are rejected before queueing: typed
+            // error, counted, and no queue slot wasted.
+            if let Err(e) = service.admission_limits(&limits) {
+                service.note_rejection();
+                return Response::from_error(&e);
+            }
+            let (tx, rx) = mpsc::channel();
+            let job = Job {
+                text,
+                support,
+                limits,
+                reply: tx,
+            };
+            if let Err(e) = pool.submit(job) {
+                return Response::from_error(&e);
+            }
+            rx.recv().unwrap_or(Response::Err {
+                kind: "shutting-down".to_string(),
+                detail: "worker exited before replying".to_string(),
+            })
+        }
+        light => service.handle_light(&light),
+    }
+}

@@ -1,0 +1,163 @@
+//! Admission control: a bounded job queue feeding a fixed worker pool.
+//!
+//! Flock requests do real work — joins, aggregation, possibly a plan
+//! search — so they never run on connection threads. A connection
+//! submits a [`Job`] and blocks on its private reply channel; workers
+//! drain the queue. The queue is **bounded**: when it is full the
+//! submit fails immediately with a typed [`ServerError::Overloaded`]
+//! instead of building an invisible backlog (the client can back off;
+//! an unbounded queue just converts overload into latency and memory).
+//!
+//! Shutdown is graceful by construction: closing the queue rejects new
+//! submissions with [`ServerError::ShuttingDown`] but workers keep
+//! draining the jobs already admitted, so every accepted request gets
+//! its response before the pool exits.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::error::{Result, ServerError};
+use crate::protocol::{RequestLimits, Response};
+use crate::service::FlockService;
+
+/// One admitted flock request, carrying its reply channel.
+pub struct Job {
+    /// Flock program text.
+    pub text: String,
+    /// Optional support-threshold override.
+    pub support: Option<i64>,
+    /// Per-request budgets.
+    pub limits: RequestLimits,
+    /// Where the worker sends the response. A dropped receiver (client
+    /// hung up) just makes the send a no-op.
+    pub reply: mpsc::Sender<Response>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+struct PoolInner {
+    service: Arc<FlockService>,
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    cap: usize,
+    workers: usize,
+}
+
+/// Handle to the admission queue; cheap to clone into connection
+/// threads.
+#[derive(Clone)]
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+}
+
+impl WorkerPool {
+    /// Spawn `service.config.threads` workers over a queue bounded at
+    /// `service.config.queue_cap`. Returns the pool handle and the
+    /// worker join handles (owned by the server for shutdown).
+    pub fn spawn(service: Arc<FlockService>) -> (WorkerPool, Vec<JoinHandle<()>>) {
+        let workers = service.config.threads.max(1);
+        let inner = Arc::new(PoolInner {
+            cap: service.config.queue_cap.max(1),
+            service,
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            cond: Condvar::new(),
+            workers,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("qf-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        (WorkerPool { inner }, handles)
+    }
+
+    /// Admit a job or reject it immediately. Errors are typed:
+    /// [`ServerError::ShuttingDown`] once the queue is closed,
+    /// [`ServerError::Overloaded`] when the bounded queue is full (the
+    /// latter counts toward the server's `rejected` total).
+    pub fn submit(&self, job: Job) -> Result<()> {
+        let counters = &self.inner.service.counters;
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !state.open {
+            return Err(ServerError::ShuttingDown);
+        }
+        if state.jobs.len() >= self.inner.cap {
+            counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServerError::Overloaded {
+                queue_depth: state.jobs.len(),
+                capacity: self.inner.cap,
+            });
+        }
+        state.jobs.push_back(job);
+        let depth = state.jobs.len() as u64;
+        counters.queue_depth.store(depth, Ordering::Relaxed);
+        counters.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
+        drop(state);
+        self.inner.cond.notify_one();
+        Ok(())
+    }
+
+    /// Close the queue: new submissions fail with `ShuttingDown`, but
+    /// already-admitted jobs are still drained by the workers.
+    pub fn close(&self) {
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.open = false;
+        drop(state);
+        self.inner.cond.notify_all();
+    }
+
+    /// Current queued-job count (tests and `stats`).
+    pub fn queue_depth(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .jobs
+            .len()
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    let counters = &inner.service.counters;
+    counters.live_workers.fetch_add(1, Ordering::Relaxed);
+    loop {
+        let job = {
+            let mut state = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    counters
+                        .queue_depth
+                        .store(state.jobs.len() as u64, Ordering::Relaxed);
+                    break Some(job);
+                }
+                if !state.open {
+                    break None;
+                }
+                state = inner.cond.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(job) = job else { break };
+        // Fair allocation: the pool's threads are divided among the
+        // requests executing right now, never below one.
+        let active = counters.active.fetch_add(1, Ordering::SeqCst) + 1;
+        let fair = (inner.workers / active.max(1)).max(1);
+        let response = inner
+            .service
+            .handle_flock(&job.text, job.support, &job.limits, fair);
+        counters.active.fetch_sub(1, Ordering::SeqCst);
+        let _ = job.reply.send(response);
+    }
+    counters.live_workers.fetch_sub(1, Ordering::Relaxed);
+}

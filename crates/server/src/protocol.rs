@@ -1,0 +1,308 @@
+//! Request/response payloads inside the length-framed transport.
+//!
+//! A request payload is text: one header line (`<command> key=value …`),
+//! then a blank line, then an optional body (flock text, TSV data).
+//! A response payload is `ok` or `err <kind>` on the first line, a
+//! one-line JSON meta object on the second, a blank line, and the body
+//! (result TSV, message text, or error detail).
+
+use crate::error::{Result, ServerError};
+
+/// Per-request resource asks, mapped onto the execution governor by the
+/// admission controller (and clamped to the server's per-request caps).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestLimits {
+    /// Cap on tuples materialized.
+    pub max_rows: Option<u64>,
+    /// Cap on estimated bytes materialized.
+    pub mem_budget: Option<u64>,
+    /// Wall-clock deadline, milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Worker threads (clamped to the fair share the server grants).
+    pub threads: Option<usize>,
+}
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Generate a demo workload into the server catalog.
+    Gen {
+        /// Workload kind: `baskets|words|medical|web|graph`.
+        kind: String,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Load a relation from TSV text (header line names it).
+    Load {
+        /// Full TSV content including the header line.
+        tsv: String,
+    },
+    /// Evaluate a flock program.
+    Flock {
+        /// Program text (`[views…] QUERY: … FILTER: …`).
+        text: String,
+        /// Optional support-threshold override: replaces the filter's
+        /// threshold, letting a client sweep thresholds over one body.
+        support: Option<i64>,
+        /// Per-request budgets.
+        limits: RequestLimits,
+    },
+    /// Canonicalize a flock program and return its fingerprint.
+    Fingerprint {
+        /// Program text.
+        text: String,
+    },
+    /// Server-wide counters.
+    Stats,
+    /// Graceful shutdown: drain in-flight work, reject new requests.
+    Shutdown,
+}
+
+impl Request {
+    /// Render as a framed payload.
+    pub fn render(&self) -> String {
+        match self {
+            Request::Ping => "ping\n\n".to_string(),
+            Request::Gen { kind, seed } => format!("gen kind={kind} seed={seed}\n\n"),
+            Request::Load { tsv } => format!("load\n\n{tsv}"),
+            Request::Flock {
+                text,
+                support,
+                limits,
+            } => {
+                let mut header = "flock".to_string();
+                if let Some(s) = support {
+                    header.push_str(&format!(" support={s}"));
+                }
+                if let Some(r) = limits.max_rows {
+                    header.push_str(&format!(" max-rows={r}"));
+                }
+                if let Some(b) = limits.mem_budget {
+                    header.push_str(&format!(" mem-budget={b}"));
+                }
+                if let Some(t) = limits.timeout_ms {
+                    header.push_str(&format!(" timeout={t}"));
+                }
+                if let Some(n) = limits.threads {
+                    header.push_str(&format!(" threads={n}"));
+                }
+                format!("{header}\n\n{text}")
+            }
+            Request::Fingerprint { text } => format!("fingerprint\n\n{text}"),
+            Request::Stats => "stats\n\n".to_string(),
+            Request::Shutdown => "shutdown\n\n".to_string(),
+        }
+    }
+
+    /// Parse a framed payload.
+    pub fn parse(payload: &str) -> Result<Request> {
+        let (header, body) = split_payload(payload);
+        let mut parts = header.split_whitespace();
+        let cmd = parts.next().unwrap_or("");
+        let kv = |parts: std::str::SplitWhitespace<'_>| -> Result<Vec<(String, String)>> {
+            parts
+                .map(|p| {
+                    p.split_once('=')
+                        .map(|(k, v)| (k.to_string(), v.to_string()))
+                        .ok_or_else(|| ServerError::Proto(format!("expected key=value, got `{p}`")))
+                })
+                .collect()
+        };
+        match cmd {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "load" => Ok(Request::Load {
+                tsv: body.to_string(),
+            }),
+            "fingerprint" => Ok(Request::Fingerprint {
+                text: body.to_string(),
+            }),
+            "gen" => {
+                let mut kind = None;
+                let mut seed = 1u64;
+                for (k, v) in kv(parts)? {
+                    match k.as_str() {
+                        "kind" => kind = Some(v),
+                        "seed" => seed = parse_u64(&v)?,
+                        other => {
+                            return Err(ServerError::Proto(format!("unknown gen key `{other}`")))
+                        }
+                    }
+                }
+                Ok(Request::Gen {
+                    kind: kind.ok_or_else(|| ServerError::Proto("gen needs kind=…".into()))?,
+                    seed,
+                })
+            }
+            "flock" => {
+                let mut support = None;
+                let mut limits = RequestLimits::default();
+                for (k, v) in kv(parts)? {
+                    match k.as_str() {
+                        "support" => {
+                            support =
+                                Some(v.parse::<i64>().map_err(|_| {
+                                    ServerError::Proto(format!("bad support `{v}`"))
+                                })?)
+                        }
+                        "max-rows" => limits.max_rows = Some(parse_u64(&v)?),
+                        "mem-budget" => limits.mem_budget = Some(parse_u64(&v)?),
+                        "timeout" => limits.timeout_ms = Some(parse_u64(&v)?),
+                        "threads" => limits.threads = Some(parse_u64(&v)? as usize),
+                        other => {
+                            return Err(ServerError::Proto(format!("unknown flock key `{other}`")))
+                        }
+                    }
+                }
+                Ok(Request::Flock {
+                    text: body.to_string(),
+                    support,
+                    limits,
+                })
+            }
+            other => Err(ServerError::Proto(format!("unknown command `{other}`"))),
+        }
+    }
+}
+
+/// A response: either `ok` with meta JSON + body, or a typed error.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Success.
+    Ok {
+        /// One-line JSON meta object (request accounting).
+        meta: String,
+        /// Body text (result TSV, message, …).
+        body: String,
+    },
+    /// Typed failure.
+    Err {
+        /// Stable error kind token (see [`ServerError::kind`]).
+        kind: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl Response {
+    /// Build the error response for a [`ServerError`].
+    pub fn from_error(e: &ServerError) -> Response {
+        Response::Err {
+            kind: e.kind().to_string(),
+            detail: e.to_string(),
+        }
+    }
+
+    /// Render as a framed payload.
+    pub fn render(&self) -> String {
+        match self {
+            Response::Ok { meta, body } => format!("ok\n{meta}\n\n{body}"),
+            Response::Err { kind, detail } => format!("err {kind}\n{{}}\n\n{detail}"),
+        }
+    }
+
+    /// Parse a framed payload (client side).
+    pub fn parse(payload: &str) -> Result<Response> {
+        let (status_meta, body) = split_payload(payload);
+        let (status, meta) = match status_meta.split_once('\n') {
+            Some((s, m)) => (s.trim_end(), m.trim()),
+            None => (status_meta.trim_end(), "{}"),
+        };
+        if status == "ok" {
+            Ok(Response::Ok {
+                meta: meta.to_string(),
+                body: body.to_string(),
+            })
+        } else if let Some(kind) = status.strip_prefix("err ") {
+            Ok(Response::Err {
+                kind: kind.trim().to_string(),
+                detail: body.to_string(),
+            })
+        } else {
+            Err(ServerError::Proto(format!(
+                "bad response status line `{status}`"
+            )))
+        }
+    }
+
+    /// True for `ok` responses.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Response::Ok { .. })
+    }
+}
+
+/// Split a payload at the first blank line into (header part, body).
+fn split_payload(payload: &str) -> (&str, &str) {
+    match payload.split_once("\n\n") {
+        Some((h, b)) => (h, b),
+        None => (payload.trim_end_matches('\n'), ""),
+    }
+}
+
+fn parse_u64(v: &str) -> Result<u64> {
+    v.parse()
+        .map_err(|_| ServerError::Proto(format!("bad number `{v}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = [
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Gen {
+                kind: "baskets".into(),
+                seed: 7,
+            },
+            Request::Load {
+                tsv: "r\ta\n1\n".into(),
+            },
+            Request::Fingerprint {
+                text: "QUERY: answer(B) :- r(B,$1) FILTER: COUNT(answer.B) >= 2".into(),
+            },
+            Request::Flock {
+                text: "QUERY: answer(B) :- r(B,$1) FILTER: COUNT(answer.B) >= 2".into(),
+                support: Some(5),
+                limits: RequestLimits {
+                    max_rows: Some(1000),
+                    mem_budget: None,
+                    timeout_ms: Some(250),
+                    threads: Some(2),
+                },
+            },
+        ];
+        for req in reqs {
+            let parsed = Request::parse(&req.render()).unwrap();
+            assert_eq!(parsed, req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let ok = Response::Ok {
+            meta: "{\"results\":1}".into(),
+            body: "flock_result\tm\ts\nzorix\tache\n".into(),
+        };
+        assert_eq!(Response::parse(&ok.render()).unwrap(), ok);
+        let err = Response::Err {
+            kind: "overloaded".into(),
+            detail: "server overloaded: 4 request(s) queued (capacity 4)".into(),
+        };
+        assert_eq!(Response::parse(&err.render()).unwrap(), err);
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        assert!(Request::parse("bogus\n\n").is_err());
+        assert!(Request::parse("gen seed=1\n\n").is_err()); // missing kind
+        assert!(Request::parse("flock support=abc\n\nQUERY: …").is_err());
+        assert!(Request::parse("flock rows\n\n").is_err()); // not key=value
+    }
+}

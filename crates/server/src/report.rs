@@ -1,0 +1,136 @@
+//! The one-line JSON run report, shared between local `qfsh` runs and
+//! server responses so tooling parses one shape everywhere.
+//!
+//! Hand-rolled: the offline build carries no serialization dependency.
+
+use std::fmt::Write as _;
+
+use qf_core::ExecStats;
+
+/// Cache/admission accounting attached to every report. Local runs use
+/// [`CacheReport::default`] (all zeros, no cache in play); server
+/// responses fill in the per-request flags and server-wide counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheReport {
+    /// This request was answered from the result cache.
+    pub cache_hit: bool,
+    /// This request skipped plan search (cached plan or cached result).
+    pub plan_cached: bool,
+    /// Server-wide result-cache hits so far.
+    pub cache_hits: u64,
+    /// Server-wide result-cache misses so far.
+    pub cache_misses: u64,
+    /// Server-wide admission rejections (overload + over-budget).
+    pub rejected: u64,
+    /// High-water mark of the admission queue depth.
+    pub queue_depth_max: u64,
+}
+
+/// Render one evaluation as a single-line JSON object.
+#[allow(clippy::too_many_arguments)]
+pub fn json_report(
+    strategy: &str,
+    results: usize,
+    elapsed_ms: u128,
+    stats: &ExecStats,
+    resumed_steps: usize,
+    tsv_skipped: u64,
+    cache: &CacheReport,
+) -> String {
+    let degradations: Vec<String> = stats
+        .degradations
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"stage\":\"{}\",\"detail\":\"{}\"}}",
+                json_escape(&d.stage),
+                json_escape(&d.detail)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"strategy\":\"{}\",\"results\":{},\"elapsed_ms\":{},\"rows\":{},\"bytes\":{},\
+         \"workers\":{},\"spilled_bytes\":{},\"spills\":{},\"resumed_steps\":{},\
+         \"io_retries\":{},\"corruption_recoveries\":{},\"spill_files_live\":{},\
+         \"tsv_skipped_lines\":{},\"cache_hit\":{},\"plan_cached\":{},\"cache_hits\":{},\
+         \"cache_misses\":{},\"rejected\":{},\"queue_depth_max\":{},\"degradations\":[{}]}}",
+        json_escape(strategy),
+        results,
+        elapsed_ms,
+        stats.rows,
+        stats.bytes,
+        stats.workers,
+        stats.spilled_bytes,
+        stats.spills,
+        resumed_steps,
+        stats.io_retries,
+        stats.corruption_recoveries,
+        stats.spill_files_live,
+        tsv_skipped,
+        cache.cache_hit,
+        cache.plan_cached,
+        cache.cache_hits,
+        cache.cache_misses,
+        cache.rejected,
+        cache.queue_depth_max,
+        degradations.join(",")
+    )
+}
+
+/// Minimal JSON string escaping.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_one_json_line_with_cache_keys() {
+        let out = json_report(
+            "cache",
+            3,
+            12,
+            &ExecStats::default(),
+            0,
+            0,
+            &CacheReport {
+                cache_hit: true,
+                plan_cached: true,
+                cache_hits: 2,
+                cache_misses: 1,
+                rejected: 0,
+                queue_depth_max: 4,
+            },
+        );
+        assert!(out.starts_with('{') && out.ends_with('}'));
+        assert!(!out.contains('\n'));
+        for key in [
+            "\"strategy\":\"cache\"",
+            "\"results\":3",
+            "\"cache_hit\":true",
+            "\"plan_cached\":true",
+            "\"cache_hits\":2",
+            "\"cache_misses\":1",
+            "\"rejected\":0",
+            "\"queue_depth_max\":4",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+    }
+}

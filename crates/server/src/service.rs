@@ -1,0 +1,476 @@
+//! The resident flock service: shared catalog, admission budgets, and
+//! the monotone result cache.
+//!
+//! [`FlockService`] is the transport-free heart of `qf serve` — it owns
+//! the catalog behind a `RwLock`, the result/plan caches, and the
+//! server-wide counters, and turns parsed [`Request`]s into
+//! [`Response`]s. The TCP layer ([`crate::net`]) only frames bytes and
+//! decides *where* a request runs (worker pool vs. connection thread);
+//! everything observable lives here, which is what makes the service
+//! unit-testable without sockets.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, RwLock};
+use std::time::Instant;
+
+use qf_core::{
+    best_plan_with, direct_plan, execute_plan_scored_with, flock_result_from_scored, ExecContext,
+    ExecStats, FilterCondition, FlockProgram, JoinOrderStrategy, QueryFlock, QueryPlan,
+};
+use qf_storage::{tsv, Database, Relation};
+
+use crate::cache::{CacheKey, CachedResult, PlanCache, ResultCache};
+use crate::error::{Result, ServerError};
+use crate::protocol::{Request, RequestLimits, Response};
+use crate::report::{json_escape, json_report, CacheReport};
+
+/// Server-side configuration: worker pool size, admission queue bound,
+/// cache capacity, and per-request budget caps.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing flock requests (also the thread pool
+    /// divided fairly among concurrent requests).
+    pub threads: usize,
+    /// Bounded admission queue: flock requests beyond this many waiting
+    /// jobs are rejected with a typed `overloaded` error.
+    pub queue_cap: usize,
+    /// Result-cache capacity (scored evaluations).
+    pub cache_entries: usize,
+    /// Per-request cap on materialized tuples; requests asking for more
+    /// are rejected, requests asking for nothing inherit the cap.
+    pub max_rows: Option<u64>,
+    /// Per-request cap on estimated materialized bytes.
+    pub mem_budget: Option<u64>,
+    /// Per-request wall-clock deadline cap, milliseconds.
+    pub timeout_ms: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        let threads = qf_core::default_threads();
+        ServerConfig {
+            threads,
+            queue_cap: (threads * 4).max(4),
+            cache_entries: 64,
+            max_rows: None,
+            mem_budget: None,
+            timeout_ms: None,
+        }
+    }
+}
+
+/// Server-wide counters, all lock-free.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Requests handled (all kinds).
+    pub requests: AtomicU64,
+    /// Result-cache hits.
+    pub cache_hits: AtomicU64,
+    /// Result-cache misses (flock requests that evaluated).
+    pub cache_misses: AtomicU64,
+    /// Admission rejections: queue overflow + over-cap budgets.
+    pub rejected: AtomicU64,
+    /// Current admission queue depth (maintained by the worker pool).
+    pub queue_depth: AtomicU64,
+    /// High-water mark of the queue depth.
+    pub queue_depth_max: AtomicU64,
+    /// Flock requests currently executing.
+    pub active: AtomicUsize,
+    /// Worker threads alive in the pool.
+    pub live_workers: AtomicUsize,
+}
+
+impl Counters {
+    /// Snapshot the cache/admission numbers for a response meta object.
+    pub fn cache_report(&self, cache_hit: bool, plan_cached: bool) -> CacheReport {
+        CacheReport {
+            cache_hit,
+            plan_cached,
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The resident service state shared by every connection and worker.
+pub struct FlockService {
+    db: RwLock<Database>,
+    result_cache: Mutex<ResultCache>,
+    plan_cache: Mutex<PlanCache>,
+    /// Counters, public for the pool/net layers and tests.
+    pub counters: Counters,
+    /// Immutable configuration.
+    pub config: ServerConfig,
+    shutting_down: AtomicBool,
+}
+
+/// Locks here never protect panicking code paths, but a poisoned lock
+/// must not take the whole server down either: recover the guard.
+fn unpoison<'a, T>(
+    r: std::result::Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+impl FlockService {
+    /// Service over an initial catalog (possibly empty).
+    pub fn new(config: ServerConfig, db: Database) -> FlockService {
+        FlockService {
+            db: RwLock::new(db),
+            result_cache: Mutex::new(ResultCache::new(config.cache_entries)),
+            plan_cache: Mutex::new(PlanCache::new(config.cache_entries)),
+            counters: Counters::default(),
+            config,
+            shutting_down: AtomicBool::new(false),
+        }
+    }
+
+    /// True once a shutdown request has been accepted.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Flip the drain flag (idempotent).
+    pub fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+    }
+
+    /// Handle a request that does not need the worker pool: everything
+    /// except `Flock` (which goes through admission). Called on the
+    /// connection thread.
+    pub fn handle_light(&self, req: &Request) -> Response {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let result = match req {
+            Request::Ping => Ok((String::from("{}"), String::from("pong"))),
+            Request::Stats => Ok((self.stats_json(), String::new())),
+            Request::Shutdown => {
+                self.begin_shutdown();
+                Ok((String::from("{}"), String::from("draining")))
+            }
+            Request::Gen { kind, seed } => self.generate(kind, *seed),
+            Request::Load { tsv } => self.load(tsv),
+            Request::Fingerprint { text } => fingerprint(text),
+            Request::Flock { .. } => Err(ServerError::Proto(
+                "flock requests must go through admission".to_string(),
+            )),
+        };
+        match result {
+            Ok((meta, body)) => Response::Ok { meta, body },
+            Err(e) => Response::from_error(&e),
+        }
+    }
+
+    /// Evaluate a flock request with `granted_threads` workers. Called
+    /// on a pool worker; the caller has already passed admission.
+    pub fn handle_flock(
+        &self,
+        text: &str,
+        support: Option<i64>,
+        limits: &RequestLimits,
+        granted_threads: usize,
+    ) -> Response {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        match self.eval_flock(text, support, limits, granted_threads) {
+            Ok(resp) => resp,
+            Err(e) => Response::from_error(&e),
+        }
+    }
+
+    /// Reject requests whose asks exceed the server's per-request caps;
+    /// otherwise resolve the effective budgets (ask, or cap, or none).
+    pub fn admission_limits(&self, limits: &RequestLimits) -> Result<RequestLimits> {
+        fn cap(name: &str, ask: Option<u64>, cap: Option<u64>) -> Result<Option<u64>> {
+            match (ask, cap) {
+                (Some(a), Some(c)) if a > c => Err(ServerError::Budget(format!(
+                    "requested {name}={a} exceeds the server cap {c}"
+                ))),
+                (Some(a), _) => Ok(Some(a)),
+                (None, c) => Ok(c),
+            }
+        }
+        Ok(RequestLimits {
+            max_rows: cap("max-rows", limits.max_rows, self.config.max_rows)?,
+            mem_budget: cap("mem-budget", limits.mem_budget, self.config.mem_budget)?,
+            timeout_ms: cap("timeout", limits.timeout_ms, self.config.timeout_ms)?,
+            threads: limits.threads,
+        })
+    }
+
+    /// Note an admission rejection (queue overflow or over-cap budget).
+    pub fn note_rejection(&self) {
+        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A read-only snapshot of the catalog (cheap: relations are
+    /// shared) plus its memoized fingerprint.
+    pub fn snapshot(&self) -> (Database, u64) {
+        let guard = self.db.read().unwrap_or_else(|e| e.into_inner());
+        let fp = guard.fingerprint();
+        (guard.clone(), fp)
+    }
+
+    fn eval_flock(
+        &self,
+        text: &str,
+        support: Option<i64>,
+        limits: &RequestLimits,
+        granted_threads: usize,
+    ) -> Result<Response> {
+        let start = Instant::now();
+        let program = parse_program(text, support)?;
+        let flock = program.flock().clone();
+        let filter = *flock.filter();
+        let effective = self.admission_limits(limits)?;
+        let (db, fp) = self.snapshot();
+        let key = CacheKey {
+            query: program.canonical_query_text(),
+            catalog_fp: fp,
+        };
+
+        // Monotone cache reuse: an entry whose baseline subsumes the
+        // requested filter answers it exactly by re-filtering.
+        if let Some(hit) = unpoison(self.result_cache.lock()).lookup(&key, &filter) {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let result = flock_result_from_scored(&flock, &hit.scored, &filter);
+            let meta = json_report(
+                "cache",
+                result.len(),
+                start.elapsed().as_millis(),
+                &ExecStats::default(),
+                0,
+                0,
+                &self.counters.cache_report(true, true),
+            );
+            return Ok(Response::Ok {
+                meta,
+                body: render_tsv(&result),
+            });
+        }
+        self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        // Cold path: governed scored evaluation.
+        let threads = effective
+            .threads
+            .map_or(granted_threads, |n| n.min(granted_threads))
+            .max(1);
+        let mut ctx = ExecContext::unbounded().with_threads(threads);
+        if let Some(r) = effective.max_rows {
+            ctx = ctx.with_max_rows(r);
+        }
+        if let Some(b) = effective.mem_budget {
+            ctx = ctx.with_mem_budget(b);
+        }
+        if let Some(ms) = effective.timeout_ms {
+            ctx = ctx.with_timeout(std::time::Duration::from_millis(ms));
+        }
+
+        let extended = program
+            .materialize_views_with(&db, JoinOrderStrategy::Greedy, &ctx)
+            .map_err(ServerError::from_eval)?;
+
+        // Plan: cached shape if the same query was searched before
+        // (any threshold — shapes are threshold-free), else search.
+        let mut plan_cached = false;
+        let cached_steps = unpoison(self.plan_cache.lock()).lookup(&key);
+        let (plan, strategy) = match cached_steps
+            .and_then(|steps| QueryPlan::new(flock.clone(), steps).ok())
+        {
+            Some(plan) => {
+                plan_cached = true;
+                (plan, "static(plan-cache)")
+            }
+            None => {
+                let searched = if filter.is_monotone() {
+                    best_plan_with(&flock, &extended, &ctx)
+                        .ok()
+                        .map(|(plan, _)| plan)
+                } else {
+                    None
+                };
+                match searched {
+                    Some(plan) => {
+                        unpoison(self.plan_cache.lock()).insert(key.clone(), plan.steps.clone());
+                        (plan, "static")
+                    }
+                    None => (
+                        direct_plan(&flock).map_err(ServerError::from_eval)?,
+                        "direct",
+                    ),
+                }
+            }
+        };
+
+        let run = execute_plan_scored_with(&plan, &extended, JoinOrderStrategy::Greedy, &ctx)
+            .map_err(ServerError::from_eval)?;
+        let result = flock_result_from_scored(&flock, &run.scored, &filter);
+        unpoison(self.result_cache.lock()).insert(
+            key,
+            CachedResult {
+                baseline: filter,
+                scored: run.scored,
+                strategy: strategy.to_string(),
+            },
+        );
+        let meta = json_report(
+            strategy,
+            result.len(),
+            start.elapsed().as_millis(),
+            &ctx.stats(),
+            0,
+            0,
+            &self.counters.cache_report(false, plan_cached),
+        );
+        Ok(Response::Ok {
+            meta,
+            body: render_tsv(&result),
+        })
+    }
+
+    fn generate(&self, kind: &str, seed: u64) -> Result<(String, String)> {
+        let mut rels: Vec<Relation> = Vec::new();
+        let note: String;
+        match kind {
+            "baskets" => {
+                let config = qf_datagen::BasketConfig {
+                    seed,
+                    ..Default::default()
+                };
+                let data = qf_datagen::baskets::generate(&config);
+                note = format!("generated baskets ({} baskets)", data.baskets.distinct(0));
+                rels.push(data.baskets);
+                rels.push(qf_datagen::baskets::importance(&config, 50));
+            }
+            "words" => {
+                let rel = qf_datagen::words::generate(&qf_datagen::WordsConfig {
+                    seed,
+                    ..Default::default()
+                });
+                note = format!("generated baskets (word occurrences, {} tuples)", rel.len());
+                rels.push(rel);
+            }
+            "medical" => {
+                let data = qf_datagen::medical::generate(&qf_datagen::MedicalConfig {
+                    seed,
+                    ..Default::default()
+                });
+                note = format!("generated medical db (planted: {:?})", data.planted);
+                rels.extend(data.db.iter().cloned());
+            }
+            "web" => {
+                let data = qf_datagen::web::generate(&qf_datagen::WebConfig {
+                    seed,
+                    ..Default::default()
+                });
+                note = format!("generated web corpus (planted: {:?})", data.planted);
+                rels.extend(data.db.iter().cloned());
+            }
+            "graph" => {
+                let rel = qf_datagen::graph::generate(&qf_datagen::GraphConfig {
+                    seed,
+                    ..Default::default()
+                });
+                note = format!("generated arc ({} arcs)", rel.len());
+                rels.push(rel);
+            }
+            other => {
+                return Err(ServerError::Proto(format!(
+                    "unknown workload `{other}` (baskets|words|medical|web|graph)"
+                )))
+            }
+        }
+        self.mutate_catalog(|db| {
+            for rel in rels {
+                db.insert(rel);
+            }
+        });
+        Ok((String::from("{}"), note))
+    }
+
+    fn load(&self, text: &str) -> Result<(String, String)> {
+        let rel = tsv::read_tsv(std::io::Cursor::new(text.as_bytes()))
+            .map_err(|e| ServerError::Parse(e.to_string()))?;
+        let name = rel.name().to_string();
+        let n = rel.len();
+        self.mutate_catalog(|db| db.insert(rel));
+        Ok((
+            format!("{{\"relation\":\"{}\",\"tuples\":{n}}}", json_escape(&name)),
+            format!("loaded {name} [{n} tuples]"),
+        ))
+    }
+
+    /// Apply a catalog mutation and invalidate both caches. The
+    /// fingerprint key already makes stale entries unreachable; the
+    /// clear reclaims their memory immediately.
+    fn mutate_catalog(&self, f: impl FnOnce(&mut Database)) {
+        let mut guard = self.db.write().unwrap_or_else(|e| e.into_inner());
+        f(&mut guard);
+        unpoison(self.result_cache.lock()).clear();
+        unpoison(self.plan_cache.lock()).clear();
+    }
+
+    /// Server-wide counters as a one-line JSON object (`stats`).
+    pub fn stats_json(&self) -> String {
+        let c = &self.counters;
+        let (relations, tuples) = {
+            let db = self.db.read().unwrap_or_else(|e| e.into_inner());
+            (db.len(), db.total_tuples())
+        };
+        format!(
+            "{{\"requests\":{},\"cache_hits\":{},\"cache_misses\":{},\"rejected\":{},\
+             \"queue_depth\":{},\"queue_depth_max\":{},\"active\":{},\"live_workers\":{},\
+             \"cached_results\":{},\"relations\":{relations},\"tuples\":{tuples},\
+             \"shutting_down\":{}}}",
+            c.requests.load(Ordering::Relaxed),
+            c.cache_hits.load(Ordering::Relaxed),
+            c.cache_misses.load(Ordering::Relaxed),
+            c.rejected.load(Ordering::Relaxed),
+            c.queue_depth.load(Ordering::Relaxed),
+            c.queue_depth_max.load(Ordering::Relaxed),
+            c.active.load(Ordering::Relaxed),
+            c.live_workers.load(Ordering::Relaxed),
+            unpoison(self.result_cache.lock()).len(),
+            self.is_shutting_down(),
+        )
+    }
+}
+
+/// Parse a program, optionally overriding the filter threshold (the
+/// `support=` request key — lets clients sweep thresholds over one
+/// body, which is exactly the monotone-reuse sweet spot).
+fn parse_program(text: &str, support: Option<i64>) -> Result<FlockProgram> {
+    let program = FlockProgram::parse(text).map_err(|e| ServerError::Parse(e.to_string()))?;
+    match support {
+        None => Ok(program),
+        Some(threshold) => {
+            let old = program.flock().filter();
+            let filter = FilterCondition { threshold, ..*old };
+            let flock = QueryFlock::new(program.flock().query().clone(), filter)
+                .map_err(|e| ServerError::Parse(e.to_string()))?;
+            FlockProgram::new(program.views().to_vec(), flock)
+                .map_err(|e| ServerError::Parse(e.to_string()))
+        }
+    }
+}
+
+/// Canonicalize a program and fingerprint it (`fingerprint` request —
+/// also behind the shell's `flock fingerprint` command).
+fn fingerprint(text: &str) -> Result<(String, String)> {
+    let program = FlockProgram::parse(text).map_err(|e| ServerError::Parse(e.to_string()))?;
+    let meta = format!(
+        "{{\"fingerprint\":\"{:016x}\",\"params\":{}}}",
+        program.fingerprint(),
+        program.flock().params().len()
+    );
+    Ok((meta, program.canonical_text()))
+}
+
+/// Render a relation as TSV text — the response body format. Stable
+/// bytes for a given relation, which is what makes "identical result
+/// bytes" for cache hits a checkable guarantee.
+pub fn render_tsv(rel: &Relation) -> String {
+    let mut buf = Vec::new();
+    tsv::write_tsv(rel, &mut buf).expect("in-memory write cannot fail");
+    String::from_utf8(buf).expect("TSV output is UTF-8")
+}

@@ -1,0 +1,207 @@
+//! TCP-level tests: framed sessions end to end, concurrent clients,
+//! typed overload rejection, and graceful shutdown.
+
+use qf_core::{evaluate_direct, JoinOrderStrategy, QueryFlock};
+use qf_server::service::render_tsv;
+use qf_server::{Client, RequestLimits, Response, Server, ServerConfig};
+use qf_storage::{Database, Relation, Schema, Value};
+
+fn demo_db(rows: usize) -> Database {
+    // r(a, b): a in 0..rows, b = a % 7 — enough shape for support
+    // thresholds to bite without being expensive.
+    let tuples: Vec<Vec<Value>> = (0..rows as i64)
+        .map(|a| vec![Value::int(a), Value::int(a % 7)])
+        .collect();
+    let mut db = Database::new();
+    db.insert(Relation::from_rows(Schema::new("r", &["a", "b"]), tuples));
+    db
+}
+
+fn flock_text(support: i64) -> String {
+    format!("QUERY:\nanswer(B) :- r(B,$1)\nFILTER:\nCOUNT(answer.B) >= {support}")
+}
+
+fn ok_parts(resp: Response) -> (String, String) {
+    match resp {
+        Response::Ok { meta, body } => (meta, body),
+        Response::Err { kind, detail } => panic!("unexpected err {kind}: {detail}"),
+    }
+}
+
+/// The acceptance-criteria session: load, evaluate, repeat (cache hit,
+/// identical bytes, no plan search), sweep a tightened threshold, read
+/// stats, shut down gracefully.
+#[test]
+fn scripted_session_hits_cache_and_shuts_down() {
+    let server = Server::serve(ServerConfig::default(), Database::new(), "127.0.0.1:0").unwrap();
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    assert!(client.ping().unwrap().is_ok());
+    let tsv = "r\ta\tb\n1\t1\n2\t1\n3\t1\n1\t2\n2\t2\n";
+    assert!(client.load(tsv).unwrap().is_ok());
+
+    let text = flock_text(2);
+    let (m1, b1) = ok_parts(client.flock(&text, None, RequestLimits::default()).unwrap());
+    assert!(m1.contains("\"cache_hit\":false"), "{m1}");
+
+    // Identical repeat: answered from cache, byte-identical result.
+    let (m2, b2) = ok_parts(client.flock(&text, None, RequestLimits::default()).unwrap());
+    assert!(m2.contains("\"cache_hit\":true"), "{m2}");
+    assert!(m2.contains("\"strategy\":\"cache\""), "{m2}");
+    assert_eq!(b1, b2);
+
+    // Monotone sweep: tightened support served from the same entry.
+    let (m3, _) = ok_parts(
+        client
+            .flock(&text, Some(3), RequestLimits::default())
+            .unwrap(),
+    );
+    assert!(m3.contains("\"cache_hit\":true"), "{m3}");
+
+    let (stats, _) = ok_parts(client.stats().unwrap());
+    assert!(stats.contains("\"cache_hits\":2"), "{stats}");
+    assert!(stats.contains("\"cache_misses\":1"), "{stats}");
+
+    // Graceful shutdown: the request is acknowledged, the server
+    // drains and join() returns, and the port stops accepting.
+    assert!(client.shutdown().unwrap().is_ok());
+    server.join();
+    assert!(Client::connect(&addr).is_err());
+}
+
+#[test]
+fn concurrent_clients_get_correct_answers() {
+    let db = demo_db(64);
+    let server = Server::serve(
+        ServerConfig {
+            threads: 4,
+            // The whole burst must be admissible: 8 clients fire at
+            // once and may all queue before a worker wakes.
+            queue_cap: 16,
+            ..Default::default()
+        },
+        db.clone(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let addr = addr.clone();
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let support = 2 + (i % 4) as i64;
+                let text = flock_text(support);
+                let mut client = Client::connect(&addr).unwrap();
+                let (_, body) =
+                    ok_parts(client.flock(&text, None, RequestLimits::default()).unwrap());
+                let flock = QueryFlock::parse(&text).unwrap();
+                let cold =
+                    render_tsv(&evaluate_direct(&flock, &db, JoinOrderStrategy::Greedy).unwrap());
+                assert_eq!(body, cold, "support {support}");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let mut client = Client::connect(&addr).unwrap();
+    let (stats, _) = ok_parts(client.stats().unwrap());
+    assert!(stats.contains("\"requests\":"), "{stats}");
+    server.shutdown();
+    server.join();
+}
+
+/// With one worker and a one-slot queue, a volley of slow requests must
+/// produce at least one immediate, typed `overloaded` rejection — never
+/// a hang and never an untyped failure.
+#[test]
+fn overload_is_a_typed_immediate_rejection() {
+    // The two subgoals share no variables: the direct plan is a cross
+    // product (~160k tuples on 400 rows), slow enough to occupy the
+    // single worker while the volley lands.
+    let slow = "QUERY:\nanswer(B,C) :- r(B,$1) AND r(C,$2)\nFILTER:\nCOUNT(answer.B) >= 1";
+    let server = Server::serve(
+        ServerConfig {
+            threads: 1,
+            queue_cap: 1,
+            ..Default::default()
+        },
+        demo_db(400),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    let limits = RequestLimits {
+        timeout_ms: Some(2_000),
+        ..Default::default()
+    };
+
+    let mut overloaded = 0;
+    for _round in 0..3 {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let addr = addr.clone();
+                let limits = limits;
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(&addr).unwrap();
+                    client.flock(slow, None, limits).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join().unwrap() {
+                Response::Ok { .. } => {}
+                Response::Err { kind, detail } => {
+                    assert!(
+                        kind == "overloaded" || kind == "budget",
+                        "unexpected error {kind}: {detail}"
+                    );
+                    if kind == "overloaded" {
+                        overloaded += 1;
+                    }
+                }
+            }
+        }
+        if overloaded > 0 {
+            break;
+        }
+    }
+    assert!(overloaded > 0, "no request was rejected as overloaded");
+
+    let mut client = Client::connect(&addr).unwrap();
+    let (stats, _) = ok_parts(client.stats().unwrap());
+    assert!(!stats.contains("\"rejected\":0"), "{stats}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn over_cap_budget_is_rejected_before_queueing() {
+    let server = Server::serve(
+        ServerConfig {
+            max_rows: Some(1_000),
+            ..Default::default()
+        },
+        demo_db(8),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let limits = RequestLimits {
+        max_rows: Some(1_000_000),
+        ..Default::default()
+    };
+    match client.flock(&flock_text(1), None, limits).unwrap() {
+        Response::Err { kind, .. } => assert_eq!(kind, "budget"),
+        Response::Ok { meta, .. } => panic!("over-cap request accepted: {meta}"),
+    }
+    let (stats, _) = ok_parts(client.stats().unwrap());
+    assert!(stats.contains("\"rejected\":1"), "{stats}");
+    server.shutdown();
+    server.join();
+}

@@ -1,0 +1,188 @@
+//! Service-level tests (no sockets): cache equivalence, monotone
+//! reuse, budget admission, and catalog invalidation.
+
+use proptest::prelude::*;
+
+use qf_core::{evaluate_direct, JoinOrderStrategy, QueryFlock};
+use qf_server::service::render_tsv;
+use qf_server::{FlockService, Request, RequestLimits, Response, ServerConfig};
+use qf_storage::{Database, Relation, Schema, Value};
+
+fn small_db(rows: &[(i64, i64)]) -> Database {
+    let tuples: Vec<Vec<Value>> = rows
+        .iter()
+        .map(|&(a, b)| vec![Value::int(a), Value::int(b)])
+        .collect();
+    let mut db = Database::new();
+    db.insert(Relation::from_rows(Schema::new("r", &["a", "b"]), tuples));
+    db
+}
+
+/// `answer(B) :- r(B,$1)`: one parameter `$1`, supported by the count
+/// of distinct `B` values seen with it.
+fn flock_text(support: i64) -> String {
+    format!("QUERY:\nanswer(B) :- r(B,$1)\nFILTER:\nCOUNT(answer.B) >= {support}")
+}
+
+fn ok_parts(resp: Response) -> (String, String) {
+    match resp {
+        Response::Ok { meta, body } => (meta, body),
+        Response::Err { kind, detail } => panic!("unexpected err {kind}: {detail}"),
+    }
+}
+
+fn err_kind(resp: Response) -> String {
+    match resp {
+        Response::Err { kind, .. } => kind,
+        Response::Ok { meta, .. } => panic!("unexpected ok: {meta}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The acceptance property: a cached answer is bitwise identical to
+    /// a cold evaluation — for the same request, and (monotone reuse)
+    /// for any tightened threshold served from the same entry.
+    #[test]
+    fn cache_hit_equals_cold_eval(
+        rows in proptest::collection::vec((0i64..6, 0i64..6), 0..40),
+        support in 1i64..4,
+        delta in 0i64..3,
+    ) {
+        let db = small_db(&rows);
+        let text = flock_text(support);
+        let flock = QueryFlock::parse(&text).unwrap();
+        let cold = render_tsv(
+            &evaluate_direct(&flock, &db, JoinOrderStrategy::Greedy).unwrap(),
+        );
+        let svc = FlockService::new(ServerConfig::default(), db.clone());
+        let limits = RequestLimits::default();
+
+        let (m1, b1) = ok_parts(svc.handle_flock(&text, None, &limits, 2));
+        prop_assert!(m1.contains("\"cache_hit\":false"), "first run must miss: {m1}");
+        prop_assert_eq!(&b1, &cold);
+
+        let (m2, b2) = ok_parts(svc.handle_flock(&text, None, &limits, 2));
+        prop_assert!(m2.contains("\"cache_hit\":true"), "repeat must hit: {m2}");
+        prop_assert!(m2.contains("\"strategy\":\"cache\""));
+        prop_assert_eq!(&b2, &cold);
+
+        // Monotone reuse: a tightened threshold (s' >= s) is answered
+        // from the same scored entry, identical to its own cold run.
+        let tightened = support + delta;
+        let (m3, b3) = ok_parts(svc.handle_flock(&text, Some(tightened), &limits, 2));
+        prop_assert!(m3.contains("\"cache_hit\":true"), "tightened must hit: {m3}");
+        let flock2 = QueryFlock::parse(&flock_text(tightened)).unwrap();
+        let cold2 = render_tsv(
+            &evaluate_direct(&flock2, &db, JoinOrderStrategy::Greedy).unwrap(),
+        );
+        prop_assert_eq!(&b3, &cold2);
+    }
+}
+
+#[test]
+fn loosened_threshold_misses_and_reevaluates() {
+    let db = small_db(&[(1, 1), (2, 1), (3, 1), (1, 2), (2, 2)]);
+    let svc = FlockService::new(ServerConfig::default(), db.clone());
+    let limits = RequestLimits::default();
+    let text = flock_text(3);
+    ok_parts(svc.handle_flock(&text, None, &limits, 1));
+    // support 2 is looser than the cached baseline 3: must re-evaluate
+    // (a hit would silently drop answers), but the plan shape is
+    // reused so the plan search is still skipped.
+    let (meta, body) = ok_parts(svc.handle_flock(&text, Some(2), &limits, 1));
+    assert!(meta.contains("\"cache_hit\":false"), "{meta}");
+    assert!(meta.contains("\"plan_cached\":true"), "{meta}");
+    let flock = QueryFlock::parse(&flock_text(2)).unwrap();
+    let cold = render_tsv(&evaluate_direct(&flock, &db, JoinOrderStrategy::Greedy).unwrap());
+    assert_eq!(body, cold);
+}
+
+#[test]
+fn over_cap_request_is_rejected_with_budget_error() {
+    let config = ServerConfig {
+        max_rows: Some(1_000),
+        ..Default::default()
+    };
+    let svc = FlockService::new(config, small_db(&[(1, 1)]));
+    let limits = RequestLimits {
+        max_rows: Some(1_000_000),
+        ..Default::default()
+    };
+    let resp = svc.handle_flock(&flock_text(1), None, &limits, 1);
+    assert_eq!(err_kind(resp), "budget");
+}
+
+#[test]
+fn exhausted_governor_budget_is_a_typed_budget_error() {
+    let svc = FlockService::new(
+        ServerConfig::default(),
+        small_db(&[(1, 1), (2, 1), (3, 2), (4, 2), (5, 3)]),
+    );
+    let limits = RequestLimits {
+        max_rows: Some(1),
+        ..Default::default()
+    };
+    let resp = svc.handle_flock(&flock_text(1), None, &limits, 1);
+    assert_eq!(err_kind(resp), "budget");
+}
+
+#[test]
+fn catalog_mutation_invalidates_the_cache() {
+    let svc = FlockService::new(ServerConfig::default(), small_db(&[(1, 1), (2, 1)]));
+    let limits = RequestLimits::default();
+    let text = flock_text(1);
+    ok_parts(svc.handle_flock(&text, None, &limits, 1));
+    let (meta, _) = ok_parts(svc.handle_flock(&text, None, &limits, 1));
+    assert!(meta.contains("\"cache_hit\":true"), "{meta}");
+
+    // Replacing `r` changes the catalog fingerprint: the same program
+    // must re-evaluate against the new data.
+    let load = Request::Load {
+        tsv: "r\ta\tb\n7\t1\n8\t1\n9\t1\n".to_string(),
+    };
+    assert!(svc.handle_light(&load).is_ok());
+    let (meta, body) = ok_parts(svc.handle_flock(&text, None, &limits, 1));
+    assert!(meta.contains("\"cache_hit\":false"), "{meta}");
+    assert!(body.contains('1'), "result reflects the reloaded catalog");
+}
+
+#[test]
+fn fingerprint_is_syntax_insensitive() {
+    let svc = FlockService::new(ServerConfig::default(), Database::new());
+    let a = Request::Fingerprint {
+        text: "QUERY:\nanswer(B) :- r(B,$1) AND s(B,$2)\nFILTER:\nCOUNT(answer.B) >= 2".to_string(),
+    };
+    // Same query up to ordinary-variable names and subgoal order.
+    // Parameter names survive canonicalization on purpose: they label
+    // the result columns, so renaming them changes observable output.
+    let b = Request::Fingerprint {
+        text: "QUERY:\nanswer(X) :- s(X,$2) AND r(X,$1)\nFILTER:\nCOUNT(answer.X) >= 2".to_string(),
+    };
+    let (meta_a, canon_a) = ok_parts(svc.handle_light(&a));
+    let (meta_b, canon_b) = ok_parts(svc.handle_light(&b));
+    assert_eq!(meta_a, meta_b);
+    assert_eq!(canon_a, canon_b);
+    assert!(meta_a.contains("\"fingerprint\":\""), "{meta_a}");
+}
+
+#[test]
+fn stats_surface_cache_and_admission_counters() {
+    let svc = FlockService::new(ServerConfig::default(), small_db(&[(1, 1), (2, 1)]));
+    let limits = RequestLimits::default();
+    let text = flock_text(1);
+    ok_parts(svc.handle_flock(&text, None, &limits, 1));
+    ok_parts(svc.handle_flock(&text, None, &limits, 1));
+    let (stats, _) = ok_parts(svc.handle_light(&Request::Stats));
+    for key in [
+        "\"requests\":",
+        "\"cache_hits\":1",
+        "\"cache_misses\":1",
+        "\"rejected\":0",
+        "\"queue_depth_max\":",
+        "\"relations\":1",
+    ] {
+        assert!(stats.contains(key), "missing {key} in {stats}");
+    }
+}

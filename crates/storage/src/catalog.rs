@@ -1,6 +1,7 @@
 //! The database catalog: named relations.
 
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 use crate::error::{Result, StorageError};
 use crate::relation::Relation;
@@ -17,9 +18,32 @@ use crate::relation::Relation;
 /// §4.1).
 ///
 /// A `BTreeMap` keeps iteration order deterministic for tests and dumps.
-#[derive(Clone, Default)]
+///
+/// The catalog [fingerprint](Database::fingerprint) — a content hash
+/// over every relation — is computed lazily and **memoized**: repeated
+/// reads (journal validation, cache keys) between mutations reuse the
+/// cached value, and any [`Database::insert`]/[`Database::remove`]
+/// invalidates it.
+#[derive(Default)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
+    /// Memoized content fingerprint; reset on every mutation. Cloning
+    /// carries the cached value along (relations are shared, so the
+    /// clone hashes identically).
+    fingerprint: OnceLock<u64>,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Database {
+        let fingerprint = OnceLock::new();
+        if let Some(&fp) = self.fingerprint.get() {
+            let _ = fingerprint.set(fp);
+        }
+        Database {
+            relations: self.relations.clone(),
+            fingerprint,
+        }
+    }
 }
 
 impl Database {
@@ -30,6 +54,7 @@ impl Database {
 
     /// Insert (or replace) a relation under its schema name.
     pub fn insert(&mut self, relation: Relation) {
+        self.fingerprint = OnceLock::new();
         self.relations.insert(relation.name().to_string(), relation);
     }
 
@@ -49,7 +74,29 @@ impl Database {
 
     /// Remove a relation, returning it if present.
     pub fn remove(&mut self, name: &str) -> Option<Relation> {
+        self.fingerprint = OnceLock::new();
         self.relations.remove(name)
+    }
+
+    /// Content fingerprint of the whole catalog: every relation's name,
+    /// column names, and tuple content, folded in sorted-name order so
+    /// iteration order cannot perturb it. Memoized until the next
+    /// mutation — journal validation and result-cache keys may read it
+    /// per request without re-hashing the data.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            let mut h = crate::spill::Fnv1a::new();
+            for (name, rel) in &self.relations {
+                h.write(name.as_bytes());
+                h.write(&[0xff]);
+                for c in rel.schema().columns() {
+                    h.write(c.as_bytes());
+                    h.write(&[0xfe]);
+                }
+                h.write(&crate::spill::content_hash(rel).to_le_bytes());
+            }
+            h.finish()
+        })
     }
 
     /// Names of all relations, sorted.
@@ -120,6 +167,28 @@ mod tests {
         db.insert(rel("a", 5));
         assert_eq!(db.get("a").unwrap().len(), 5);
         assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_is_memoized_and_invalidated() {
+        let mut db = Database::new();
+        db.insert(rel("a", 3));
+        let fp1 = db.fingerprint();
+        assert_eq!(db.fingerprint(), fp1, "stable between mutations");
+        // A clone carries the cached value and hashes identically.
+        let clone = db.clone();
+        assert_eq!(clone.fingerprint(), fp1);
+        // Any mutation changes the fingerprint…
+        db.insert(rel("b", 2));
+        let fp2 = db.fingerprint();
+        assert_ne!(fp1, fp2);
+        db.remove("b");
+        // …and removing what was added restores the original value
+        // (content-determined, not history-determined).
+        assert_eq!(db.fingerprint(), fp1);
+        // Replacing a relation with different content changes it too.
+        db.insert(rel("a", 5));
+        assert_ne!(db.fingerprint(), fp1);
     }
 
     #[test]
