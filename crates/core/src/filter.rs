@@ -41,6 +41,18 @@ impl FilterAgg {
         }
     }
 
+    /// The same aggregate reading a different head variable (`COUNT`
+    /// is unchanged). Used by canonicalization to replace the raw
+    /// variable with its positional name.
+    pub fn with_var(self, v: Symbol) -> FilterAgg {
+        match self {
+            FilterAgg::Count => FilterAgg::Count,
+            FilterAgg::Sum(_) => FilterAgg::Sum(v),
+            FilterAgg::Min(_) => FilterAgg::Min(v),
+            FilterAgg::Max(_) => FilterAgg::Max(v),
+        }
+    }
+
     /// SQL/paper spelling.
     pub fn name(self) -> &'static str {
         match self {
@@ -113,18 +125,32 @@ impl FilterCondition {
     /// exactly, by re-filtering rows with [`FilterCondition::accepts`] —
     /// the server's monotone cache reuse: a run at support `s` serves
     /// any later request at `s' ≥ s`.
+    ///
+    /// The aggregates are compared by their raw `Symbol`, so both sides
+    /// must name the aggregate column the same way. Variable names are
+    /// spelling, not semantics — `SUM(answer.W)` means different columns
+    /// in `answer(B,W)` and `answer(W,Z)` — so callers comparing filters
+    /// of *different* programs (the result cache) must first resolve the
+    /// variable to its head position via
+    /// [`QueryFlock::canonical_filter`](crate::QueryFlock::canonical_filter).
     pub fn subsumes(&self, other: &FilterCondition) -> bool {
         if self.agg != other.agg {
             return false;
         }
+        // Threshold arithmetic saturates: thresholds are client-
+        // controlled, and `i64::MIN - 1` / `i64::MAX + 1` must not
+        // panic. Saturation keeps the comparison exact — at `MIN` the
+        // `>=` baseline accepts every value (subsumes any `>`), and at
+        // `MAX` the `<=` baseline accepts every value (subsumes any
+        // `<`), which is what the clamped bound yields.
         match (self.op, other.op) {
             // `agg >= s` covers `agg >= s'` (and `agg > s'`) for s' ≥ s.
             (CmpOp::Ge, CmpOp::Ge) | (CmpOp::Gt, CmpOp::Gt) => other.threshold >= self.threshold,
-            (CmpOp::Ge, CmpOp::Gt) => other.threshold >= self.threshold - 1,
+            (CmpOp::Ge, CmpOp::Gt) => other.threshold >= self.threshold.saturating_sub(1),
             (CmpOp::Gt, CmpOp::Ge) => other.threshold > self.threshold,
             // Dually for upper bounds.
             (CmpOp::Le, CmpOp::Le) | (CmpOp::Lt, CmpOp::Lt) => other.threshold <= self.threshold,
-            (CmpOp::Le, CmpOp::Lt) => other.threshold <= self.threshold + 1,
+            (CmpOp::Le, CmpOp::Lt) => other.threshold <= self.threshold.saturating_add(1),
             (CmpOp::Lt, CmpOp::Le) => other.threshold < self.threshold,
             // Equality/inequality only answers itself.
             (CmpOp::Eq, CmpOp::Eq) | (CmpOp::Ne, CmpOp::Ne) => other.threshold == self.threshold,
@@ -306,6 +332,38 @@ mod tests {
         };
         assert!(min(5).subsumes(&min(3)));
         assert!(!min(3).subsumes(&min(5)));
+    }
+
+    #[test]
+    fn subsumption_thresholds_at_i64_extremes_do_not_panic() {
+        let ge = |t| FilterCondition {
+            agg: FilterAgg::Count,
+            op: CmpOp::Ge,
+            threshold: t,
+        };
+        let gt = |t| FilterCondition {
+            agg: FilterAgg::Count,
+            op: CmpOp::Gt,
+            threshold: t,
+        };
+        // `COUNT >= MIN` accepts every value, so it subsumes any `>`.
+        assert!(ge(i64::MIN).subsumes(&gt(i64::MIN)));
+        assert!(ge(i64::MIN).subsumes(&gt(42)));
+        assert!(!gt(i64::MIN).subsumes(&ge(i64::MIN)));
+        // Dual: `MIN <= MAX` accepts every value, subsumes any `<`.
+        let le = |t| FilterCondition {
+            agg: FilterAgg::Min(Symbol::intern("W")),
+            op: CmpOp::Le,
+            threshold: t,
+        };
+        let lt = |t| FilterCondition {
+            agg: FilterAgg::Min(Symbol::intern("W")),
+            op: CmpOp::Lt,
+            threshold: t,
+        };
+        assert!(le(i64::MAX).subsumes(&lt(i64::MAX)));
+        assert!(le(i64::MAX).subsumes(&lt(0)));
+        assert!(!lt(i64::MAX).subsumes(&le(i64::MAX)));
     }
 
     #[test]

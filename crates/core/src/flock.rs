@@ -2,7 +2,7 @@
 
 use std::collections::BTreeSet;
 
-use qf_datalog::{check_safety, parse_query, ConjunctiveQuery, UnionQuery};
+use qf_datalog::{check_safety, parse_query, ConjunctiveQuery, Term, UnionQuery};
 use qf_storage::Symbol;
 
 use crate::error::{FlockError, Result};
@@ -158,14 +158,48 @@ impl QueryFlock {
         rules.join("\n")
     }
 
+    /// The head-column position the filter's aggregate reads, resolved
+    /// against the first rule — the same resolution the engine uses
+    /// when it aggregates. `None` for `COUNT`.
+    pub fn agg_head_pos(&self) -> Option<usize> {
+        let v = self.filter.agg.head_var()?;
+        self.query.rules()[0]
+            .head
+            .args
+            .iter()
+            .position(|&t| t == Term::Var(v))
+    }
+
+    /// The filter with its aggregate variable replaced by its head
+    /// *position* (spelled `#<pos>`, a name no parsed variable can
+    /// take). Variable names are spelling, not semantics: `SUM(answer.W)`
+    /// reads column 1 of `answer(B,W)` but column 0 of `answer(W,Z)`,
+    /// and conversely `SUM(answer.W)` over `answer(B,W)` and
+    /// `SUM(answer.Y)` over `answer(X,Y)` are the same condition. The
+    /// canonical filter is invariant under variable renaming and is
+    /// what [`QueryFlock::canonical_text`] renders and the server's
+    /// result cache compares for subsumption.
+    pub fn canonical_filter(&self) -> FilterCondition {
+        match self.agg_head_pos() {
+            None => self.filter,
+            Some(pos) => FilterCondition {
+                agg: self.filter.agg.with_var(Symbol::intern(&format!("#{pos}"))),
+                ..self.filter
+            },
+        }
+    }
+
     /// Canonical rendering of the whole flock: the canonical query plus
-    /// the filter condition. Syntax-insensitive in the same sense as
-    /// [`QueryFlock::canonical_query_text`].
+    /// the [canonical filter](QueryFlock::canonical_filter) condition.
+    /// Syntax-insensitive in the same sense as
+    /// [`QueryFlock::canonical_query_text`] — the filter's aggregate is
+    /// rendered by head position, so the text follows the canonically
+    /// renamed query instead of the original variable spelling.
     pub fn canonical_text(&self) -> String {
         format!(
             "QUERY:\n{}\nFILTER:\n{}",
             self.canonical_query_text(),
-            self.filter.render("answer")
+            self.canonical_filter().render("answer")
         )
     }
 
@@ -292,6 +326,35 @@ mod tests {
             QueryFlock::parse("QUERY: answer(B) :- baskets(B,$1) FILTER: COUNT(answer.B) >= 20")
                 .unwrap();
         assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn canonical_filter_resolves_by_head_position_not_name() {
+        // Same raw aggregate variable `W`, but it names *different*
+        // columns: position 1 of answer(B,W) vs position 0 of
+        // answer(W,Z). The canonical query texts coincide (both rename
+        // to answer(V0,V1)), so the filter must distinguish them.
+        let a = QueryFlock::parse("QUERY: answer(B,W) :- r(B,W,$p) FILTER: SUM(answer.W) >= 10")
+            .unwrap();
+        let b = QueryFlock::parse("QUERY: answer(W,Z) :- r(W,Z,$p) FILTER: SUM(answer.W) >= 10")
+            .unwrap();
+        assert_eq!(a.canonical_query_text(), b.canonical_query_text());
+        assert_eq!(a.agg_head_pos(), Some(1));
+        assert_eq!(b.agg_head_pos(), Some(0));
+        assert!(!a.canonical_filter().subsumes(&b.canonical_filter()));
+        assert_ne!(a.canonical_text(), b.canonical_text());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+
+        // Conversely, renaming the aggregate variable along with the
+        // query is pure spelling: same column, same fingerprint.
+        let c = QueryFlock::parse("QUERY: answer(X,Y) :- r(X,Y,$p) FILTER: SUM(answer.Y) >= 10")
+            .unwrap();
+        assert_eq!(a.canonical_filter(), c.canonical_filter());
+        assert_eq!(a.canonical_text(), c.canonical_text());
+        assert_eq!(a.fingerprint(), c.fingerprint());
+        // COUNT filters carry no variable and are untouched.
+        let d = QueryFlock::with_support("answer(B) :- r(B,$p)", 5).unwrap();
+        assert_eq!(d.canonical_filter(), *d.filter());
     }
 
     #[test]

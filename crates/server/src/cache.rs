@@ -20,12 +20,20 @@
 use qf_core::FilterCondition;
 use qf_storage::Relation;
 
-/// Cache key: canonical query text (filter excluded — that is what
-/// makes one entry serve a family of thresholds) + catalog fingerprint.
+/// Cache key: canonical query text (threshold excluded — that is what
+/// makes one entry serve a family of thresholds) + the aggregate's head
+/// position + catalog fingerprint.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Canonical views + query text, no filter.
     pub query: String,
+    /// Head position of the filter's aggregate column
+    /// ([`qf_core::QueryFlock::agg_head_pos`]; `None` for `COUNT`).
+    /// The canonical query text renames head variables, so the raw
+    /// aggregate variable can't distinguish `SUM` over different
+    /// columns of the same query — the position can, and keeping it in
+    /// the key stops such programs evicting each other's entries.
+    pub agg_pos: Option<usize>,
     /// [`qf_storage::Database::fingerprint`] of the catalog the entry
     /// was computed against.
     pub catalog_fp: u64,
@@ -34,8 +42,12 @@ pub struct CacheKey {
 /// One cached scored evaluation.
 #[derive(Clone, Debug)]
 pub struct CachedResult {
-    /// The filter the scored run was computed under; answers any
-    /// request filter it subsumes.
+    /// The filter the scored run was computed under, in **canonical**
+    /// form ([`qf_core::QueryFlock::canonical_filter`]: aggregate named
+    /// by head position, not raw variable — the key's canonical query
+    /// text renames variables, so raw names don't identify columns
+    /// across entries); answers any canonical request filter it
+    /// subsumes.
     pub baseline: FilterCondition,
     /// `(params…, agg)` rows passing `baseline`.
     pub scored: Relation,
@@ -92,8 +104,9 @@ impl ResultCache {
     }
 
     /// Look up an entry able to answer `filter` exactly: same key and
-    /// a baseline that subsumes the requested condition. Refreshes LRU
-    /// order on hit.
+    /// a baseline that subsumes the requested condition. `filter` must
+    /// be the request flock's *canonical* filter (see
+    /// [`CachedResult::baseline`]). Refreshes LRU order on hit.
     pub fn lookup(&mut self, key: &CacheKey, filter: &FilterCondition) -> Option<CachedResult> {
         let entry = self.lru.get(key)?;
         if entry.baseline.subsumes(filter) {
@@ -163,6 +176,7 @@ mod tests {
     fn key(q: &str, fp: u64) -> CacheKey {
         CacheKey {
             query: q.to_string(),
+            agg_pos: None,
             catalog_fp: fp,
         }
     }

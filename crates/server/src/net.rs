@@ -20,7 +20,7 @@ use std::time::Duration;
 
 use qf_storage::Database;
 
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame, write_frame, MAX_FRAME};
 use crate::pool::{Job, WorkerPool};
 use crate::protocol::{Request, Response};
 use crate::service::{FlockService, ServerConfig};
@@ -125,7 +125,23 @@ fn handle_connection(stream: TcpStream, service: &Arc<FlockService>, pool: &Work
             Ok(None) | Err(_) => return, // client hung up / broken stream
         };
         let response = dispatch(&payload, service, pool);
-        if write_frame(&mut writer, response.render().as_bytes()).is_err() {
+        // A rendered response past the frame cap would make write_frame
+        // fail and silently kill the connection; send a typed budget
+        // error instead so the client learns *why* (and can retry with
+        // a tighter filter or row cap).
+        let mut rendered = response.render();
+        if rendered.len() > MAX_FRAME as usize {
+            rendered = Response::Err {
+                kind: "budget".to_string(),
+                detail: format!(
+                    "response is {} bytes, over the {MAX_FRAME}-byte frame cap; \
+                     tighten the filter or set max-rows",
+                    rendered.len()
+                ),
+            }
+            .render();
+        }
+        if write_frame(&mut writer, rendered.as_bytes()).is_err() {
             return;
         }
     }

@@ -222,16 +222,23 @@ impl FlockService {
         let program = parse_program(text, support)?;
         let flock = program.flock().clone();
         let filter = *flock.filter();
+        // Cache comparisons use the *canonical* filter (aggregate named
+        // by head position): the key's canonical query text renames
+        // head variables, so the raw variable name is meaningless across
+        // entries — `SUM(answer.W)` is a different column in
+        // `answer(B,W)` than in `answer(W,Z)`.
+        let canonical_filter = flock.canonical_filter();
         let effective = self.admission_limits(limits)?;
         let (db, fp) = self.snapshot();
         let key = CacheKey {
             query: program.canonical_query_text(),
+            agg_pos: flock.agg_head_pos(),
             catalog_fp: fp,
         };
 
         // Monotone cache reuse: an entry whose baseline subsumes the
         // requested filter answers it exactly by re-filtering.
-        if let Some(hit) = unpoison(self.result_cache.lock()).lookup(&key, &filter) {
+        if let Some(hit) = unpoison(self.result_cache.lock()).lookup(&key, &canonical_filter) {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             let result = flock_result_from_scored(&flock, &hit.scored, &filter);
             let meta = json_report(
@@ -308,7 +315,7 @@ impl FlockService {
         unpoison(self.result_cache.lock()).insert(
             key,
             CachedResult {
-                baseline: filter,
+                baseline: canonical_filter,
                 scored: run.scored,
                 strategy: strategy.to_string(),
             },
@@ -347,7 +354,7 @@ impl FlockService {
                     seed,
                     ..Default::default()
                 });
-                note = format!("generated baskets (word occurrences, {} tuples)", rel.len());
+                note = format!("generated words (word occurrences, {} tuples)", rel.len());
                 rels.push(rel);
             }
             "medical" => {

@@ -145,7 +145,6 @@ fn overload_is_a_typed_immediate_rejection() {
         let handles: Vec<_> = (0..6)
             .map(|_| {
                 let addr = addr.clone();
-                let limits = limits;
                 std::thread::spawn(move || {
                     let mut client = Client::connect(&addr).unwrap();
                     client.flock(slow, None, limits).unwrap()

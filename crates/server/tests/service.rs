@@ -149,6 +149,42 @@ fn catalog_mutation_invalidates_the_cache() {
 }
 
 #[test]
+fn sum_over_different_head_columns_does_not_cross_hit() {
+    // Both programs canonicalize to the same query text — they differ
+    // only in which head column `SUM(answer.W)` reads (position 1 of
+    // answer(B,W) vs position 0 of answer(W,Z)). A cache comparing the
+    // aggregate by raw variable name would serve the first program's
+    // sums for the second, semantically different, request.
+    let mut db = Database::new();
+    db.insert(Relation::from_rows(
+        Schema::new("r", &["a", "b", "c"]),
+        vec![
+            vec![Value::int(1), Value::int(100), Value::int(7)],
+            vec![Value::int(2), Value::int(100), Value::int(7)],
+        ],
+    ));
+    let svc = FlockService::new(ServerConfig::default(), db);
+    let limits = RequestLimits::default();
+    let sum_col_b = "QUERY:\nanswer(B,W) :- r(B,W,$p)\nFILTER:\nSUM(answer.W) >= 10";
+    let (_, body_b) = ok_parts(svc.handle_flock(sum_col_b, None, &limits, 1));
+    assert!(body_b.contains('7'), "SUM over column b is 200: {body_b}");
+
+    // Renaming the aggregate variable *along with* the query is pure
+    // spelling — same column, must hit with identical bytes.
+    let sum_col_b2 = "QUERY:\nanswer(X,Y) :- r(X,Y,$p)\nFILTER:\nSUM(answer.Y) >= 10";
+    let (meta_b2, body_b2) = ok_parts(svc.handle_flock(sum_col_b2, None, &limits, 1));
+    assert!(meta_b2.contains("\"cache_hit\":true"), "{meta_b2}");
+    assert_eq!(body_b2, body_b);
+
+    // Same raw variable name, different column: must MISS and return
+    // the true (empty) answer — SUM over column a is 1+2 = 3 < 10.
+    let sum_col_a = "QUERY:\nanswer(W,Z) :- r(W,Z,$p)\nFILTER:\nSUM(answer.W) >= 10";
+    let (meta_a, body_a) = ok_parts(svc.handle_flock(sum_col_a, None, &limits, 1));
+    assert!(meta_a.contains("\"cache_hit\":false"), "{meta_a}");
+    assert!(!body_a.contains('7'), "SUM over column a is 3: {body_a}");
+}
+
+#[test]
 fn fingerprint_is_syntax_insensitive() {
     let svc = FlockService::new(ServerConfig::default(), Database::new());
     let a = Request::Fingerprint {
