@@ -610,7 +610,8 @@ fn json_report(
 }
 
 /// `qfsh serve --addr host:port [--threads N --queue-cap N
-/// --cache-entries K --max-rows N --mem-budget BYTES --timeout MS]`:
+/// --cache-entries K --max-rows N --mem-budget BYTES --timeout MS
+/// --max-conns N --idle-timeout MS --io-timeout MS --retry-after MS]`:
 /// run the resident flock server. Blocks until a client sends
 /// `shutdown` (the server drains in-flight work first).
 pub fn serve_main(args: &[String]) -> Result<String, String> {
@@ -627,6 +628,10 @@ pub fn serve_main(args: &[String]) -> Result<String, String> {
             "max-rows" => config.max_rows = Some(parse_count(&value)?),
             "mem-budget" => config.mem_budget = Some(parse_count(&value)?),
             "timeout" => config.timeout_ms = Some(parse_millis(&value)?),
+            "max-conns" => config.max_conns = parse_count(&value)? as usize,
+            "idle-timeout" => config.idle_timeout_ms = parse_millis(&value)?,
+            "io-timeout" => config.io_timeout_ms = parse_millis(&value)?,
+            "retry-after" => config.retry_after_ms = parse_millis(&value)?,
             other => return Err(format!("unknown serve flag `--{other}`")),
         }
     }
@@ -638,16 +643,23 @@ pub fn serve_main(args: &[String]) -> Result<String, String> {
 }
 
 /// `qfsh client --addr host:port [--support N --max-rows N
-/// --mem-budget BYTES --timeout MS --threads N] <command…>`: one
-/// request against a running server. Commands: `ping`, `stats`,
-/// `shutdown`, `gen <kind> [seed]`, `load <file.tsv>`,
-/// `fingerprint <program>`, `flock <program>`. A flock response prints
-/// the same one-line JSON report as a local `--report json` run,
-/// followed by the result TSV.
+/// --mem-budget BYTES --timeout MS --threads N --retries K
+/// --connect-timeout MS --io-timeout MS] <command…>`: one request
+/// against a running server. Commands: `ping`, `stats`, `shutdown`,
+/// `gen <kind> [seed]`, `load <file.tsv>`, `fingerprint <program>`,
+/// `flock <program>`. A flock response prints the same one-line JSON
+/// report as a local `--report json` run, followed by the result TSV.
+///
+/// `--timeout` doubles as the server-side request deadline (min'd with
+/// the server cap, counted from admission) and `--retries` bounds
+/// transparent retries: typed `overloaded`/`timeout`/`proto` responses
+/// retry for any command; ambiguous transport failures retry only for
+/// idempotent commands (everything except `load`/`gen`).
 pub fn client_main(args: &[String]) -> Result<String, String> {
     let mut addr: Option<String> = None;
     let mut support: Option<i64> = None;
     let mut limits = qf_server::RequestLimits::default();
+    let mut client_config = qf_server::ClientConfig::default();
     let mut i = 0;
     while i < args.len() && args[i].starts_with("--") {
         let (key, value) = flag_value(args, &mut i)?;
@@ -664,13 +676,23 @@ pub fn client_main(args: &[String]) -> Result<String, String> {
             "mem-budget" => limits.mem_budget = Some(parse_count(&value)?),
             "timeout" => limits.timeout_ms = Some(parse_millis(&value)?),
             "threads" => limits.threads = Some(parse_count(&value)? as usize),
+            "retries" => client_config.retries = parse_count(&value)? as u32,
+            "connect-timeout" => {
+                client_config.connect_timeout =
+                    std::time::Duration::from_millis(parse_millis(&value)?)
+            }
+            "io-timeout" => {
+                client_config.io_timeout =
+                    Some(std::time::Duration::from_millis(parse_millis(&value)?))
+            }
             other => return Err(format!("unknown client flag `--{other}`")),
         }
     }
     let addr = addr.ok_or("client needs --addr host:port")?;
     let cmd = args.get(i).map(String::as_str).unwrap_or("ping");
     let rest = args[i + 1..].join(" ");
-    let mut client = qf_server::Client::connect(&addr).map_err(|e| e.to_string())?;
+    let mut client =
+        qf_server::Client::connect_with(&addr, client_config).map_err(|e| e.to_string())?;
     let response = match cmd {
         "ping" => client.ping(),
         "stats" => client.stats(),
@@ -700,6 +722,15 @@ pub fn client_main(args: &[String]) -> Result<String, String> {
     .map_err(|e| e.to_string())?;
     match response {
         qf_server::Response::Ok { meta, body } => {
+            // Fold this session's retry count into the report: the
+            // server fills `"retries":0` (it cannot know about client
+            // attempts), so the client owns that field.
+            let retries = client.session_stats().retries;
+            let meta = if retries > 0 {
+                meta.replacen("\"retries\":0", &format!("\"retries\":{retries}"), 1)
+            } else {
+                meta
+            };
             let body = body.trim_end();
             if body.is_empty() || meta == "{}" {
                 Ok(if body.is_empty() {
@@ -791,9 +822,11 @@ commands:
 
 server mode (top-level subcommands, not shell commands):
   qfsh serve --addr host:port [--threads N --queue-cap N --cache-entries K
-             --max-rows N --mem-budget BYTES --timeout MS]
+             --max-rows N --mem-budget BYTES --timeout MS --max-conns N
+             --idle-timeout MS --io-timeout MS --retry-after MS]
   qfsh client --addr host:port [--support N --max-rows N --mem-budget BYTES
-              --timeout MS --threads N] <ping|stats|shutdown|gen|load|fingerprint|flock> …";
+              --timeout MS --threads N --retries K --connect-timeout MS
+              --io-timeout MS] <ping|stats|shutdown|gen|load|fingerprint|flock> …";
 
 #[cfg(test)]
 mod tests {

@@ -261,6 +261,27 @@ impl ExecContext {
         self
     }
 
+    /// Fail execution at an absolute `deadline` stamped earlier (e.g. at
+    /// service admission time). Unlike [`ExecContext::with_timeout`],
+    /// time already spent before this call — queue wait, plan transfer —
+    /// still counts against the budget, which is what end-to-end
+    /// deadline propagation requires.
+    pub fn with_deadline(mut self, deadline: Instant) -> ExecContext {
+        self.timeout_ms = deadline
+            .saturating_duration_since(self.start)
+            .as_millis()
+            .min(u64::MAX as u128) as u64;
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Time remaining before the deadline (`None` when undeadlined);
+    /// zero once expired.
+    pub fn remaining_time(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
     /// Use an externally supplied cancellation token (e.g. one shared
     /// with a Ctrl-C handler) instead of a private one.
     pub fn with_cancel_token(mut self, token: CancelToken) -> ExecContext {
@@ -626,6 +647,29 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn absolute_deadline_counts_time_already_spent() {
+        // A deadline stamped in the past trips immediately, even though
+        // no time elapses after the context learns about it — queue wait
+        // counts against the budget.
+        let ctx = ExecContext::unbounded();
+        std::thread::sleep(Duration::from_millis(2));
+        let ctx = ctx.with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(ctx.remaining_time(), Some(Duration::ZERO));
+        let err = ctx.enter("Scan").unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::ResourceExhausted {
+                resource: Resource::Time,
+                ..
+            }
+        ));
+        // A comfortable future deadline leaves headroom.
+        let ctx = ExecContext::unbounded().with_deadline(Instant::now() + Duration::from_secs(60));
+        assert!(ctx.remaining_time().unwrap() > Duration::from_secs(30));
+        ctx.enter("Scan").unwrap();
     }
 
     #[test]

@@ -16,10 +16,34 @@ pub enum ServerError {
         /// The queue's configured capacity.
         capacity: usize,
     },
+    /// The server is at its connection cap: this connection was shed
+    /// before consuming a thread or queue slot. Carries a retry-after
+    /// hint. Wire kind is `overloaded`, same as the queue-full case —
+    /// clients back off identically for both.
+    ConnRejected {
+        /// Live connections when this one arrived.
+        live: usize,
+        /// The configured connection cap.
+        cap: usize,
+        /// Suggested backoff before reconnecting, milliseconds.
+        retry_after_ms: u64,
+    },
     /// The request asked for more than the server's per-request caps
-    /// allow, or its governed evaluation tripped a budget (rows, bytes,
-    /// deadline, cancellation).
+    /// allow, or its governed evaluation tripped a budget (rows or
+    /// bytes — deadline trips are [`ServerError::Timeout`]).
     Budget(String),
+    /// The request's admission-stamped deadline expired — in the queue
+    /// (never executed), mid-evaluation (aborted by the governor), or
+    /// waiting for a worker reply. Retryable for idempotent requests.
+    Timeout {
+        /// Where the deadline tripped: `queue`, `eval`, or `reply`.
+        stage: &'static str,
+        /// The effective deadline budget, milliseconds.
+        budget_ms: u64,
+    },
+    /// The request was abandoned: its client disconnected and the
+    /// governor's cancellation token stopped the job early.
+    Cancelled,
     /// The server is draining for shutdown; no new work is accepted.
     ShuttingDown,
     /// The request frame or header line could not be understood.
@@ -37,8 +61,10 @@ impl ServerError {
     /// The stable wire token for this error class.
     pub fn kind(&self) -> &'static str {
         match self {
-            ServerError::Overloaded { .. } => "overloaded",
+            ServerError::Overloaded { .. } | ServerError::ConnRejected { .. } => "overloaded",
             ServerError::Budget(_) => "budget",
+            ServerError::Timeout { .. } => "timeout",
+            ServerError::Cancelled => "cancelled",
             ServerError::ShuttingDown => "shutting-down",
             ServerError::Proto(_) => "proto",
             ServerError::Parse(_) => "parse",
@@ -47,12 +73,32 @@ impl ServerError {
         }
     }
 
-    /// Classify an evaluation failure: governor budget trips become
-    /// typed [`ServerError::Budget`] errors, parse-stage failures
+    /// Is a *response* carrying this wire kind worth retrying? True for
+    /// failures that are transient (`overloaded`, `timeout`) or that
+    /// certify the request was never executed after a wire mangling
+    /// (`proto` — the server could not even parse it, so resending is
+    /// safe for any request, including mutations).
+    pub fn retryable_kind(kind: &str) -> bool {
+        matches!(kind, "overloaded" | "timeout" | "proto")
+    }
+
+    /// Classify an evaluation failure: deadline trips become typed
+    /// [`ServerError::Timeout`] errors, cancellation (the client went
+    /// away) [`ServerError::Cancelled`], other governor budget trips
+    /// [`ServerError::Budget`], parse-stage failures
     /// [`ServerError::Parse`], everything else [`ServerError::Eval`].
     pub fn from_eval(e: FlockError) -> ServerError {
         match &e {
-            FlockError::Engine(EngineError::ResourceExhausted { .. } | EngineError::Cancelled) => {
+            FlockError::Engine(EngineError::ResourceExhausted {
+                resource: qf_core::Resource::Time,
+                limit,
+                ..
+            }) => ServerError::Timeout {
+                stage: "eval",
+                budget_ms: *limit,
+            },
+            FlockError::Engine(EngineError::Cancelled) => ServerError::Cancelled,
+            FlockError::Engine(EngineError::ResourceExhausted { .. }) => {
                 ServerError::Budget(e.to_string())
             }
             FlockError::Datalog(_) | FlockError::FilterParse { .. } => {
@@ -73,7 +119,22 @@ impl std::fmt::Display for ServerError {
                 f,
                 "server overloaded: {queue_depth} request(s) queued (capacity {capacity})"
             ),
+            ServerError::ConnRejected {
+                live,
+                cap,
+                retry_after_ms,
+            } => write!(
+                f,
+                "server at its connection cap: {live} live (cap {cap}); \
+                 retry-after-ms={retry_after_ms}"
+            ),
             ServerError::Budget(d) => write!(f, "budget: {d}"),
+            ServerError::Timeout { stage, budget_ms } => {
+                write!(f, "deadline exceeded in {stage} (budget {budget_ms} ms)")
+            }
+            ServerError::Cancelled => {
+                f.write_str("request cancelled: client disconnected before the result was ready")
+            }
             ServerError::ShuttingDown => f.write_str("server is shutting down"),
             ServerError::Proto(d) => write!(f, "protocol: {d}"),
             ServerError::Parse(d) => write!(f, "parse: {d}"),

@@ -1,19 +1,51 @@
-//! Length-framed transport: every message is a 4-byte big-endian
-//! length followed by that many bytes of UTF-8 payload.
+//! Length-framed, checksummed transport (`QFN2`): every message is a
+//! 4-byte magic, a 4-byte big-endian length, that many bytes of UTF-8
+//! payload, and an 8-byte big-endian FNV-1a trailer over
+//! `length ‖ payload`.
 //!
-//! Framing keeps the protocol self-delimiting over a plain TCP stream —
+//! Framing keeps the protocol self-delimiting over a plain byte stream —
 //! a reader never guesses where a request ends, and a half-written
 //! frame is detected as a truncated read instead of silently merging
-//! into the next message (the same reasoning as the journal's framed
-//! snapshot records).
+//! into the next message. The checksum trailer extends to the wire the
+//! discipline every spill run and journal snapshot already has
+//! (`QFS2`/`QFR2` in `qf-storage::spill`): corruption in flight —
+//! a flipped bit, a desynchronized stream, a truncated tail — surfaces
+//! as a typed [`std::io::ErrorKind::InvalidData`] error that the server
+//! maps to a `proto` response, never as a garbage parse served as data.
 
 use std::io::{Read, Write};
 
-/// Hard cap on a single frame, bytes. Keeps a malformed or malicious
-/// length prefix from asking the server to allocate gigabytes.
+use qf_storage::Fnv1a;
+
+/// Frame magic: protocol family + version. A peer speaking the old
+/// unversioned framing (or random bytes after desync) fails the magic
+/// check on the first frame instead of misparsing lengths.
+pub const MAGIC: &[u8; 4] = b"QFN2";
+
+/// Hard cap on a single frame's payload, bytes. Keeps a malformed or
+/// malicious length prefix from asking the server to allocate
+/// gigabytes.
 pub const MAX_FRAME: u32 = 64 << 20;
 
-/// Write one frame: length prefix + payload.
+/// Bytes of framing overhead around a payload (magic + length +
+/// checksum).
+pub const FRAME_OVERHEAD: usize = 4 + 4 + 8;
+
+fn frame_sum(len_be: [u8; 4], payload: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(&len_be);
+    h.write(payload);
+    h.finish()
+}
+
+fn corrupt(detail: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("corrupt frame: {detail}"),
+    )
+}
+
+/// Write one frame: magic, length prefix, payload, checksum trailer.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
     let len = u32::try_from(payload.len())
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
@@ -23,31 +55,74 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
             "frame too large",
         ));
     }
-    w.write_all(&len.to_be_bytes())?;
+    let len_be = len.to_be_bytes();
+    w.write_all(MAGIC)?;
+    w.write_all(&len_be)?;
     w.write_all(payload)?;
+    w.write_all(&frame_sum(len_be, payload).to_be_bytes())?;
     w.flush()
 }
 
-/// Read one frame. `Ok(None)` on clean EOF at a frame boundary (the
-/// peer closed the connection); errors on truncation mid-frame or an
-/// oversized length prefix.
-pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
-    let mut len_buf = [0u8; 4];
-    match r.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+/// Read the first byte of a frame. `Ok(None)` on clean EOF at a frame
+/// boundary (the peer closed the connection). Split out from
+/// [`read_frame`] so the server can wait for this byte under a generous
+/// idle timeout and read the rest under a strict one (slow-loris
+/// reaping).
+pub fn read_first_byte(r: &mut impl Read) -> std::io::Result<Option<u8>> {
+    let mut b = [0u8; 1];
+    loop {
+        match r.read(&mut b) {
+            Ok(0) => return Ok(None),
+            Ok(_) => return Ok(Some(b[0])),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
     }
-    let len = u32::from_be_bytes(len_buf);
+}
+
+/// Read the remainder of a frame whose first byte was already consumed
+/// by [`read_first_byte`]. Verifies the magic and the checksum trailer;
+/// truncation mid-frame, a bad magic, an oversized length, and a
+/// checksum mismatch are all [`std::io::ErrorKind::InvalidData`] /
+/// `UnexpectedEof` errors, never a silently wrong payload.
+pub fn read_frame_rest(r: &mut impl Read, first: u8) -> std::io::Result<Vec<u8>> {
+    let mut magic = [first, 0, 0, 0];
+    r.read_exact(&mut magic[1..])?;
+    if &magic != MAGIC {
+        return Err(corrupt(&format!(
+            "bad magic {magic:02x?}, want {MAGIC:02x?}"
+        )));
+    }
+    let mut len_be = [0u8; 4];
+    r.read_exact(&mut len_be)?;
+    let len = u32::from_be_bytes(len_be);
     if len > MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds cap {MAX_FRAME}"),
-        ));
+        return Err(corrupt(&format!("length {len} exceeds cap {MAX_FRAME}")));
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+    let mut sum_be = [0u8; 8];
+    r.read_exact(&mut sum_be)?;
+    if u64::from_be_bytes(sum_be) != frame_sum(len_be, &payload) {
+        return Err(corrupt("checksum mismatch"));
+    }
+    Ok(payload)
+}
+
+/// Read one frame. `Ok(None)` on clean EOF at a frame boundary; errors
+/// on truncation mid-frame, a corrupt magic/length/checksum, or an
+/// oversized length prefix.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    match read_first_byte(r)? {
+        None => Ok(None),
+        Some(first) => read_frame_rest(r, first).map(Some),
+    }
+}
+
+/// Is this read error a detected frame corruption (as opposed to a
+/// clean close, a timeout, or a reset)?
+pub fn is_corruption(e: &std::io::Error) -> bool {
+    e.kind() == std::io::ErrorKind::InvalidData
 }
 
 #[cfg(test)]
@@ -69,16 +144,71 @@ mod tests {
     fn truncation_is_an_error_not_eof() {
         let mut buf = Vec::new();
         write_frame(&mut buf, b"hello").unwrap();
-        buf.truncate(6); // length prefix + 2 payload bytes
+        for cut in 1..buf.len() {
+            let mut r = std::io::Cursor::new(buf[..cut].to_vec());
+            assert!(read_frame(&mut r).is_err(), "cut at {cut} not detected");
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        buf.extend_from_slice(b"x");
         let mut r = std::io::Cursor::new(buf);
         assert!(read_frame(&mut r).is_err());
     }
 
     #[test]
-    fn oversized_length_rejected() {
-        let mut buf = (MAX_FRAME + 1).to_be_bytes().to_vec();
-        buf.extend_from_slice(b"x");
+    fn old_unversioned_framing_is_rejected() {
+        // PR-5 framing: bare 4-byte length + payload. The magic check
+        // refuses it instead of misreading "5" as part of a magic.
+        let mut buf = 5u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"hello");
         let mut r = std::io::Cursor::new(buf);
-        assert!(read_frame(&mut r).is_err());
+        let err = read_frame(&mut r).unwrap_err();
+        assert!(is_corruption(&err), "{err}");
+    }
+
+    /// Acceptance criterion (wire mirror of the spill-frame property):
+    /// flipping ANY single byte anywhere in a framed session is
+    /// detected — no flip can smuggle a wrong payload through.
+    #[test]
+    fn every_single_byte_flip_in_a_framed_session_is_detected() {
+        let messages: [&[u8]; 3] = [
+            b"flock support=5\n\nQUERY: answer(B) :- r(B,$1)",
+            b"",
+            b"ok\n{\"results\":3}\n\nr\ta\n1\n2\n3\n",
+        ];
+        let mut pristine = Vec::new();
+        for m in messages {
+            write_frame(&mut pristine, m).unwrap();
+        }
+        // Sanity: the pristine session reads back exactly.
+        let mut r = std::io::Cursor::new(pristine.clone());
+        for m in messages {
+            assert_eq!(read_frame(&mut r).unwrap().unwrap(), m);
+        }
+        for i in 0..pristine.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut corrupt = pristine.clone();
+                corrupt[i] ^= bit;
+                let mut r = std::io::Cursor::new(corrupt);
+                let outcome = (|| -> std::io::Result<Vec<Vec<u8>>> {
+                    let mut got = Vec::new();
+                    while let Some(p) = read_frame(&mut r)? {
+                        got.push(p);
+                    }
+                    Ok(got)
+                })();
+                match outcome {
+                    Err(_) => {}
+                    Ok(got) => panic!(
+                        "flip of bit {bit:#04x} at byte {i}/{} escaped: {got:?}",
+                        pristine.len()
+                    ),
+                }
+            }
+        }
     }
 }

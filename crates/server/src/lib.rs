@@ -35,12 +35,14 @@ pub mod pool;
 pub mod protocol;
 pub mod report;
 pub mod service;
+pub mod transport;
 
 pub use cache::{CacheKey, CachedResult, PlanCache, ResultCache};
-pub use client::Client;
+pub use client::{Client, ClientConfig, ClientStats, TransportFactory};
 pub use error::{Result, ServerError};
 pub use net::Server;
 pub use pool::WorkerPool;
 pub use protocol::{Request, RequestLimits, Response};
 pub use report::{json_escape, json_report, CacheReport};
 pub use service::{Counters, FlockService, ServerConfig};
+pub use transport::{ChaosNet, NetChaos, NetFault, NetOp, Transport};

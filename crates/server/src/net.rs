@@ -1,12 +1,32 @@
-//! The TCP front end: framed accept loop, connection threads, and
+//! The TCP front end: hardened accept loop, connection threads, and
 //! shutdown wiring.
 //!
 //! One thread per connection reads framed requests in a loop. Light
 //! requests (`ping`, `stats`, `load`, `gen`, `fingerprint`,
 //! `shutdown`) are answered inline on the connection thread; `flock`
-//! requests go through the admission queue to the worker pool, with
-//! over-cap budgets rejected *before* queueing so an impossible
-//! request never occupies a queue slot.
+//! requests are stamped with an absolute deadline at admission and go
+//! through the admission queue to the worker pool, with over-cap
+//! budgets rejected *before* queueing so an impossible request never
+//! occupies a queue slot.
+//!
+//! Robustness decisions live here:
+//!
+//! * The accept loop never exits on an `accept()` error: transient
+//!   failures (`ECONNABORTED`, fd exhaustion) are retried with bounded
+//!   backoff — a refused handshake must not take the whole server down.
+//! * Connections beyond [`crate::service::ServerConfig::max_conns`] are
+//!   shed immediately with a typed `overloaded` response carrying a
+//!   retry-after hint, before they consume a thread.
+//! * Reads run under two timeouts: a generous *idle* timeout while
+//!   waiting for the first byte of a frame (keep-alive grace) and a
+//!   strict *I/O* timeout for the rest (slow-loris reaping). A peer
+//!   that trickles bytes holds only its connection slot, never a
+//!   worker — jobs are admitted on complete frames only.
+//! * While a flock job is in flight, the connection thread polls its
+//!   reply channel with [`mpsc::Receiver::recv_timeout`] (never a bare
+//!   `recv`) and probes the socket for hangup; an abandoned request
+//!   trips the job's cancellation token so the governor stops it
+//!   mid-plan.
 //!
 //! The accept loop polls a nonblocking listener so it can observe the
 //! shutdown flag; once `shutdown` is accepted it stops listening and
@@ -14,16 +34,29 @@
 //! workers to drain every admitted job.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use qf_core::CancelToken;
 use qf_storage::Database;
 
-use crate::frame::{read_frame, write_frame, MAX_FRAME};
+use crate::error::ServerError;
+use crate::frame::{is_corruption, read_first_byte, read_frame_rest, write_frame, MAX_FRAME};
 use crate::pool::{Job, WorkerPool};
 use crate::protocol::{Request, Response};
 use crate::service::{FlockService, ServerConfig};
+use crate::transport::Transport;
+
+/// How often the connection thread wakes while waiting for a worker
+/// reply, to probe for client hangup and reply-stage deadline expiry.
+const REPLY_POLL: Duration = Duration::from_millis(25);
+
+/// Extra wall-clock allowed past a job's deadline for the worker's own
+/// governor to trip and deliver the typed timeout. Only after deadline
+/// + grace does the connection thread give up on the reply itself.
+const REPLY_GRACE: Duration = Duration::from_secs(5);
 
 /// A running server: bound listener, accept thread, worker pool.
 pub struct Server {
@@ -91,40 +124,134 @@ impl Server {
 }
 
 fn accept_loop(listener: &TcpListener, service: &Arc<FlockService>, pool: &WorkerPool) {
+    // Bounded backoff for transient accept() failures (fd exhaustion,
+    // kernel hiccups): sleep and retry, never exit — doubling up to a
+    // ceiling, reset by any successful accept.
+    const BACKOFF_MIN: Duration = Duration::from_millis(10);
+    const BACKOFF_MAX: Duration = Duration::from_secs(1);
+    let mut backoff = BACKOFF_MIN;
     loop {
         if service.is_shutting_down() {
             break;
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                let service = Arc::clone(service);
+                backoff = BACKOFF_MIN;
+                let cap = service.config.max_conns.max(1);
+                // Reserve a connection slot; shed the connection with a
+                // typed response if the cap is reached.
+                let live = service.counters.conns.fetch_add(1, Ordering::SeqCst);
+                if live >= cap {
+                    service.counters.conns.fetch_sub(1, Ordering::SeqCst);
+                    shed_connection(stream, service, live, cap);
+                    continue;
+                }
+                let service2 = Arc::clone(service);
                 let pool = pool.clone();
-                let _ = std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name("qf-conn".to_string())
-                    .spawn(move || handle_connection(stream, &service, &pool));
+                    .spawn(move || {
+                        handle_connection(Box::new(stream), &service2, &pool);
+                        service2.counters.conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    // Thread exhaustion is transient too: release the
+                    // slot and back off instead of dying.
+                    service.counters.conns.fetch_sub(1, Ordering::SeqCst);
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(BACKOFF_MAX);
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
+                std::thread::sleep(BACKOFF_MIN);
             }
-            Err(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => {
+                // The peer gave up while queued in the backlog; nothing
+                // is wrong with *us*. Log and keep accepting.
+                eprintln!("qf-serve: accept: connection aborted by peer ({e})");
+            }
+            Err(e) => {
+                eprintln!(
+                    "qf-serve: accept error ({e}); retrying in {} ms",
+                    backoff.as_millis()
+                );
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(BACKOFF_MAX);
+            }
         }
     }
     // Stop admitting; workers drain what was already accepted.
     pool.close();
 }
 
-fn handle_connection(stream: TcpStream, service: &Arc<FlockService>, pool: &WorkerPool) {
-    let mut reader = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut writer = stream;
+/// Refuse a connection over the cap: count it, send the typed
+/// `overloaded` response with a retry-after hint (best effort, off the
+/// accept thread so a slow peer cannot stall the listener), and close.
+fn shed_connection(stream: TcpStream, service: &Arc<FlockService>, live: usize, cap: usize) {
+    service.note_conn_rejected();
+    let retry_after_ms = service.config.retry_after_ms;
+    let _ = std::thread::Builder::new()
+        .name("qf-shed".to_string())
+        .spawn(move || {
+            let mut t: Box<dyn Transport> = Box::new(stream);
+            let _ = t.set_write_timeout(Some(Duration::from_millis(1000)));
+            let resp = Response::from_error(&ServerError::ConnRejected {
+                live,
+                cap,
+                retry_after_ms,
+            });
+            let _ = write_frame(&mut t, resp.render().as_bytes());
+            let _ = t.shutdown();
+        });
+}
+
+fn millis_opt(ms: u64) -> Option<Duration> {
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
+
+fn handle_connection(mut conn: Box<dyn Transport>, service: &Arc<FlockService>, pool: &WorkerPool) {
+    let idle = millis_opt(service.config.idle_timeout_ms);
+    let strict = millis_opt(service.config.io_timeout_ms);
     loop {
-        let payload = match read_frame(&mut reader) {
-            Ok(Some(p)) => p,
-            Ok(None) | Err(_) => return, // client hung up / broken stream
+        // Wait for the first byte of the next frame under the generous
+        // idle timeout: a keep-alive connection may sit quietly between
+        // requests, but not forever.
+        if conn.set_read_timeout(idle).is_err() {
+            return;
+        }
+        let first = match read_first_byte(&mut conn) {
+            Ok(None) => return, // clean close at a frame boundary
+            Ok(Some(b)) => b,
+            Err(e) if is_timeout(&e) => return, // idle too long: reap
+            Err(_) => return,
         };
-        let response = dispatch(&payload, service, pool);
+        // The frame has started: the rest must arrive promptly. This is
+        // the slow-loris bound — a peer trickling bytes is reaped after
+        // one strict timeout, and since no job is admitted until the
+        // frame completes, it never held a worker slot.
+        if conn.set_read_timeout(strict).is_err() {
+            return;
+        }
+        let payload = match read_frame_rest(&mut conn, first) {
+            Ok(p) => p,
+            Err(e) if is_corruption(&e) => {
+                // Detected wire corruption: tell the client (typed, so
+                // its retry policy can resend safely — the request was
+                // never parsed, let alone executed), then drop the
+                // connection: after a corrupt frame the stream offset
+                // can no longer be trusted.
+                let resp = Response::Err {
+                    kind: "proto".to_string(),
+                    detail: format!("{e}"),
+                };
+                let _ = conn.set_write_timeout(strict);
+                let _ = write_frame(&mut conn, resp.render().as_bytes());
+                let _ = conn.shutdown();
+                return;
+            }
+            Err(_) => return, // truncated / timed out / reset: reap
+        };
+        let response = dispatch(&payload, service, pool, conn.as_mut());
         // A rendered response past the frame cap would make write_frame
         // fail and silently kill the connection; send a typed budget
         // error instead so the client learns *why* (and can retry with
@@ -141,13 +268,28 @@ fn handle_connection(stream: TcpStream, service: &Arc<FlockService>, pool: &Work
             }
             .render();
         }
-        if write_frame(&mut writer, rendered.as_bytes()).is_err() {
+        if conn.set_write_timeout(strict).is_err() {
+            return;
+        }
+        if write_frame(&mut conn, rendered.as_bytes()).is_err() {
             return;
         }
     }
 }
 
-fn dispatch(payload: &[u8], service: &Arc<FlockService>, pool: &WorkerPool) -> Response {
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn dispatch(
+    payload: &[u8],
+    service: &Arc<FlockService>,
+    pool: &WorkerPool,
+    conn: &mut dyn Transport,
+) -> Response {
     let text = match std::str::from_utf8(payload) {
         Ok(t) => t,
         Err(_) => {
@@ -169,25 +311,87 @@ fn dispatch(payload: &[u8], service: &Arc<FlockService>, pool: &WorkerPool) -> R
         } => {
             // Over-cap budgets are rejected before queueing: typed
             // error, counted, and no queue slot wasted.
-            if let Err(e) = service.admission_limits(&limits) {
-                service.note_rejection();
-                return Response::from_error(&e);
-            }
+            let effective = match service.admission_limits(&limits) {
+                Ok(eff) => eff,
+                Err(e) => {
+                    service.note_rejection();
+                    return Response::from_error(&e);
+                }
+            };
+            // Stamp the deadline *now*, at admission: time spent queued
+            // counts against the request's budget, and a job that
+            // expires in the queue is rejected typed without executing.
+            let budget_ms = effective.timeout_ms.unwrap_or(0);
+            let deadline = effective
+                .timeout_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms));
+            let cancel = CancelToken::new();
             let (tx, rx) = mpsc::channel();
             let job = Job {
                 text,
                 support,
                 limits,
+                deadline,
+                budget_ms,
+                cancel: cancel.clone(),
                 reply: tx,
             };
             if let Err(e) = pool.submit(job) {
                 return Response::from_error(&e);
             }
-            rx.recv().unwrap_or(Response::Err {
-                kind: "shutting-down".to_string(),
-                detail: "worker exited before replying".to_string(),
-            })
+            await_reply(&rx, deadline, budget_ms, &cancel, service, conn)
         }
         light => service.handle_light(&light),
+    }
+}
+
+/// Wait for the worker's reply without ever blocking forever: poll the
+/// channel, probe the socket for hangup (tripping the job's
+/// cancellation token so the governor stops it mid-plan), and bound the
+/// wait by the request deadline plus a grace period for the worker's
+/// own governor to deliver the typed timeout first.
+fn await_reply(
+    rx: &mpsc::Receiver<Response>,
+    deadline: Option<Instant>,
+    budget_ms: u64,
+    cancel: &CancelToken,
+    service: &Arc<FlockService>,
+    conn: &mut dyn Transport,
+) -> Response {
+    loop {
+        match rx.recv_timeout(REPLY_POLL) {
+            Ok(resp) => return resp,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // The worker died (pool closed mid-job or panicked
+                // past its catch): typed, not a hang.
+                return Response::Err {
+                    kind: "shutting-down".to_string(),
+                    detail: "worker exited before replying".to_string(),
+                };
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if conn.peer_gone() {
+                    // The client hung up: stop the job mid-plan. The
+                    // worker observes the token and accounts the
+                    // cancellation; our response goes to a dead socket
+                    // and the connection loop reaps it.
+                    cancel.cancel();
+                    return Response::from_error(&ServerError::Cancelled);
+                }
+                if let Some(d) = deadline {
+                    if Instant::now() >= d + REPLY_GRACE {
+                        // The worker's governor should have tripped the
+                        // deadline long ago; it is stuck somewhere
+                        // non-cooperative. Give up on the reply, typed.
+                        cancel.cancel();
+                        service.note_timeout();
+                        return Response::from_error(&ServerError::Timeout {
+                            stage: "reply",
+                            budget_ms,
+                        });
+                    }
+                }
+            }
+        }
     }
 }

@@ -17,12 +17,17 @@ use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use qf_core::CancelToken;
 
 use crate::error::{Result, ServerError};
 use crate::protocol::{RequestLimits, Response};
 use crate::service::FlockService;
 
-/// One admitted flock request, carrying its reply channel.
+/// One admitted flock request, carrying its reply channel, its
+/// admission-stamped deadline, and the cancellation token shared with
+/// its connection thread.
 pub struct Job {
     /// Flock program text.
     pub text: String,
@@ -30,9 +35,38 @@ pub struct Job {
     pub support: Option<i64>,
     /// Per-request budgets.
     pub limits: RequestLimits,
+    /// Absolute deadline stamped at admission: queue wait counts
+    /// against it, and a job whose deadline expires while queued is
+    /// rejected typed without executing.
+    pub deadline: Option<Instant>,
+    /// The effective budget behind `deadline`, for the error message.
+    pub budget_ms: u64,
+    /// Tripped by the connection thread when the client hangs up; the
+    /// governor checks it cooperatively mid-plan.
+    pub cancel: CancelToken,
     /// Where the worker sends the response. A dropped receiver (client
     /// hung up) just makes the send a no-op.
     pub reply: mpsc::Sender<Response>,
+}
+
+impl Job {
+    /// A job with no deadline and a fresh token (direct/test callers).
+    pub fn new(
+        text: String,
+        support: Option<i64>,
+        limits: RequestLimits,
+        reply: mpsc::Sender<Response>,
+    ) -> Job {
+        Job {
+            text,
+            support,
+            limits,
+            deadline: None,
+            budget_ms: 0,
+            cancel: CancelToken::new(),
+            reply,
+        }
+    }
 }
 
 struct QueueState {
@@ -149,13 +183,38 @@ fn worker_loop(inner: &PoolInner) {
             }
         };
         let Some(job) = job else { break };
+        // Pre-execution triage: a job whose client already hung up, or
+        // whose deadline expired while it sat in the queue, is answered
+        // typed without consuming a worker's evaluation time.
+        if job.cancel.is_cancelled() {
+            inner.service.note_cancelled();
+            let _ = job
+                .reply
+                .send(Response::from_error(&ServerError::Cancelled));
+            continue;
+        }
+        if let Some(d) = job.deadline {
+            if Instant::now() >= d {
+                inner.service.note_timeout();
+                let _ = job.reply.send(Response::from_error(&ServerError::Timeout {
+                    stage: "queue",
+                    budget_ms: job.budget_ms,
+                }));
+                continue;
+            }
+        }
         // Fair allocation: the pool's threads are divided among the
         // requests executing right now, never below one.
         let active = counters.active.fetch_add(1, Ordering::SeqCst) + 1;
         let fair = (inner.workers / active.max(1)).max(1);
-        let response = inner
-            .service
-            .handle_flock(&job.text, job.support, &job.limits, fair);
+        let response = inner.service.handle_flock_admitted(
+            &job.text,
+            job.support,
+            &job.limits,
+            fair,
+            job.deadline,
+            Some(&job.cancel),
+        );
         counters.active.fetch_sub(1, Ordering::SeqCst);
         let _ = job.reply.send(response);
     }

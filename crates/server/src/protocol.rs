@@ -61,6 +61,18 @@ pub enum Request {
 }
 
 impl Request {
+    /// Is this request safe to retry transparently after a failure that
+    /// may or may not have reached the server? Reads (`ping`, `stats`,
+    /// `fingerprint`, `flock`) and the idempotent `shutdown` flag are;
+    /// catalog mutations (`load`, `gen`) are **not** — replaying one
+    /// after an ambiguous failure could double-apply it, so the
+    /// retrying client surfaces the error instead (unless the server
+    /// certified non-execution with a typed `proto`/`overloaded`
+    /// response, which is safe for any request).
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(self, Request::Load { .. } | Request::Gen { .. })
+    }
+
     /// Render as a framed payload.
     pub fn render(&self) -> String {
         match self {

@@ -22,6 +22,15 @@ pub struct CacheReport {
     pub cache_misses: u64,
     /// Server-wide admission rejections (overload + over-budget).
     pub rejected: u64,
+    /// Server-wide deadline expiries (queue, eval, or reply stage).
+    pub timeouts: u64,
+    /// Server-wide jobs stopped early by client disconnect.
+    pub cancelled: u64,
+    /// Server-wide connections shed at the connection cap.
+    pub conn_rejected: u64,
+    /// Client-side retry attempts for this session (0 in server-side
+    /// reports; filled in by the retrying client's own report).
+    pub retries: u64,
     /// High-water mark of the admission queue depth.
     pub queue_depth_max: u64,
 }
@@ -53,7 +62,8 @@ pub fn json_report(
          \"workers\":{},\"spilled_bytes\":{},\"spills\":{},\"resumed_steps\":{},\
          \"io_retries\":{},\"corruption_recoveries\":{},\"spill_files_live\":{},\
          \"tsv_skipped_lines\":{},\"cache_hit\":{},\"plan_cached\":{},\"cache_hits\":{},\
-         \"cache_misses\":{},\"rejected\":{},\"queue_depth_max\":{},\"degradations\":[{}]}}",
+         \"cache_misses\":{},\"rejected\":{},\"timeouts\":{},\"cancelled\":{},\
+         \"conn_rejected\":{},\"retries\":{},\"queue_depth_max\":{},\"degradations\":[{}]}}",
         json_escape(strategy),
         results,
         elapsed_ms,
@@ -72,6 +82,10 @@ pub fn json_report(
         cache.cache_hits,
         cache.cache_misses,
         cache.rejected,
+        cache.timeouts,
+        cache.cancelled,
+        cache.conn_rejected,
+        cache.retries,
         cache.queue_depth_max,
         degradations.join(",")
     )
@@ -115,6 +129,10 @@ mod tests {
                 cache_hits: 2,
                 cache_misses: 1,
                 rejected: 0,
+                timeouts: 5,
+                cancelled: 6,
+                conn_rejected: 7,
+                retries: 8,
                 queue_depth_max: 4,
             },
         );
@@ -128,6 +146,10 @@ mod tests {
             "\"cache_hits\":2",
             "\"cache_misses\":1",
             "\"rejected\":0",
+            "\"timeouts\":5",
+            "\"cancelled\":6",
+            "\"conn_rejected\":7",
+            "\"retries\":8",
             "\"queue_depth_max\":4",
         ] {
             assert!(out.contains(key), "missing {key} in {out}");

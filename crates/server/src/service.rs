@@ -11,11 +11,12 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use qf_core::{
-    best_plan_with, direct_plan, execute_plan_scored_with, flock_result_from_scored, ExecContext,
-    ExecStats, FilterCondition, FlockProgram, JoinOrderStrategy, QueryFlock, QueryPlan,
+    best_plan_with, direct_plan, execute_plan_scored_with, flock_result_from_scored, CancelToken,
+    ExecContext, ExecStats, FilterCondition, FlockProgram, JoinOrderStrategy, QueryFlock,
+    QueryPlan,
 };
 use qf_storage::{tsv, Database, Relation};
 
@@ -41,8 +42,26 @@ pub struct ServerConfig {
     pub max_rows: Option<u64>,
     /// Per-request cap on estimated materialized bytes.
     pub mem_budget: Option<u64>,
-    /// Per-request wall-clock deadline cap, milliseconds.
+    /// Per-request wall-clock deadline cap, milliseconds. A client ask
+    /// is min'd with this cap (never rejected): the effective value is
+    /// stamped as an absolute deadline at admission time, and queue
+    /// wait counts against it.
     pub timeout_ms: Option<u64>,
+    /// Connection cap: connections beyond this many live at once are
+    /// shed immediately with a typed `overloaded` response carrying a
+    /// retry-after hint, before they consume a thread or queue slot.
+    pub max_conns: usize,
+    /// How long an idle keep-alive connection may sit between requests
+    /// before being reaped, milliseconds.
+    pub idle_timeout_ms: u64,
+    /// How long a single read/write may stall *mid-frame* before the
+    /// connection is reaped, milliseconds. This is the slow-loris
+    /// bound: a peer that trickles a frame byte-at-a-time holds a
+    /// connection slot for at most this long per stall, and never a
+    /// worker slot (jobs are admitted only on complete frames).
+    pub io_timeout_ms: u64,
+    /// Backoff hint attached to shed connections, milliseconds.
+    pub retry_after_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +74,10 @@ impl Default for ServerConfig {
             max_rows: None,
             mem_budget: None,
             timeout_ms: None,
+            max_conns: 1024,
+            idle_timeout_ms: 300_000,
+            io_timeout_ms: 10_000,
+            retry_after_ms: 200,
         }
     }
 }
@@ -70,6 +93,18 @@ pub struct Counters {
     pub cache_misses: AtomicU64,
     /// Admission rejections: queue overflow + over-cap budgets.
     pub rejected: AtomicU64,
+    /// Requests whose deadline expired — in the queue (never executed),
+    /// mid-evaluation, or waiting for a worker reply.
+    pub timeouts: AtomicU64,
+    /// Jobs stopped early because their client disconnected (observed
+    /// either before execution started or mid-plan via the governor's
+    /// cancellation token).
+    pub cancelled: AtomicU64,
+    /// Connections shed at the connection cap before consuming any
+    /// thread or queue slot.
+    pub conn_rejected: AtomicU64,
+    /// Live client connections.
+    pub conns: AtomicUsize,
     /// Current admission queue depth (maintained by the worker pool).
     pub queue_depth: AtomicU64,
     /// High-water mark of the queue depth.
@@ -89,6 +124,10 @@ impl Counters {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            conn_rejected: self.conn_rejected.load(Ordering::Relaxed),
+            retries: 0,
             queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
         }
     }
@@ -162,8 +201,9 @@ impl FlockService {
         }
     }
 
-    /// Evaluate a flock request with `granted_threads` workers. Called
-    /// on a pool worker; the caller has already passed admission.
+    /// Evaluate a flock request with `granted_threads` workers, no
+    /// pre-stamped deadline or cancellation (direct/embedded callers):
+    /// the deadline, if any, starts now.
     pub fn handle_flock(
         &self,
         text: &str,
@@ -171,15 +211,49 @@ impl FlockService {
         limits: &RequestLimits,
         granted_threads: usize,
     ) -> Response {
+        let deadline = match self.admission_limits(limits) {
+            Ok(eff) => eff
+                .timeout_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms)),
+            // Let the admitted path report the error uniformly.
+            Err(_) => None,
+        };
+        self.handle_flock_admitted(text, support, limits, granted_threads, deadline, None)
+    }
+
+    /// Evaluate an admitted flock request: the deadline was stamped at
+    /// admission (so queue wait already counts against it) and the
+    /// cancellation token is shared with the connection thread, which
+    /// trips it if the client hangs up. Called on a pool worker.
+    pub fn handle_flock_admitted(
+        &self,
+        text: &str,
+        support: Option<i64>,
+        limits: &RequestLimits,
+        granted_threads: usize,
+        deadline: Option<Instant>,
+        cancel: Option<&CancelToken>,
+    ) -> Response {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
-        match self.eval_flock(text, support, limits, granted_threads) {
+        match self.eval_flock(text, support, limits, granted_threads, deadline, cancel) {
             Ok(resp) => resp,
-            Err(e) => Response::from_error(&e),
+            Err(e) => {
+                match &e {
+                    ServerError::Timeout { .. } => self.note_timeout(),
+                    ServerError::Cancelled => self.note_cancelled(),
+                    _ => {}
+                }
+                Response::from_error(&e)
+            }
         }
     }
 
-    /// Reject requests whose asks exceed the server's per-request caps;
-    /// otherwise resolve the effective budgets (ask, or cap, or none).
+    /// Reject requests whose row/byte asks exceed the server's
+    /// per-request caps; otherwise resolve the effective budgets (ask,
+    /// or cap, or none). The timeout is different: a client ask is
+    /// **min'd** with the server cap rather than rejected — an
+    /// impatient client is harmless, and the server cap guarantees no
+    /// request outlives it either way.
     pub fn admission_limits(&self, limits: &RequestLimits) -> Result<RequestLimits> {
         fn cap(name: &str, ask: Option<u64>, cap: Option<u64>) -> Result<Option<u64>> {
             match (ask, cap) {
@@ -190,12 +264,31 @@ impl FlockService {
                 (None, c) => Ok(c),
             }
         }
+        let timeout_ms = match (limits.timeout_ms, self.config.timeout_ms) {
+            (Some(a), Some(c)) => Some(a.min(c)),
+            (ask, cap) => ask.or(cap),
+        };
         Ok(RequestLimits {
             max_rows: cap("max-rows", limits.max_rows, self.config.max_rows)?,
             mem_budget: cap("mem-budget", limits.mem_budget, self.config.mem_budget)?,
-            timeout_ms: cap("timeout", limits.timeout_ms, self.config.timeout_ms)?,
+            timeout_ms,
             threads: limits.threads,
         })
+    }
+
+    /// Note a deadline expiry (queue, eval, or reply stage).
+    pub fn note_timeout(&self) {
+        self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Note a job stopped early because its client disconnected.
+    pub fn note_cancelled(&self) {
+        self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Note a connection shed at the connection cap.
+    pub fn note_conn_rejected(&self) {
+        self.counters.conn_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Note an admission rejection (queue overflow or over-cap budget).
@@ -217,6 +310,8 @@ impl FlockService {
         support: Option<i64>,
         limits: &RequestLimits,
         granted_threads: usize,
+        deadline: Option<Instant>,
+        cancel: Option<&CancelToken>,
     ) -> Result<Response> {
         let start = Instant::now();
         let program = parse_program(text, support)?;
@@ -269,8 +364,15 @@ impl FlockService {
         if let Some(b) = effective.mem_budget {
             ctx = ctx.with_mem_budget(b);
         }
-        if let Some(ms) = effective.timeout_ms {
-            ctx = ctx.with_timeout(std::time::Duration::from_millis(ms));
+        // An admission-stamped absolute deadline (queue wait already
+        // spent) beats a relative timeout that would restart the clock.
+        match (deadline, effective.timeout_ms) {
+            (Some(d), _) => ctx = ctx.with_deadline(d),
+            (None, Some(ms)) => ctx = ctx.with_timeout(Duration::from_millis(ms)),
+            (None, None) => {}
+        }
+        if let Some(tok) = cancel {
+            ctx = ctx.with_cancel_token(tok.clone());
         }
 
         let extended = program
@@ -426,6 +528,7 @@ impl FlockService {
         };
         format!(
             "{{\"requests\":{},\"cache_hits\":{},\"cache_misses\":{},\"rejected\":{},\
+             \"timeouts\":{},\"cancelled\":{},\"conn_rejected\":{},\"conns\":{},\
              \"queue_depth\":{},\"queue_depth_max\":{},\"active\":{},\"live_workers\":{},\
              \"cached_results\":{},\"relations\":{relations},\"tuples\":{tuples},\
              \"shutting_down\":{}}}",
@@ -433,6 +536,10 @@ impl FlockService {
             c.cache_hits.load(Ordering::Relaxed),
             c.cache_misses.load(Ordering::Relaxed),
             c.rejected.load(Ordering::Relaxed),
+            c.timeouts.load(Ordering::Relaxed),
+            c.cancelled.load(Ordering::Relaxed),
+            c.conn_rejected.load(Ordering::Relaxed),
+            c.conns.load(Ordering::Relaxed),
             c.queue_depth.load(Ordering::Relaxed),
             c.queue_depth_max.load(Ordering::Relaxed),
             c.active.load(Ordering::Relaxed),

@@ -1,0 +1,524 @@
+//! The byte-stream seam between the protocol and the network, plus a
+//! deterministic fault injector over it.
+//!
+//! Everything the server and client do to a connection goes through the
+//! [`Transport`] trait — read, write, timeouts, a hangup probe — with
+//! two implementations:
+//!
+//! * [`std::net::TcpStream`]: the production transport; a thin
+//!   delegation.
+//! * [`ChaosNet`]: a seed-driven fault-injecting wrapper over any
+//!   transport, mirroring `qf_storage::vfs::ChaosFs` for the wire. It
+//!   perturbs traffic at scheduled injection points — stalls
+//!   ([`NetFault::Stall`]), short writes ([`NetFault::ShortWrite`]),
+//!   connection resets ([`NetFault::Reset`]), and single-bit corruption
+//!   ([`NetFault::BitFlip`]) — so the retry/timeout/checksum policies
+//!   can be exercised in-process, reproducibly, without `tc` or
+//!   firewall tricks.
+//!
+//! Determinism: every faultable operation draws a number from a shared
+//! atomic counter and hashes it (splitmix64) with the seed, so one
+//! [`NetChaos`] handle yields the same fault sequence for the same
+//! sequence of operations — including across reconnects, which is what
+//! lets a chaos-matrix test drive a retrying client deterministically.
+//! Tests can also pin exact faults with [`NetChaos::with_fault`] ("the
+//! 3rd read stalls"), independent of the random stream.
+//!
+//! Faults that *lie* (bit flips) are precisely what the `QFN2` frame
+//! checksums in [`crate::frame`] exist to catch: a corrupted frame is
+//! always detected by the verifying reader and surfaced as a typed
+//! `proto` error, never served as a garbage parse.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A bidirectional byte stream the framed protocol can run over.
+pub trait Transport: Read + Write + Send {
+    /// Bound how long a single read may block (`None` = forever).
+    fn set_read_timeout(&mut self, dur: Option<Duration>) -> io::Result<()>;
+    /// Bound how long a single write may block (`None` = forever).
+    fn set_write_timeout(&mut self, dur: Option<Duration>) -> io::Result<()>;
+    /// Non-destructive liveness probe: has the peer hung up? Must not
+    /// consume buffered data and must return quickly. Used by the
+    /// server to detect abandoned requests while a job is in flight.
+    fn peer_gone(&mut self) -> bool;
+    /// Tear the connection down (both directions), unblocking any
+    /// reader on the other side.
+    fn shutdown(&mut self) -> io::Result<()>;
+}
+
+impl Transport for TcpStream {
+    fn set_read_timeout(&mut self, dur: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, dur)
+    }
+
+    fn set_write_timeout(&mut self, dur: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_write_timeout(self, dur)
+    }
+
+    fn peer_gone(&mut self) -> bool {
+        // A 1 ms peeked read: EOF means the peer closed; data or a
+        // timeout means it is still there. The previous timeout is
+        // restored so the probe is invisible to the frame reader.
+        let saved = TcpStream::read_timeout(self).ok().flatten();
+        if TcpStream::set_read_timeout(self, Some(Duration::from_millis(1))).is_err() {
+            return true;
+        }
+        let mut b = [0u8; 1];
+        let gone = match self.peek(&mut b) {
+            Ok(0) => true,
+            Ok(_) => false,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                false
+            }
+            Err(_) => true,
+        };
+        let _ = TcpStream::set_read_timeout(self, saved);
+        gone
+    }
+
+    fn shutdown(&mut self) -> io::Result<()> {
+        TcpStream::shutdown(self, std::net::Shutdown::Both)
+    }
+}
+
+/// A network fault class [`ChaosNet`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetFault {
+    /// The operation completes but only after a deterministic delay —
+    /// a congested or half-dead link. Policy: per-connection read/write
+    /// timeouts bound the damage.
+    Stall,
+    /// A write accepts only a prefix of the buffer (honestly reported);
+    /// correct callers loop, incorrect ones tear frames — which the
+    /// `QFN2` checksum then catches on the far side.
+    ShortWrite,
+    /// The connection dies (`ECONNRESET`); every later operation on
+    /// this transport fails too. Policy: typed `io` error, reconnect
+    /// and retry.
+    Reset,
+    /// One bit of the transferred bytes is flipped in flight. Policy:
+    /// the frame checksum detects it; the victim sees a typed `proto`
+    /// error, never a garbage parse.
+    BitFlip,
+}
+
+/// The operation classes network faults are scheduled against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetOp {
+    /// A `read` call on the transport.
+    Read,
+    /// A `write` call on the transport.
+    Write,
+}
+
+impl NetOp {
+    fn index(self) -> usize {
+        match self {
+            NetOp::Read => 0,
+            NetOp::Write => 1,
+        }
+    }
+
+    /// Faults that make sense for this class, in the order the random
+    /// stream indexes them.
+    fn applicable(self) -> &'static [NetFault] {
+        match self {
+            NetOp::Read => &[NetFault::Stall, NetFault::Reset, NetFault::BitFlip],
+            NetOp::Write => &[
+                NetFault::Stall,
+                NetFault::ShortWrite,
+                NetFault::Reset,
+                NetFault::BitFlip,
+            ],
+        }
+    }
+}
+
+const N_NET_OPS: usize = 2;
+
+/// One pinned injection point: the `nth` occurrence (1-based) of an
+/// operation class suffers `fault`.
+#[derive(Debug, Clone, Copy)]
+struct ScheduledNetFault {
+    op: NetOp,
+    nth: u64,
+    fault: NetFault,
+}
+
+#[derive(Debug)]
+struct NetChaosState {
+    seed: u64,
+    /// Average faultable operations between random faults; `0` disables
+    /// the random stream (scheduled faults still fire).
+    fault_every: u64,
+    /// Longest stall a [`NetFault::Stall`] may inject, milliseconds.
+    max_stall_ms: u64,
+    ops: AtomicU64,
+    op_counts: [AtomicU64; N_NET_OPS],
+    schedule: Mutex<Vec<ScheduledNetFault>>,
+    injected: AtomicU64,
+    log: Mutex<Vec<(NetOp, NetFault)>>,
+}
+
+impl NetChaosState {
+    fn decide(&self, op: NetOp) -> Option<(NetFault, u64)> {
+        let occ = self.op_counts[op.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        let n = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
+        let h = splitmix64(self.seed ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let scheduled = {
+            let sched = self.schedule.lock().unwrap_or_else(|e| e.into_inner());
+            sched
+                .iter()
+                .find(|s| s.op == op && s.nth == occ)
+                .map(|s| s.fault)
+        };
+        let fault = scheduled.or_else(|| {
+            if self.fault_every == 0 || h % self.fault_every != 0 {
+                return None;
+            }
+            let menu = op.applicable();
+            Some(menu[((h >> 32) % menu.len() as u64) as usize])
+        })?;
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        self.log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((op, fault));
+        Some((fault, h))
+    }
+}
+
+/// Shared chaos driver: one seed-keyed fault stream that survives
+/// reconnects. [`NetChaos::wrap`] produces a [`ChaosNet`] transport
+/// drawing from this stream; wrapping each reconnected socket with the
+/// same handle keeps the whole session deterministic.
+#[derive(Debug, Clone)]
+pub struct NetChaos {
+    state: Arc<NetChaosState>,
+}
+
+impl NetChaos {
+    /// Random faults driven by `seed`, roughly one per `fault_every`
+    /// faultable operations.
+    pub fn seeded(seed: u64, fault_every: u64) -> NetChaos {
+        NetChaos {
+            state: Arc::new(NetChaosState {
+                seed,
+                fault_every,
+                max_stall_ms: 120,
+                ops: AtomicU64::new(0),
+                op_counts: Default::default(),
+                schedule: Mutex::new(Vec::new()),
+                injected: AtomicU64::new(0),
+                log: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// No random faults; only faults pinned via [`NetChaos::with_fault`].
+    pub fn quiet() -> NetChaos {
+        NetChaos::seeded(0, 0)
+    }
+
+    /// Pin a fault: the `nth` (1-based) occurrence of `op` suffers
+    /// `fault`, regardless of the random stream.
+    pub fn with_fault(self, op: NetOp, nth: u64, fault: NetFault) -> NetChaos {
+        self.state
+            .schedule
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(ScheduledNetFault { op, nth, fault });
+        self
+    }
+
+    /// Wrap a transport so its traffic draws faults from this stream.
+    pub fn wrap(&self, inner: Box<dyn Transport>) -> ChaosNet {
+        ChaosNet {
+            inner,
+            state: Arc::clone(&self.state),
+            dead: false,
+        }
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.state.injected.load(Ordering::Relaxed)
+    }
+
+    /// The sequence of injected faults (op, fault), for assertions.
+    pub fn injection_log(&self) -> Vec<(NetOp, NetFault)> {
+        self.state
+            .log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+fn reset_err() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::ConnectionReset,
+        "chaos: connection reset by peer",
+    )
+}
+
+/// A fault-injecting transport over any inner [`Transport`]. Created by
+/// [`NetChaos::wrap`]; all clones of one [`NetChaos`] share one fault
+/// stream.
+pub struct ChaosNet {
+    inner: Box<dyn Transport>,
+    state: Arc<NetChaosState>,
+    /// A [`NetFault::Reset`] fired: the connection is dead and every
+    /// later operation fails like a real reset socket.
+    dead: bool,
+}
+
+impl ChaosNet {
+    fn stall(&self, h: u64) {
+        let ms = h % self.state.max_stall_ms.max(1) + 5;
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+}
+
+impl Read for ChaosNet {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(reset_err());
+        }
+        match self.state.decide(NetOp::Read) {
+            None => self.inner.read(buf),
+            Some((NetFault::Stall, h)) => {
+                self.stall(h);
+                self.inner.read(buf)
+            }
+            Some((NetFault::Reset, _)) => {
+                self.dead = true;
+                let _ = self.inner.shutdown();
+                Err(reset_err())
+            }
+            Some((NetFault::BitFlip, h)) => {
+                let n = self.inner.read(buf)?;
+                if n > 0 {
+                    let bit = (h as usize) % (n * 8);
+                    buf[bit / 8] ^= 1 << (bit % 8);
+                }
+                Ok(n)
+            }
+            // ShortWrite is not scheduled on reads; treat as a stall if
+            // the random menu ever changes.
+            Some((NetFault::ShortWrite, h)) => {
+                self.stall(h);
+                self.inner.read(buf)
+            }
+        }
+    }
+}
+
+impl Write for ChaosNet {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(reset_err());
+        }
+        match self.state.decide(NetOp::Write) {
+            None => self.inner.write(buf),
+            Some((NetFault::Stall, h)) => {
+                self.stall(h);
+                self.inner.write(buf)
+            }
+            Some((NetFault::ShortWrite, _)) => {
+                // Accept only the first half (at least one byte) and
+                // report it honestly: `write_all` callers loop and lose
+                // nothing; raw `write` callers that ignore the count
+                // would tear the frame — which the checksum catches.
+                if buf.is_empty() {
+                    return self.inner.write(buf);
+                }
+                let n = (buf.len() / 2).max(1);
+                self.inner.write_all(&buf[..n])?;
+                Ok(n)
+            }
+            Some((NetFault::Reset, _)) => {
+                self.dead = true;
+                let _ = self.inner.shutdown();
+                Err(reset_err())
+            }
+            Some((NetFault::BitFlip, h)) => {
+                if buf.is_empty() {
+                    return Ok(0);
+                }
+                let mut flipped = buf.to_vec();
+                let bit = (h as usize) % (flipped.len() * 8);
+                flipped[bit / 8] ^= 1 << (bit % 8);
+                self.inner.write_all(&flipped)?;
+                Ok(buf.len())
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(reset_err());
+        }
+        self.inner.flush()
+    }
+}
+
+impl Transport for ChaosNet {
+    fn set_read_timeout(&mut self, dur: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(dur)
+    }
+
+    fn set_write_timeout(&mut self, dur: Option<Duration>) -> io::Result<()> {
+        self.inner.set_write_timeout(dur)
+    }
+
+    fn peer_gone(&mut self) -> bool {
+        self.dead || self.inner.peer_gone()
+    }
+
+    fn shutdown(&mut self) -> io::Result<()> {
+        self.inner.shutdown()
+    }
+}
+
+/// splitmix64: the same tiny deterministic mixer the chaos VFS uses —
+/// the whole fault stream derives from it, so no `rand` dependency is
+/// needed.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{read_frame, write_frame};
+
+    /// An in-memory loopback transport for unit tests: what one side
+    /// writes, the same side reads back.
+    #[derive(Default)]
+    struct Loopback {
+        buf: std::io::Cursor<Vec<u8>>,
+    }
+
+    impl Read for Loopback {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.buf.read(buf)
+        }
+    }
+
+    impl Write for Loopback {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let pos = self.buf.position();
+            self.buf.set_position(self.buf.get_ref().len() as u64);
+            let n = self.buf.write(buf)?;
+            self.buf.set_position(pos);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Transport for Loopback {
+        fn set_read_timeout(&mut self, _: Option<Duration>) -> io::Result<()> {
+            Ok(())
+        }
+        fn set_write_timeout(&mut self, _: Option<Duration>) -> io::Result<()> {
+            Ok(())
+        }
+        fn peer_gone(&mut self) -> bool {
+            false
+        }
+        fn shutdown(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn quiet_chaos_is_transparent() {
+        let chaos = NetChaos::quiet();
+        let mut t = chaos.wrap(Box::new(Loopback::default()));
+        write_frame(&mut t, b"hello").unwrap();
+        assert_eq!(read_frame(&mut t).unwrap().unwrap(), b"hello");
+        assert_eq!(chaos.injected(), 0);
+    }
+
+    #[test]
+    fn scheduled_reset_kills_the_connection_permanently() {
+        let chaos = NetChaos::quiet().with_fault(NetOp::Write, 2, NetFault::Reset);
+        let mut t = chaos.wrap(Box::new(Loopback::default()));
+        assert!(t.write(b"first").is_ok());
+        let err = t.write(b"second").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        // Dead is dead: later operations fail too, like a real socket.
+        assert_eq!(
+            t.write(b"third").unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset
+        );
+        let mut b = [0u8; 1];
+        assert_eq!(
+            t.read(&mut b).unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset
+        );
+        assert!(t.peer_gone());
+        assert_eq!(chaos.injection_log(), vec![(NetOp::Write, NetFault::Reset)]);
+    }
+
+    #[test]
+    fn bit_flip_on_write_is_caught_by_the_frame_checksum() {
+        // Flip a bit in the 3rd write — the payload chunk of the frame
+        // (magic, length, payload, checksum are separate write calls).
+        let chaos = NetChaos::quiet().with_fault(NetOp::Write, 3, NetFault::BitFlip);
+        let mut t = chaos.wrap(Box::new(Loopback::default()));
+        write_frame(&mut t, b"some payload bytes").unwrap();
+        let err = read_frame(&mut t).unwrap_err();
+        assert!(crate::frame::is_corruption(&err), "{err}");
+        assert_eq!(chaos.injected(), 1);
+    }
+
+    #[test]
+    fn short_write_loses_nothing_under_write_all() {
+        let chaos = NetChaos::quiet().with_fault(NetOp::Write, 3, NetFault::ShortWrite);
+        let mut t = chaos.wrap(Box::new(Loopback::default()));
+        write_frame(&mut t, b"0123456789").unwrap();
+        assert_eq!(read_frame(&mut t).unwrap().unwrap(), b"0123456789");
+        assert_eq!(chaos.injected(), 1);
+    }
+
+    #[test]
+    fn seeded_stream_is_deterministic_and_shared_across_wraps() {
+        let run = |seed: u64| {
+            let chaos = NetChaos::seeded(seed, 3);
+            let mut outcomes = Vec::new();
+            // Two "connections" drawing from one stream, like a
+            // retrying client reconnecting after a reset.
+            for _conn in 0..2 {
+                let mut t = chaos.wrap(Box::new(Loopback::default()));
+                for i in 0..20 {
+                    outcomes.push(t.write(format!("{i}").as_bytes()).is_ok());
+                }
+            }
+            (outcomes, chaos.injection_log())
+        };
+        let (a1, log1) = run(42);
+        let (a2, log2) = run(42);
+        assert_eq!(a1, a2);
+        assert_eq!(log1, log2);
+        assert!(!log1.is_empty(), "fault_every=3 over 40 writes must fire");
+        let (b, _) = run(43);
+        assert_ne!(a1, b, "different seeds should differ (w.h.p.)");
+    }
+}

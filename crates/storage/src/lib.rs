@@ -61,7 +61,7 @@ pub use hash::{FastHasher, FastMap, FastSet};
 pub use index::HashIndex;
 pub use relation::{Relation, RelationBuilder};
 pub use schema::Schema;
-pub use spill::{SpillDir, SpillFile, SpillReader, SpillWriter};
+pub use spill::{Fnv1a, SpillDir, SpillFile, SpillReader, SpillWriter};
 pub use stats::ColumnStats;
 pub use symbol::Symbol;
 pub use tuple::Tuple;
