@@ -642,6 +642,73 @@ pub fn serve_main(args: &[String]) -> Result<String, String> {
     Ok("qf-server drained and shut down".to_string())
 }
 
+/// `qfsh shard --addr host:port --shards host:port,host:port,…
+/// [--replicate rel1,rel2,… --shard-retries K --shard-io-timeout MS
+/// and every `serve` flag]`: run the scatter-gather coordinator over a
+/// fleet of already-running `qfsh serve` workers. The coordinator
+/// speaks the same protocol as a standalone server — `qfsh client`
+/// points at it unchanged — and holds the master catalog: `load`/`gen`
+/// mutations partition and re-push to every shard, shardable flocks
+/// scatter per `FILTER` step and merge algebraically, and everything
+/// else runs locally against the master.
+pub fn shard_main(args: &[String]) -> Result<String, String> {
+    let mut config = qf_server::ServerConfig::default();
+    let mut shard = qf_server::ShardConfig::default();
+    let mut addr = "127.0.0.1:7448".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let (key, value) = flag_value(args, &mut i)?;
+        match key.as_str() {
+            "addr" => addr = value,
+            "shards" => {
+                shard.addrs = value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect()
+            }
+            "replicate" => {
+                shard.replicated = value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect()
+            }
+            "shard-retries" => shard.client.retries = parse_count(&value)? as u32,
+            "shard-io-timeout" => {
+                shard.client.io_timeout =
+                    Some(std::time::Duration::from_millis(parse_millis(&value)?))
+            }
+            "threads" => config.threads = parse_count(&value)? as usize,
+            "queue-cap" => config.queue_cap = parse_count(&value)? as usize,
+            "cache-entries" => config.cache_entries = parse_count(&value)? as usize,
+            "max-rows" => config.max_rows = Some(parse_count(&value)?),
+            "mem-budget" => config.mem_budget = Some(parse_count(&value)?),
+            "timeout" => config.timeout_ms = Some(parse_millis(&value)?),
+            "max-conns" => config.max_conns = parse_count(&value)? as usize,
+            "idle-timeout" => config.idle_timeout_ms = parse_millis(&value)?,
+            "io-timeout" => config.io_timeout_ms = parse_millis(&value)?,
+            "retry-after" => config.retry_after_ms = parse_millis(&value)?,
+            other => return Err(format!("unknown shard flag `--{other}`")),
+        }
+    }
+    if shard.addrs.is_empty() {
+        return Err("shard needs --shards host:port[,host:port…] (the worker fleet)".to_string());
+    }
+    let shards = shard.addrs.len();
+    let coordinator = qf_server::Coordinator::new(config, shard, Database::new());
+    let server = qf_server::Server::serve_handler(std::sync::Arc::new(coordinator), &addr)
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "qf-shard coordinator on {} ({shards} shard(s))",
+        server.addr()
+    );
+    server.join();
+    Ok("qf-shard coordinator drained and shut down".to_string())
+}
+
 /// `qfsh client --addr host:port [--support N --max-rows N
 /// --mem-budget BYTES --timeout MS --threads N --retries K
 /// --connect-timeout MS --io-timeout MS] <command…>`: one request
@@ -824,6 +891,9 @@ server mode (top-level subcommands, not shell commands):
   qfsh serve --addr host:port [--threads N --queue-cap N --cache-entries K
              --max-rows N --mem-budget BYTES --timeout MS --max-conns N
              --idle-timeout MS --io-timeout MS --retry-after MS]
+  qfsh shard --addr host:port --shards host:port,host:port,…
+             [--replicate rel1,rel2,… --shard-retries K --shard-io-timeout MS
+             + every serve flag]
   qfsh client --addr host:port [--support N --max-rows N --mem-budget BYTES
               --timeout MS --threads N --retries K --connect-timeout MS
               --io-timeout MS] <ping|stats|shutdown|gen|load|fingerprint|flock> …";

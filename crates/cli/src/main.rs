@@ -27,6 +27,16 @@ fn main() {
             }
             return;
         }
+        Some("shard") => {
+            match qf_cli::shard_main(&args[1..]) {
+                Ok(out) => println!("{out}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+            return;
+        }
         Some("client") => {
             match qf_cli::client_main(&args[1..]) {
                 Ok(out) => println!("{out}"),

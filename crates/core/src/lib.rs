@@ -59,6 +59,7 @@ pub mod optimizer;
 pub mod plan;
 pub mod plangen;
 pub mod program;
+pub mod shard;
 pub mod sql;
 
 pub use compile::{
@@ -84,6 +85,11 @@ pub use plangen::{
     estimate_plan_report, param_set_plan, single_param_plan, PlanCostReport, StepEstimate,
 };
 pub use program::FlockProgram;
+pub use shard::{
+    evaluate_scored_partial, is_vacuous, merge_scored_partials, partial_flock, partition_database,
+    partition_relation, scored_schema, shard_key_pos, shard_of, shardable_program,
+    stable_value_hash, vacuous_filter,
+};
 pub use sql::{plan_to_sql, to_sql};
 // Governor types, re-exported so downstream crates can budget flock
 // evaluation without depending on qf-engine directly.

@@ -1,0 +1,143 @@
+//! Property tests for the scatter-gather algebra: partition → vacuous
+//! per-fragment evaluation → algebraic merge must be bitwise-identical
+//! to single-node evaluation, for every merge algebra (`COUNT`/`SUM`
+//! add, `MIN`/`MAX` extremize), over 1/2/4 shards, with empty and
+//! skewed fragments arising naturally from the generated key
+//! distributions.
+//!
+//! Symbols are deliberately non-numeric: the TSV round-trip the real
+//! wire path performs parses digit-like symbols as integers, and these
+//! tests pin the in-memory algebra, not TSV quirks. `SUM` weights are
+//! non-negative per the engine's SUM precondition.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use qf_core::{
+    direct_plan, evaluate_scored_partial, execute_plan_scored_with, flock_result_from_scored,
+    merge_scored_partials, partial_flock, partition_database, scored_schema, shard_key_pos,
+    ExecContext, JoinOrderStrategy, QueryFlock,
+};
+use qf_storage::{Database, Relation, Schema, Value};
+
+const ITEMS: [&str; 5] = ["ale", "brie", "cod", "dill", "eggs"];
+
+/// One flock per merge algebra, over `baskets(bid, item, w)` keyed on
+/// the basket id (head position 0 — every subgoal is keyed there).
+fn flock_for(agg: usize, threshold: i64) -> QueryFlock {
+    let filter = match agg {
+        0 => format!("COUNT(answer.B) >= {threshold}"),
+        1 => format!("SUM(answer.W) >= {threshold}"),
+        2 => format!("MIN(answer.W) <= {threshold}"),
+        _ => format!("MAX(answer.W) > {threshold}"),
+    };
+    QueryFlock::parse(&format!(
+        "QUERY:\nanswer(B,W) :- baskets(B,$1,W)\nFILTER:\n{filter}"
+    ))
+    .expect("generated flock parses")
+}
+
+fn basket_db(rows: &[(i64, usize, i64)], skew: bool) -> Database {
+    let tuples: Vec<Vec<Value>> = rows
+        .iter()
+        .map(|(b, i, w)| {
+            // Skewed runs squeeze every basket id into {0,1,2}: with 4
+            // shards at least one fragment is guaranteed empty and the
+            // others uneven.
+            let b = if skew { b % 3 } else { *b };
+            vec![
+                Value::int(b),
+                Value::str(ITEMS[i % ITEMS.len()]),
+                Value::int(*w),
+            ]
+        })
+        .collect();
+    let mut db = Database::new();
+    db.insert(Relation::from_rows(
+        Schema::new("baskets", &["bid", "item", "w"]),
+        tuples,
+    ));
+    db
+}
+
+proptest! {
+    /// The tentpole exactness property: for every aggregate, shard
+    /// count, and catalog (including empty and skewed fragments), the
+    /// merged vacuous partials equal the single-node scored relation
+    /// bitwise — and therefore so does the thresholded final result.
+    #[test]
+    fn scatter_gather_matches_single_node(
+        rows in prop::collection::vec((0i64..12, 0usize..5, 1i64..20), 0..40),
+        agg in 0usize..4,
+        threshold in -5i64..30,
+        skew in any::<bool>(),
+    ) {
+        let db = basket_db(&rows, skew);
+        let flock = flock_for(agg, threshold);
+        prop_assert_eq!(shard_key_pos(&flock, &BTreeSet::new()), Some(0));
+
+        let ctx = ExecContext::default();
+        let plan = direct_plan(&flock).expect("direct plan");
+        let single =
+            execute_plan_scored_with(&plan, &db, JoinOrderStrategy::Greedy, &ctx).expect("single");
+        let single_result = flock_result_from_scored(&flock, &single.scored, flock.filter());
+        let step = &plan.steps[0];
+        let mini = partial_flock(step, flock.filter()).expect("partial flock");
+        // The single-node reference for the *merged* partials is the
+        // vacuous mini-flock over the whole catalog: scored runs keep
+        // only rows passing their own filter, so the real-threshold
+        // run's scored relation is already pruned.
+        let vacuous_single = evaluate_scored_partial(&mini, &db, JoinOrderStrategy::Greedy, &ctx)
+            .expect("vacuous single");
+
+        for shards in [1usize, 2, 4] {
+            let frags = partition_database(&db, shards, &BTreeSet::new());
+            prop_assert_eq!(frags.len(), shards);
+            let parts: Vec<Relation> = frags
+                .iter()
+                .map(|frag| {
+                    evaluate_scored_partial(&mini, frag, JoinOrderStrategy::Greedy, &ctx)
+                        .expect("partial eval")
+                })
+                .collect();
+            let merged = merge_scored_partials(&flock.filter().agg, scored_schema(step), &parts)
+                .expect("merge");
+            prop_assert_eq!(
+                merged.tuples(),
+                vacuous_single.tuples(),
+                "scored mismatch at {} shard(s)",
+                shards
+            );
+            // Thresholding the merged partials globally reproduces the
+            // real-threshold single-node result bitwise.
+            let sharded_result = flock_result_from_scored(&flock, &merged, flock.filter());
+            prop_assert_eq!(sharded_result.tuples(), single_result.tuples());
+        }
+    }
+
+    /// Partitioning is total and stable whatever the key distribution:
+    /// fragments are disjoint, cover the input, and agree with
+    /// re-hashing.
+    #[test]
+    fn partition_is_a_partition(
+        rows in prop::collection::vec((0i64..40, 0usize..5, 1i64..9), 0..50),
+        shards in prop::sample::select(vec![1usize, 2, 4, 7]),
+    ) {
+        let db = basket_db(&rows, false);
+        let rel = db.iter().next().expect("one relation");
+        let frags = partition_database(&db, shards, &BTreeSet::new());
+        let total: usize = frags
+            .iter()
+            .map(|f| f.iter().map(Relation::len).sum::<usize>())
+            .sum();
+        prop_assert_eq!(total, rel.len());
+        for frag in &frags {
+            for part in frag.iter() {
+                for t in part.iter() {
+                    prop_assert!(rel.contains(t));
+                }
+            }
+        }
+    }
+}

@@ -57,6 +57,7 @@ pub mod governor;
 pub mod joinorder;
 pub mod merge;
 pub mod parallel;
+pub mod partial;
 pub mod plan;
 mod spill;
 
@@ -71,4 +72,5 @@ pub use governor::{
 pub use joinorder::{order_greedy, order_optimal_dp, JoinGraph, JoinNode};
 pub use merge::{join_auto, join_auto_with, merge_join, merge_join_with, merge_joinable};
 pub use parallel::{default_threads, par_chunks, par_items, workers_for};
+pub use partial::{merge_partials, MergeOp};
 pub use plan::{AggFn, PhysicalPlan};

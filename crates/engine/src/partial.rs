@@ -1,0 +1,161 @@
+//! Partial-aggregate merge plumbing for scatter-gather execution.
+//!
+//! A scored relation is `(group columns…, aggregate)` with the
+//! aggregate in the last column. When the same query runs over disjoint
+//! fragments of a catalog, the per-fragment scored relations are
+//! **partial aggregates** of the global one, and the paper's central
+//! filters are algebraic: `COUNT` and `SUM` merge by addition, `MIN`
+//! and `MAX` by min/max. This module is the merge kernel — it combines
+//! any number of partials into the scored relation a single-node run
+//! over the union of the fragments would have produced, bitwise
+//! (provided the fragments really partition the answer tuples; that
+//! precondition is the *caller's* obligation, see `qf-core`'s
+//! shardability check).
+//!
+//! Addition saturates, exactly like the engine's own `SUM` accumulator
+//! — a merged result can never disagree with a single-node run by
+//! overflowing where the engine would have clamped.
+
+use qf_storage::{FastMap, Relation, Schema, Tuple, Value};
+
+use crate::error::{EngineError, Result};
+
+/// How two partial aggregate values combine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeOp {
+    /// `COUNT`/`SUM` partials add (saturating, like the engine's
+    /// accumulator). Both sides must be integers.
+    Add,
+    /// `MIN` partials combine by minimum (total `Value` order).
+    Min,
+    /// `MAX` partials combine by maximum.
+    Max,
+}
+
+impl MergeOp {
+    fn combine(self, a: Value, b: Value) -> Result<Value> {
+        match self {
+            MergeOp::Add => match (a, b) {
+                (Value::Int(x), Value::Int(y)) => Ok(Value::int(x.saturating_add(y))),
+                _ => Err(EngineError::AggregateType {
+                    detail: format!("cannot add partial aggregates {a} and {b}"),
+                }),
+            },
+            MergeOp::Min => Ok(a.min(b)),
+            MergeOp::Max => Ok(a.max(b)),
+        }
+    }
+}
+
+/// Merge scored partials: group on every column but the last, combine
+/// the last column with `op`. The output carries `schema` and is sorted
+/// and deduplicated, so it is bitwise-identical to the scored relation
+/// a single evaluation over the fragments' union would materialize.
+///
+/// Every partial must have `schema`'s arity; the arity check is the
+/// only structural validation (column *names* are the caller's
+/// concern — shards answer with the schema the coordinator sent).
+pub fn merge_partials(schema: Schema, parts: &[Relation], op: MergeOp) -> Result<Relation> {
+    let arity = schema.arity();
+    debug_assert!(arity >= 1, "scored relations have at least the aggregate");
+    let key_cols: Vec<usize> = (0..arity.saturating_sub(1)).collect();
+    let mut acc: FastMap<Tuple, Value> = FastMap::default();
+    for part in parts {
+        if part.schema().arity() != arity {
+            return Err(EngineError::UnionArityMismatch {
+                first: arity,
+                other: part.schema().arity(),
+            });
+        }
+        for t in part.iter() {
+            let key = t.project(&key_cols);
+            let v = t.get(arity - 1);
+            match acc.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let merged = op.combine(*e.get(), v)?;
+                    e.insert(merged);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+            }
+        }
+    }
+    let tuples: Vec<Tuple> = acc
+        .into_iter()
+        .map(|(key, v)| {
+            let mut row: Vec<Value> = key.values().to_vec();
+            row.push(v);
+            Tuple::new(row)
+        })
+        .collect();
+    Ok(Relation::from_tuples(schema, tuples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scored(rows: Vec<Vec<Value>>) -> Relation {
+        Relation::from_rows(Schema::new("scored_result", &["p", "agg"]), rows)
+    }
+
+    #[test]
+    fn add_merges_disjoint_and_overlapping_groups() {
+        let a = scored(vec![
+            vec![Value::str("x"), Value::int(2)],
+            vec![Value::str("y"), Value::int(1)],
+        ]);
+        let b = scored(vec![vec![Value::str("x"), Value::int(3)]]);
+        let m = merge_partials(a.schema().clone(), &[a.clone(), b], MergeOp::Add).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(&Tuple::new(vec![Value::str("x"), Value::int(5)])));
+        assert!(m.contains(&Tuple::new(vec![Value::str("y"), Value::int(1)])));
+    }
+
+    #[test]
+    fn min_max_use_value_order() {
+        let a = scored(vec![vec![Value::str("x"), Value::int(7)]]);
+        let b = scored(vec![vec![Value::str("x"), Value::int(3)]]);
+        let min =
+            merge_partials(a.schema().clone(), &[a.clone(), b.clone()], MergeOp::Min).unwrap();
+        assert_eq!(min.tuples()[0].get(1), Value::int(3));
+        let max = merge_partials(a.schema().clone(), &[a, b], MergeOp::Max).unwrap();
+        assert_eq!(max.tuples()[0].get(1), Value::int(7));
+    }
+
+    #[test]
+    fn add_saturates_like_the_engine() {
+        let a = scored(vec![vec![Value::str("x"), Value::int(i64::MAX)]]);
+        let b = scored(vec![vec![Value::str("x"), Value::int(1)]]);
+        let m = merge_partials(a.schema().clone(), &[a, b], MergeOp::Add).unwrap();
+        assert_eq!(m.tuples()[0].get(1), Value::int(i64::MAX));
+    }
+
+    #[test]
+    fn add_rejects_symbolic_aggregates() {
+        let a = scored(vec![vec![Value::str("x"), Value::str("oops")]]);
+        let b = scored(vec![vec![Value::str("x"), Value::str("oops")]]);
+        let err = merge_partials(a.schema().clone(), &[a, b], MergeOp::Add).unwrap_err();
+        assert!(matches!(err, EngineError::AggregateType { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let a = scored(vec![vec![Value::str("x"), Value::int(1)]]);
+        let wide = Relation::from_rows(
+            Schema::new("scored_result", &["p", "q", "agg"]),
+            vec![vec![Value::str("x"), Value::str("y"), Value::int(1)]],
+        );
+        let err = merge_partials(a.schema().clone(), &[a, wide], MergeOp::Add).unwrap_err();
+        assert!(matches!(err, EngineError::UnionArityMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_partials_merge_to_empty() {
+        let schema = Schema::new("scored_result", &["p", "agg"]);
+        let e = Relation::empty(schema.clone());
+        let m = merge_partials(schema, &[e.clone(), e], MergeOp::Add).unwrap();
+        assert!(m.is_empty());
+    }
+}

@@ -116,10 +116,18 @@ impl ResultCache {
         }
     }
 
-    /// Store a scored result (replacing any entry under the same key —
-    /// most recent baseline wins).
+    /// Store a scored result. When an entry already exists under the
+    /// key, keep whichever baseline **subsumes** the other: a run at a
+    /// loose threshold answers every tighter one, so replacing it with
+    /// a tight-threshold run would silently narrow cache coverage (the
+    /// old bug: "most recent baseline wins"). The survivor still moves
+    /// to the front — coverage and recency are separate concerns.
     pub fn insert(&mut self, key: CacheKey, entry: CachedResult) {
-        self.lru.insert(key, entry);
+        let keep = match self.lru.get(&key) {
+            Some(old) if old.baseline.subsumes(&entry.baseline) => old.clone(),
+            _ => entry,
+        };
+        self.lru.insert(key, keep);
     }
 
     /// Drop everything (catalog mutation).
@@ -245,6 +253,26 @@ mod tests {
         // The newer, looser baseline answers support 2.
         assert!(c
             .lookup(&key("a", 1), &FilterCondition::support(2))
+            .is_some());
+    }
+
+    #[test]
+    fn loose_baseline_survives_tight_reinsert() {
+        let mut c = ResultCache::new(2);
+        // A loose-threshold run (support 2) is cached, then the same
+        // query runs at a tight threshold (support 9). The loose entry
+        // subsumes the tight one — it must survive, or the cache
+        // forgets it can answer supports 2..9.
+        c.insert(key("a", 1), entry(2));
+        c.insert(key("a", 1), entry(9));
+        assert_eq!(c.len(), 1);
+        let hit = c
+            .lookup(&key("a", 1), &FilterCondition::support(2))
+            .expect("loose baseline must survive a tight-threshold insert");
+        assert_eq!(hit.baseline, FilterCondition::support(2));
+        // And it still answers the tight threshold too.
+        assert!(c
+            .lookup(&key("a", 1), &FilterCondition::support(9))
             .is_some());
     }
 }

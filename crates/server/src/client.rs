@@ -151,7 +151,7 @@ impl Client {
                 // The request never left this process: safe for all.
                 Err(Attempt::Unsent(_)) => true,
             };
-            let failed_transport = matches!(&outcome, Err(_));
+            let failed_transport = outcome.is_err();
             if !retryable || attempt >= self.config.retries {
                 return match outcome {
                     Ok(resp) => Ok(resp),
@@ -169,7 +169,18 @@ impl Client {
                 // response): redial on the next try.
                 self.conn = None;
             }
-            std::thread::sleep(self.backoff(attempt));
+            // An overloaded server says how long it wants us to stay
+            // away (`retry-after-ms=…` in the typed detail). Honor it:
+            // sleep the *longer* of the hint and our own backoff —
+            // retrying sooner than asked just feeds the overload.
+            let backoff = self.backoff(attempt);
+            let hinted = match &outcome {
+                Ok(Response::Err { detail, .. }) => {
+                    retry_after_hint(detail).map_or(backoff, |hint| hint.max(backoff))
+                }
+                _ => backoff,
+            };
+            std::thread::sleep(hinted);
         }
     }
 
@@ -255,6 +266,21 @@ impl Client {
         })
     }
 
+    /// Evaluate one scatter-gather step against this shard's fragment
+    /// (coordinator use).
+    pub fn partial(
+        &mut self,
+        text: &str,
+        scratch: Vec<String>,
+        limits: RequestLimits,
+    ) -> Result<Response> {
+        self.request(&Request::Partial {
+            text: text.to_string(),
+            scratch,
+            limits,
+        })
+    }
+
     /// Canonicalize + fingerprint a flock program.
     pub fn fingerprint(&mut self, text: &str) -> Result<Response> {
         self.request(&Request::Fingerprint {
@@ -279,4 +305,42 @@ enum Attempt {
     Ambiguous(ServerError),
     /// The request never left this process (connect failure).
     Unsent(ServerError),
+}
+
+/// Extract the server's `retry-after-ms=N` backoff hint from a typed
+/// error detail (shed connections carry one — see
+/// [`ServerError::ConnRejected`]).
+fn retry_after_hint(detail: &str) -> Option<Duration> {
+    let rest = detail.split("retry-after-ms=").nth(1)?;
+    let digits: &str = &rest[..rest
+        .char_indices()
+        .find(|(_, c)| !c.is_ascii_digit())
+        .map_or(rest.len(), |(i, _)| i)];
+    digits.parse::<u64>().ok().map(Duration::from_millis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_hint_parses_typed_details() {
+        let detail = ServerError::ConnRejected {
+            live: 8,
+            cap: 8,
+            retry_after_ms: 350,
+        }
+        .to_string();
+        assert_eq!(
+            retry_after_hint(&detail),
+            Some(Duration::from_millis(350)),
+            "hint not found in `{detail}`"
+        );
+        assert_eq!(retry_after_hint("no hint here"), None);
+        assert_eq!(retry_after_hint("retry-after-ms=oops"), None);
+        assert_eq!(
+            retry_after_hint("… retry-after-ms=20, then more text"),
+            Some(Duration::from_millis(20))
+        );
+    }
 }

@@ -44,6 +44,15 @@ pub enum ServerError {
     /// The request was abandoned: its client disconnected and the
     /// governor's cancellation token stopped the job early.
     Cancelled,
+    /// A shard died mid-scatter and the coordinator could not recover
+    /// (re-scatter also failed). Retryable: the coordinator's catalog
+    /// is intact and a fresh attempt re-partitions from it.
+    ShardLost {
+        /// Zero-based index of the lost shard.
+        shard: usize,
+        /// What the shard RPC failed with.
+        detail: String,
+    },
     /// The server is draining for shutdown; no new work is accepted.
     ShuttingDown,
     /// The request frame or header line could not be understood.
@@ -65,6 +74,7 @@ impl ServerError {
             ServerError::Budget(_) => "budget",
             ServerError::Timeout { .. } => "timeout",
             ServerError::Cancelled => "cancelled",
+            ServerError::ShardLost { .. } => "shard-lost",
             ServerError::ShuttingDown => "shutting-down",
             ServerError::Proto(_) => "proto",
             ServerError::Parse(_) => "parse",
@@ -74,12 +84,13 @@ impl ServerError {
     }
 
     /// Is a *response* carrying this wire kind worth retrying? True for
-    /// failures that are transient (`overloaded`, `timeout`) or that
+    /// failures that are transient (`overloaded`, `timeout`,
+    /// `shard-lost` — the cluster heals or re-partitions) or that
     /// certify the request was never executed after a wire mangling
     /// (`proto` — the server could not even parse it, so resending is
     /// safe for any request, including mutations).
     pub fn retryable_kind(kind: &str) -> bool {
-        matches!(kind, "overloaded" | "timeout" | "proto")
+        matches!(kind, "overloaded" | "timeout" | "proto" | "shard-lost")
     }
 
     /// Classify an evaluation failure: deadline trips become typed
@@ -134,6 +145,9 @@ impl std::fmt::Display for ServerError {
             }
             ServerError::Cancelled => {
                 f.write_str("request cancelled: client disconnected before the result was ready")
+            }
+            ServerError::ShardLost { shard, detail } => {
+                write!(f, "shard {shard} lost mid-scatter: {detail}")
             }
             ServerError::ShuttingDown => f.write_str("server is shutting down"),
             ServerError::Proto(d) => write!(f, "protocol: {d}"),

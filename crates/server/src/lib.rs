@@ -35,14 +35,16 @@ pub mod pool;
 pub mod protocol;
 pub mod report;
 pub mod service;
+pub mod shard;
 pub mod transport;
 
 pub use cache::{CacheKey, CachedResult, PlanCache, ResultCache};
 pub use client::{Client, ClientConfig, ClientStats, TransportFactory};
 pub use error::{Result, ServerError};
 pub use net::Server;
-pub use pool::WorkerPool;
+pub use pool::{Job, JobPayload, WorkerPool};
 pub use protocol::{Request, RequestLimits, Response};
 pub use report::{json_escape, json_report, CacheReport};
-pub use service::{Counters, FlockService, ServerConfig};
+pub use service::{Counters, FlockService, LocalHandler, RequestHandler, ServerConfig};
+pub use shard::{Coordinator, ShardConfig, ShardConnector};
 pub use transport::{ChaosNet, NetChaos, NetFault, NetOp, Transport};

@@ -44,9 +44,9 @@ use qf_storage::Database;
 
 use crate::error::ServerError;
 use crate::frame::{is_corruption, read_first_byte, read_frame_rest, write_frame, MAX_FRAME};
-use crate::pool::{Job, WorkerPool};
+use crate::pool::{Job, JobPayload, WorkerPool};
 use crate::protocol::{Request, Response};
-use crate::service::{FlockService, ServerConfig};
+use crate::service::{FlockService, LocalHandler, RequestHandler, ServerConfig};
 use crate::transport::Transport;
 
 /// How often the connection thread wakes while waiting for a worker
@@ -69,19 +69,28 @@ pub struct Server {
 
 impl Server {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
-    /// serving the given catalog.
+    /// serving the given catalog standalone: every request runs against
+    /// the local service.
     pub fn serve(config: ServerConfig, db: Database, addr: &str) -> std::io::Result<Server> {
         let service = Arc::new(FlockService::new(config, db));
-        let (pool, worker_handles) = WorkerPool::spawn(Arc::clone(&service));
+        Server::serve_handler(Arc::new(LocalHandler::new(service)), addr)
+    }
+
+    /// Bind `addr` and serve through an arbitrary [`RequestHandler`] —
+    /// the shard coordinator plugs in here with the same accept loop,
+    /// framing, admission queue, and worker pool as the standalone
+    /// server.
+    pub fn serve_handler(handler: Arc<dyn RequestHandler>, addr: &str) -> std::io::Result<Server> {
+        let service = Arc::clone(handler.service());
+        let (pool, worker_handles) = WorkerPool::spawn(Arc::clone(&handler));
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let accept_handle = {
-            let service = Arc::clone(&service);
             let pool = pool.clone();
             std::thread::Builder::new()
                 .name("qf-accept".to_string())
-                .spawn(move || accept_loop(&listener, &service, &pool))
+                .spawn(move || accept_loop(&listener, &handler, &pool))
                 .expect("spawn accept thread")
         };
         Ok(Server {
@@ -123,7 +132,8 @@ impl Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, service: &Arc<FlockService>, pool: &WorkerPool) {
+fn accept_loop(listener: &TcpListener, handler: &Arc<dyn RequestHandler>, pool: &WorkerPool) {
+    let service = handler.service();
     // Bounded backoff for transient accept() failures (fd exhaustion,
     // kernel hiccups): sleep and retry, never exit — doubling up to a
     // ceiling, reset by any successful accept.
@@ -146,13 +156,17 @@ fn accept_loop(listener: &TcpListener, service: &Arc<FlockService>, pool: &Worke
                     shed_connection(stream, service, live, cap);
                     continue;
                 }
-                let service2 = Arc::clone(service);
+                let handler2 = Arc::clone(handler);
                 let pool = pool.clone();
                 let spawned = std::thread::Builder::new()
                     .name("qf-conn".to_string())
                     .spawn(move || {
-                        handle_connection(Box::new(stream), &service2, &pool);
-                        service2.counters.conns.fetch_sub(1, Ordering::SeqCst);
+                        handle_connection(Box::new(stream), &handler2, &pool);
+                        handler2
+                            .service()
+                            .counters
+                            .conns
+                            .fetch_sub(1, Ordering::SeqCst);
                     });
                 if spawned.is_err() {
                     // Thread exhaustion is transient too: release the
@@ -209,9 +223,14 @@ fn millis_opt(ms: u64) -> Option<Duration> {
     (ms > 0).then(|| Duration::from_millis(ms))
 }
 
-fn handle_connection(mut conn: Box<dyn Transport>, service: &Arc<FlockService>, pool: &WorkerPool) {
-    let idle = millis_opt(service.config.idle_timeout_ms);
-    let strict = millis_opt(service.config.io_timeout_ms);
+fn handle_connection(
+    mut conn: Box<dyn Transport>,
+    handler: &Arc<dyn RequestHandler>,
+    pool: &WorkerPool,
+) {
+    let config = &handler.service().config;
+    let idle = millis_opt(config.idle_timeout_ms);
+    let strict = millis_opt(config.io_timeout_ms);
     loop {
         // Wait for the first byte of the next frame under the generous
         // idle timeout: a keep-alive connection may sit quietly between
@@ -251,7 +270,7 @@ fn handle_connection(mut conn: Box<dyn Transport>, service: &Arc<FlockService>, 
             }
             Err(_) => return, // truncated / timed out / reset: reap
         };
-        let response = dispatch(&payload, service, pool, conn.as_mut());
+        let response = dispatch(&payload, handler, pool, conn.as_mut());
         // A rendered response past the frame cap would make write_frame
         // fail and silently kill the connection; send a typed budget
         // error instead so the client learns *why* (and can retry with
@@ -286,10 +305,11 @@ fn is_timeout(e: &std::io::Error) -> bool {
 
 fn dispatch(
     payload: &[u8],
-    service: &Arc<FlockService>,
+    handler: &Arc<dyn RequestHandler>,
     pool: &WorkerPool,
     conn: &mut dyn Transport,
 ) -> Response {
+    let service = handler.service();
     let text = match std::str::from_utf8(payload) {
         Ok(t) => t,
         Err(_) => {
@@ -303,46 +323,51 @@ fn dispatch(
         Ok(r) => r,
         Err(e) => return Response::from_error(&e),
     };
-    match request {
+    // Heavy requests go through admission; everything else is answered
+    // inline on the connection thread.
+    let (job_payload, limits) = match request {
         Request::Flock {
             text,
             support,
             limits,
-        } => {
-            // Over-cap budgets are rejected before queueing: typed
-            // error, counted, and no queue slot wasted.
-            let effective = match service.admission_limits(&limits) {
-                Ok(eff) => eff,
-                Err(e) => {
-                    service.note_rejection();
-                    return Response::from_error(&e);
-                }
-            };
-            // Stamp the deadline *now*, at admission: time spent queued
-            // counts against the request's budget, and a job that
-            // expires in the queue is rejected typed without executing.
-            let budget_ms = effective.timeout_ms.unwrap_or(0);
-            let deadline = effective
-                .timeout_ms
-                .map(|ms| Instant::now() + Duration::from_millis(ms));
-            let cancel = CancelToken::new();
-            let (tx, rx) = mpsc::channel();
-            let job = Job {
-                text,
-                support,
-                limits,
-                deadline,
-                budget_ms,
-                cancel: cancel.clone(),
-                reply: tx,
-            };
-            if let Err(e) = pool.submit(job) {
-                return Response::from_error(&e);
-            }
-            await_reply(&rx, deadline, budget_ms, &cancel, service, conn)
+        } => (JobPayload::Flock { text, support }, limits),
+        Request::Partial {
+            text,
+            scratch,
+            limits,
+        } => (JobPayload::Partial { text, scratch }, limits),
+        light => return handler.handle_light(&light),
+    };
+    // Over-cap budgets are rejected before queueing: typed error,
+    // counted, and no queue slot wasted.
+    let effective = match service.admission_limits(&limits) {
+        Ok(eff) => eff,
+        Err(e) => {
+            service.note_rejection();
+            return Response::from_error(&e);
         }
-        light => service.handle_light(&light),
+    };
+    // Stamp the deadline *now*, at admission: time spent queued counts
+    // against the request's budget, and a job that expires in the queue
+    // is rejected typed without executing.
+    let budget_ms = effective.timeout_ms.unwrap_or(0);
+    let deadline = effective
+        .timeout_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let cancel = CancelToken::new();
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        payload: job_payload,
+        limits,
+        deadline,
+        budget_ms,
+        cancel: cancel.clone(),
+        reply: tx,
+    };
+    if let Err(e) = pool.submit(job) {
+        return Response::from_error(&e);
     }
+    await_reply(&rx, deadline, budget_ms, &cancel, service, conn)
 }
 
 /// Wait for the worker's reply without ever blocking forever: poll the

@@ -1,6 +1,6 @@
 //! Admission control: a bounded job queue feeding a fixed worker pool.
 //!
-//! Flock requests do real work — joins, aggregation, possibly a plan
+//! Admitted requests do real work — joins, aggregation, possibly a plan
 //! search — so they never run on connection threads. A connection
 //! submits a [`Job`] and blocks on its private reply channel; workers
 //! drain the queue. The queue is **bounded**: when it is full the
@@ -8,10 +8,18 @@
 //! instead of building an invisible backlog (the client can back off;
 //! an unbounded queue just converts overload into latency and memory).
 //!
+//! The pool is generic over a [`RequestHandler`]: the standalone server
+//! hands jobs straight to the [`FlockService`], while the shard
+//! coordinator substitutes its scatter-gather handler — admission,
+//! queueing, triage, and fair thread allocation are identical in both
+//! deployments.
+//!
 //! Shutdown is graceful by construction: closing the queue rejects new
 //! submissions with [`ServerError::ShuttingDown`] but workers keep
 //! draining the jobs already admitted, so every accepted request gets
 //! its response before the pool exits.
+//!
+//! [`FlockService`]: crate::service::FlockService
 
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
@@ -23,16 +31,33 @@ use qf_core::CancelToken;
 
 use crate::error::{Result, ServerError};
 use crate::protocol::{RequestLimits, Response};
-use crate::service::FlockService;
+use crate::service::RequestHandler;
 
-/// One admitted flock request, carrying its reply channel, its
+/// The work an admitted job carries — the heavy request kinds.
+pub enum JobPayload {
+    /// A full flock evaluation (`flock`).
+    Flock {
+        /// Flock program text.
+        text: String,
+        /// Optional support-threshold override.
+        support: Option<i64>,
+    },
+    /// One scatter-gather step against this shard's fragment
+    /// (`partial`).
+    Partial {
+        /// Mini-flock program text at a vacuous threshold.
+        text: String,
+        /// Scratch relations (TSV) to overlay on the catalog snapshot.
+        scratch: Vec<String>,
+    },
+}
+
+/// One admitted request, carrying its reply channel, its
 /// admission-stamped deadline, and the cancellation token shared with
 /// its connection thread.
 pub struct Job {
-    /// Flock program text.
-    pub text: String,
-    /// Optional support-threshold override.
-    pub support: Option<i64>,
+    /// What to evaluate.
+    pub payload: JobPayload,
     /// Per-request budgets.
     pub limits: RequestLimits,
     /// Absolute deadline stamped at admission: queue wait counts
@@ -50,7 +75,8 @@ pub struct Job {
 }
 
 impl Job {
-    /// A job with no deadline and a fresh token (direct/test callers).
+    /// A flock job with no deadline and a fresh token (direct/test
+    /// callers).
     pub fn new(
         text: String,
         support: Option<i64>,
@@ -58,8 +84,7 @@ impl Job {
         reply: mpsc::Sender<Response>,
     ) -> Job {
         Job {
-            text,
-            support,
+            payload: JobPayload::Flock { text, support },
             limits,
             deadline: None,
             budget_ms: 0,
@@ -75,7 +100,7 @@ struct QueueState {
 }
 
 struct PoolInner {
-    service: Arc<FlockService>,
+    handler: Arc<dyn RequestHandler>,
     state: Mutex<QueueState>,
     cond: Condvar,
     cap: usize,
@@ -90,14 +115,17 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawn `service.config.threads` workers over a queue bounded at
-    /// `service.config.queue_cap`. Returns the pool handle and the
-    /// worker join handles (owned by the server for shutdown).
-    pub fn spawn(service: Arc<FlockService>) -> (WorkerPool, Vec<JoinHandle<()>>) {
-        let workers = service.config.threads.max(1);
+    /// Spawn `config.threads` workers over a queue bounded at
+    /// `config.queue_cap` (both from the handler's service). Returns
+    /// the pool handle and the worker join handles (owned by the server
+    /// for shutdown).
+    pub fn spawn(handler: Arc<dyn RequestHandler>) -> (WorkerPool, Vec<JoinHandle<()>>) {
+        let config = &handler.service().config;
+        let workers = config.threads.max(1);
+        let cap = config.queue_cap.max(1);
         let inner = Arc::new(PoolInner {
-            cap: service.config.queue_cap.max(1),
-            service,
+            cap,
+            handler,
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 open: true,
@@ -122,7 +150,7 @@ impl WorkerPool {
     /// [`ServerError::Overloaded`] when the bounded queue is full (the
     /// latter counts toward the server's `rejected` total).
     pub fn submit(&self, job: Job) -> Result<()> {
-        let counters = &self.inner.service.counters;
+        let counters = &self.inner.handler.service().counters;
         let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
         if !state.open {
             return Err(ServerError::ShuttingDown);
@@ -164,7 +192,8 @@ impl WorkerPool {
 }
 
 fn worker_loop(inner: &PoolInner) {
-    let counters = &inner.service.counters;
+    let service = Arc::clone(inner.handler.service());
+    let counters = &service.counters;
     counters.live_workers.fetch_add(1, Ordering::Relaxed);
     loop {
         let job = {
@@ -187,7 +216,7 @@ fn worker_loop(inner: &PoolInner) {
         // whose deadline expired while it sat in the queue, is answered
         // typed without consuming a worker's evaluation time.
         if job.cancel.is_cancelled() {
-            inner.service.note_cancelled();
+            service.note_cancelled();
             let _ = job
                 .reply
                 .send(Response::from_error(&ServerError::Cancelled));
@@ -195,7 +224,7 @@ fn worker_loop(inner: &PoolInner) {
         }
         if let Some(d) = job.deadline {
             if Instant::now() >= d {
-                inner.service.note_timeout();
+                service.note_timeout();
                 let _ = job.reply.send(Response::from_error(&ServerError::Timeout {
                     stage: "queue",
                     budget_ms: job.budget_ms,
@@ -207,14 +236,7 @@ fn worker_loop(inner: &PoolInner) {
         // requests executing right now, never below one.
         let active = counters.active.fetch_add(1, Ordering::SeqCst) + 1;
         let fair = (inner.workers / active.max(1)).max(1);
-        let response = inner.service.handle_flock_admitted(
-            &job.text,
-            job.support,
-            &job.limits,
-            fair,
-            job.deadline,
-            Some(&job.cancel),
-        );
+        let response = inner.handler.handle_admitted(&job, fair);
         counters.active.fetch_sub(1, Ordering::SeqCst);
         let _ = job.reply.send(response);
     }

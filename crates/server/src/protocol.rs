@@ -49,6 +49,22 @@ pub enum Request {
         /// Per-request budgets.
         limits: RequestLimits,
     },
+    /// Evaluate one scatter-gather `FILTER` step against this shard's
+    /// catalog fragment and answer with the **scored** relation
+    /// (`params… agg` TSV) instead of the thresholded flock result.
+    /// The coordinator sends the step as an ordinary mini-flock program
+    /// at a vacuous threshold, plus the step's already-merged upstream
+    /// outputs as scratch relations (TSV, one per section).
+    Partial {
+        /// Mini-flock program text (`QUERY: … FILTER: <vacuous>`).
+        text: String,
+        /// Scratch relations as TSV text, inserted into a snapshot of
+        /// the shard catalog before evaluation.
+        scratch: Vec<String>,
+        /// Per-request budgets (the coordinator forwards its remaining
+        /// deadline and per-shard row/memory budgets here).
+        limits: RequestLimits,
+    },
     /// Canonicalize a flock program and return its fingerprint.
     Fingerprint {
         /// Program text.
@@ -101,6 +117,37 @@ impl Request {
                     header.push_str(&format!(" threads={n}"));
                 }
                 format!("{header}\n\n{text}")
+            }
+            Request::Partial {
+                text,
+                scratch,
+                limits,
+            } => {
+                // Sections (program text, then each scratch TSV) are
+                // byte-concatenated and framed by explicit lengths in
+                // the header: TSV bodies may themselves contain blank
+                // lines, so a separator convention cannot work.
+                let mut header = "partial".to_string();
+                let mut parts: Vec<String> = vec![text.len().to_string()];
+                parts.extend(scratch.iter().map(|s| s.len().to_string()));
+                header.push_str(&format!(" parts={}", parts.join(",")));
+                if let Some(r) = limits.max_rows {
+                    header.push_str(&format!(" max-rows={r}"));
+                }
+                if let Some(b) = limits.mem_budget {
+                    header.push_str(&format!(" mem-budget={b}"));
+                }
+                if let Some(t) = limits.timeout_ms {
+                    header.push_str(&format!(" timeout={t}"));
+                }
+                if let Some(n) = limits.threads {
+                    header.push_str(&format!(" threads={n}"));
+                }
+                let mut body = text.clone();
+                for s in scratch {
+                    body.push_str(s);
+                }
+                format!("{header}\n\n{body}")
             }
             Request::Fingerprint { text } => format!("fingerprint\n\n{text}"),
             Request::Stats => "stats\n\n".to_string(),
@@ -172,6 +219,64 @@ impl Request {
                 Ok(Request::Flock {
                     text: body.to_string(),
                     support,
+                    limits,
+                })
+            }
+            "partial" => {
+                let mut lens: Option<Vec<usize>> = None;
+                let mut limits = RequestLimits::default();
+                for (k, v) in kv(parts)? {
+                    match k.as_str() {
+                        "parts" => {
+                            lens = Some(
+                                v.split(',')
+                                    .map(|p| {
+                                        p.parse::<usize>().map_err(|_| {
+                                            ServerError::Proto(format!("bad part length `{p}`"))
+                                        })
+                                    })
+                                    .collect::<Result<Vec<usize>>>()?,
+                            )
+                        }
+                        "max-rows" => limits.max_rows = Some(parse_u64(&v)?),
+                        "mem-budget" => limits.mem_budget = Some(parse_u64(&v)?),
+                        "timeout" => limits.timeout_ms = Some(parse_u64(&v)?),
+                        "threads" => limits.threads = Some(parse_u64(&v)? as usize),
+                        other => {
+                            return Err(ServerError::Proto(format!(
+                                "unknown partial key `{other}`"
+                            )))
+                        }
+                    }
+                }
+                let lens =
+                    lens.ok_or_else(|| ServerError::Proto("partial needs parts=…".into()))?;
+                if lens.is_empty() {
+                    return Err(ServerError::Proto("partial needs at least one part".into()));
+                }
+                let mut sections = Vec::with_capacity(lens.len());
+                let mut at = 0usize;
+                for len in &lens {
+                    let end = at.checked_add(*len).filter(|&e| e <= body.len());
+                    let section = end.and_then(|e| body.get(at..e)).ok_or_else(|| {
+                        ServerError::Proto(format!(
+                            "partial parts overrun the {}-byte body",
+                            body.len()
+                        ))
+                    })?;
+                    sections.push(section.to_string());
+                    at += len;
+                }
+                if at != body.len() {
+                    return Err(ServerError::Proto(format!(
+                        "partial parts cover {at} of {} body bytes",
+                        body.len()
+                    )));
+                }
+                let text = sections.remove(0);
+                Ok(Request::Partial {
+                    text,
+                    scratch: sections,
                     limits,
                 })
             }
@@ -311,10 +416,42 @@ mod tests {
     }
 
     #[test]
+    fn partial_roundtrip_with_blank_lines_in_scratch() {
+        let req = Request::Partial {
+            text: "QUERY: answer(B) :- r(B,$1) FILTER: COUNT(answer.B) >= -9\n".into(),
+            scratch: vec![
+                // Scratch TSVs may contain blank lines — byte framing
+                // must carry them through untouched.
+                "ok\tp\nbeer\n\nwine\n".into(),
+                "aux\tq\n".into(),
+            ],
+            limits: RequestLimits {
+                max_rows: Some(10),
+                mem_budget: None,
+                timeout_ms: Some(500),
+                threads: None,
+            },
+        };
+        assert_eq!(Request::parse(&req.render()).unwrap(), req);
+        assert!(req.is_idempotent());
+        // No scratch at all is fine too.
+        let bare = Request::Partial {
+            text: "QUERY: …".into(),
+            scratch: vec![],
+            limits: RequestLimits::default(),
+        };
+        assert_eq!(Request::parse(&bare.render()).unwrap(), bare);
+    }
+
+    #[test]
     fn malformed_requests_rejected() {
         assert!(Request::parse("bogus\n\n").is_err());
         assert!(Request::parse("gen seed=1\n\n").is_err()); // missing kind
         assert!(Request::parse("flock support=abc\n\nQUERY: …").is_err());
         assert!(Request::parse("flock rows\n\n").is_err()); // not key=value
+        assert!(Request::parse("partial\n\nbody").is_err()); // missing parts
+        assert!(Request::parse("partial parts=99\n\nshort").is_err()); // overrun
+        assert!(Request::parse("partial parts=2\n\nlonger body").is_err()); // leftover bytes
+        assert!(Request::parse("partial parts=x\n\nbody").is_err()); // bad length
     }
 }

@@ -91,6 +91,32 @@ pub fn json_report(
     )
 }
 
+/// Append extra `"key":value,…` fields to a one-line JSON object
+/// (shard coordinators extend base reports with `shard_*` rollups
+/// without reparsing them).
+pub fn extend_json(obj: &str, extra: &str) -> String {
+    let trimmed = obj.trim_end();
+    match trimmed.strip_suffix('}') {
+        Some(head) if head.trim_end().ends_with('{') => format!("{}{extra}}}", head.trim_end()),
+        Some(head) => format!("{head},{extra}}}"),
+        None => format!("{{{extra}}}"),
+    }
+}
+
+/// Scan a one-line JSON object for a non-negative integer field. Only
+/// as strong as the reports this crate itself renders need — exact key
+/// match at top level of a flat object, digits only.
+pub fn json_u64(obj: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = &obj[at..];
+    let end = rest
+        .char_indices()
+        .find(|(_, c)| !c.is_ascii_digit())
+        .map_or(rest.len(), |(i, _)| i);
+    rest[..end].parse().ok()
+}
+
 /// Minimal JSON string escaping.
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -154,5 +180,16 @@ mod tests {
         ] {
             assert!(out.contains(key), "missing {key} in {out}");
         }
+    }
+
+    #[test]
+    fn extend_and_scan_json() {
+        assert_eq!(extend_json("{\"a\":1}", "\"b\":2"), "{\"a\":1,\"b\":2}");
+        assert_eq!(extend_json("{}", "\"b\":2"), "{\"b\":2}");
+        let obj = "{\"cache_hits\":12,\"timeouts\":0,\"nested\":\"x\"}";
+        assert_eq!(json_u64(obj, "cache_hits"), Some(12));
+        assert_eq!(json_u64(obj, "timeouts"), Some(0));
+        assert_eq!(json_u64(obj, "absent"), None);
+        assert_eq!(json_u64("{\"k\":\"str\"}", "k"), None);
     }
 }

@@ -10,7 +10,7 @@
 //! unit-testable without sockets.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
 
 use qf_core::{
@@ -18,10 +18,11 @@ use qf_core::{
     ExecContext, ExecStats, FilterCondition, FlockProgram, JoinOrderStrategy, QueryFlock,
     QueryPlan,
 };
-use qf_storage::{tsv, Database, Relation};
+use qf_storage::{spill::content_hash, tsv, Database, Fnv1a, Relation};
 
 use crate::cache::{CacheKey, CachedResult, PlanCache, ResultCache};
 use crate::error::{Result, ServerError};
+use crate::pool::{Job, JobPayload};
 use crate::protocol::{Request, RequestLimits, Response};
 use crate::report::{json_escape, json_report, CacheReport};
 
@@ -133,6 +134,67 @@ impl Counters {
     }
 }
 
+/// How a deployment executes requests. The net/pool layers are generic
+/// over this: the standalone server ([`LocalHandler`]) hands admitted
+/// jobs straight to its [`FlockService`], while the shard coordinator
+/// substitutes scatter-gather execution — admission control, queueing,
+/// deadline triage, and fair thread allocation stay identical.
+pub trait RequestHandler: Send + Sync {
+    /// The shared service state (config, counters, catalog, caches).
+    fn service(&self) -> &Arc<FlockService>;
+
+    /// Answer a light request on the connection thread (everything
+    /// except `flock`/`partial`). Deployments that fan a mutation or
+    /// `stats` out to other tiers override this.
+    fn handle_light(&self, req: &Request) -> Response {
+        self.service().handle_light(req)
+    }
+
+    /// Execute an admitted heavy job with `granted_threads` workers.
+    /// Called on a pool worker thread.
+    fn handle_admitted(&self, job: &Job, granted_threads: usize) -> Response;
+}
+
+/// The standalone (single-node) deployment: every job runs against the
+/// local service.
+pub struct LocalHandler {
+    service: Arc<FlockService>,
+}
+
+impl LocalHandler {
+    /// Wrap a service.
+    pub fn new(service: Arc<FlockService>) -> LocalHandler {
+        LocalHandler { service }
+    }
+}
+
+impl RequestHandler for LocalHandler {
+    fn service(&self) -> &Arc<FlockService> {
+        &self.service
+    }
+
+    fn handle_admitted(&self, job: &Job, granted_threads: usize) -> Response {
+        match &job.payload {
+            JobPayload::Flock { text, support } => self.service.handle_flock_admitted(
+                text,
+                *support,
+                &job.limits,
+                granted_threads,
+                job.deadline,
+                Some(&job.cancel),
+            ),
+            JobPayload::Partial { text, scratch } => self.service.handle_partial_admitted(
+                text,
+                scratch,
+                &job.limits,
+                granted_threads,
+                job.deadline,
+                Some(&job.cancel),
+            ),
+        }
+    }
+}
+
 /// The resident service state shared by every connection and worker.
 pub struct FlockService {
     db: RwLock<Database>,
@@ -191,8 +253,8 @@ impl FlockService {
             Request::Gen { kind, seed } => self.generate(kind, *seed),
             Request::Load { tsv } => self.load(tsv),
             Request::Fingerprint { text } => fingerprint(text),
-            Request::Flock { .. } => Err(ServerError::Proto(
-                "flock requests must go through admission".to_string(),
+            Request::Flock { .. } | Request::Partial { .. } => Err(ServerError::Proto(
+                "flock/partial requests must go through admission".to_string(),
             )),
         };
         match result {
@@ -248,6 +310,149 @@ impl FlockService {
         }
     }
 
+    /// Evaluate an admitted `partial` request: one scatter-gather step
+    /// against this shard's catalog fragment, answered with the
+    /// **scored** relation so the coordinator can merge it
+    /// algebraically. Called on a pool worker.
+    pub fn handle_partial_admitted(
+        &self,
+        text: &str,
+        scratch: &[String],
+        limits: &RequestLimits,
+        granted_threads: usize,
+        deadline: Option<Instant>,
+        cancel: Option<&CancelToken>,
+    ) -> Response {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        match self.eval_partial(text, scratch, limits, granted_threads, deadline, cancel) {
+            Ok(resp) => resp,
+            Err(e) => {
+                match &e {
+                    ServerError::Timeout { .. } => self.note_timeout(),
+                    ServerError::Cancelled => self.note_cancelled(),
+                    _ => {}
+                }
+                Response::from_error(&e)
+            }
+        }
+    }
+
+    fn eval_partial(
+        &self,
+        text: &str,
+        scratch: &[String],
+        limits: &RequestLimits,
+        granted_threads: usize,
+        deadline: Option<Instant>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Response> {
+        let start = Instant::now();
+        let flock = QueryFlock::parse(text).map_err(|e| ServerError::Parse(e.to_string()))?;
+        let filter = *flock.filter();
+        let canonical_filter = flock.canonical_filter();
+        let effective = self.admission_limits(limits)?;
+        let (mut db, fp) = self.snapshot();
+        // The cache key folds the scratch overlays into the catalog
+        // fingerprint by content, so a step re-scattered with the same
+        // upstream outputs hits, and any change to either misses.
+        let mut h = Fnv1a::new();
+        h.write(&fp.to_le_bytes());
+        for tsv_text in scratch {
+            let rel = tsv::read_tsv(std::io::Cursor::new(tsv_text.as_bytes()))
+                .map_err(|e| ServerError::Parse(e.to_string()))?;
+            h.write(rel.name().as_bytes());
+            h.write(&content_hash(&rel).to_le_bytes());
+            db.insert(rel);
+        }
+        let key = CacheKey {
+            query: flock.canonical_query_text(),
+            agg_pos: flock.agg_head_pos(),
+            catalog_fp: h.finish(),
+        };
+
+        if let Some(hit) = unpoison(self.result_cache.lock()).lookup(&key, &canonical_filter) {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let scored = refilter_scored(&hit.scored, &filter);
+            let meta = json_report(
+                "partial-cache",
+                scored.len(),
+                start.elapsed().as_millis(),
+                &ExecStats::default(),
+                0,
+                0,
+                &self.counters.cache_report(true, true),
+            );
+            return Ok(Response::Ok {
+                meta,
+                body: render_tsv(&scored),
+            });
+        }
+        self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        let ctx = self.exec_context(&effective, granted_threads, deadline, cancel);
+        // Always the direct plan: a partial *is* one step of a plan the
+        // coordinator already searched; searching again here would only
+        // burn the budget the governor metered out.
+        let plan = direct_plan(&flock).map_err(ServerError::from_eval)?;
+        let run = execute_plan_scored_with(&plan, &db, JoinOrderStrategy::Greedy, &ctx)
+            .map_err(ServerError::from_eval)?;
+        unpoison(self.result_cache.lock()).insert(
+            key,
+            CachedResult {
+                baseline: canonical_filter,
+                scored: run.scored.clone(),
+                strategy: "partial".to_string(),
+            },
+        );
+        let meta = json_report(
+            "partial",
+            run.scored.len(),
+            start.elapsed().as_millis(),
+            &ctx.stats(),
+            0,
+            0,
+            &self.counters.cache_report(false, false),
+        );
+        Ok(Response::Ok {
+            meta,
+            body: render_tsv(&run.scored),
+        })
+    }
+
+    /// Build the governed execution context for an admitted request:
+    /// effective budgets, fair thread grant, and the admission-stamped
+    /// absolute deadline (queue wait already spent) in preference to a
+    /// relative timeout that would restart the clock. Crate-visible so
+    /// the shard coordinator governs its scatter loop identically.
+    pub(crate) fn exec_context(
+        &self,
+        effective: &RequestLimits,
+        granted_threads: usize,
+        deadline: Option<Instant>,
+        cancel: Option<&CancelToken>,
+    ) -> ExecContext {
+        let threads = effective
+            .threads
+            .map_or(granted_threads, |n| n.min(granted_threads))
+            .max(1);
+        let mut ctx = ExecContext::unbounded().with_threads(threads);
+        if let Some(r) = effective.max_rows {
+            ctx = ctx.with_max_rows(r);
+        }
+        if let Some(b) = effective.mem_budget {
+            ctx = ctx.with_mem_budget(b);
+        }
+        match (deadline, effective.timeout_ms) {
+            (Some(d), _) => ctx = ctx.with_deadline(d),
+            (None, Some(ms)) => ctx = ctx.with_timeout(Duration::from_millis(ms)),
+            (None, None) => {}
+        }
+        if let Some(tok) = cancel {
+            ctx = ctx.with_cancel_token(tok.clone());
+        }
+        ctx
+    }
+
     /// Reject requests whose row/byte asks exceed the server's
     /// per-request caps; otherwise resolve the effective budgets (ask,
     /// or cap, or none). The timeout is different: a client ask is
@@ -274,6 +479,31 @@ impl FlockService {
             timeout_ms,
             threads: limits.threads,
         })
+    }
+
+    /// Monotone result-cache lookup at the service tier (the shard
+    /// coordinator keeps its cross-shard cache here too).
+    pub(crate) fn result_cache_lookup(
+        &self,
+        key: &CacheKey,
+        filter: &FilterCondition,
+    ) -> Option<CachedResult> {
+        unpoison(self.result_cache.lock()).lookup(key, filter)
+    }
+
+    /// Store a scored result in the service-tier cache.
+    pub(crate) fn result_cache_insert(&self, key: CacheKey, entry: CachedResult) {
+        unpoison(self.result_cache.lock()).insert(key, entry);
+    }
+
+    /// Fetch a cached plan shape.
+    pub(crate) fn plan_cache_lookup(&self, key: &CacheKey) -> Option<Vec<qf_core::FilterStep>> {
+        unpoison(self.plan_cache.lock()).lookup(key)
+    }
+
+    /// Store a searched plan shape.
+    pub(crate) fn plan_cache_insert(&self, key: &CacheKey, steps: Vec<qf_core::FilterStep>) {
+        unpoison(self.plan_cache.lock()).insert(key.clone(), steps);
     }
 
     /// Note a deadline expiry (queue, eval, or reply stage).
@@ -353,27 +583,7 @@ impl FlockService {
         self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
 
         // Cold path: governed scored evaluation.
-        let threads = effective
-            .threads
-            .map_or(granted_threads, |n| n.min(granted_threads))
-            .max(1);
-        let mut ctx = ExecContext::unbounded().with_threads(threads);
-        if let Some(r) = effective.max_rows {
-            ctx = ctx.with_max_rows(r);
-        }
-        if let Some(b) = effective.mem_budget {
-            ctx = ctx.with_mem_budget(b);
-        }
-        // An admission-stamped absolute deadline (queue wait already
-        // spent) beats a relative timeout that would restart the clock.
-        match (deadline, effective.timeout_ms) {
-            (Some(d), _) => ctx = ctx.with_deadline(d),
-            (None, Some(ms)) => ctx = ctx.with_timeout(Duration::from_millis(ms)),
-            (None, None) => {}
-        }
-        if let Some(tok) = cancel {
-            ctx = ctx.with_cancel_token(tok.clone());
-        }
+        let ctx = self.exec_context(&effective, granted_threads, deadline, cancel);
 
         let extended = program
             .materialize_views_with(&db, JoinOrderStrategy::Greedy, &ctx)
@@ -511,8 +721,9 @@ impl FlockService {
 
     /// Apply a catalog mutation and invalidate both caches. The
     /// fingerprint key already makes stale entries unreachable; the
-    /// clear reclaims their memory immediately.
-    fn mutate_catalog(&self, f: impl FnOnce(&mut Database)) {
+    /// clear reclaims their memory immediately. Crate-visible so the
+    /// shard coordinator can mutate its master catalog the same way.
+    pub(crate) fn mutate_catalog(&self, f: impl FnOnce(&mut Database)) {
         let mut guard = self.db.write().unwrap_or_else(|e| e.into_inner());
         f(&mut guard);
         unpoison(self.result_cache.lock()).clear();
@@ -553,7 +764,7 @@ impl FlockService {
 /// Parse a program, optionally overriding the filter threshold (the
 /// `support=` request key — lets clients sweep thresholds over one
 /// body, which is exactly the monotone-reuse sweet spot).
-fn parse_program(text: &str, support: Option<i64>) -> Result<FlockProgram> {
+pub(crate) fn parse_program(text: &str, support: Option<i64>) -> Result<FlockProgram> {
     let program = FlockProgram::parse(text).map_err(|e| ServerError::Parse(e.to_string()))?;
     match support {
         None => Ok(program),
@@ -578,6 +789,19 @@ fn fingerprint(text: &str) -> Result<(String, String)> {
         program.flock().params().len()
     );
     Ok((meta, program.canonical_text()))
+}
+
+/// Keep only the scored rows whose aggregate (last column) passes
+/// `filter` — how a cached scored relation answers a subsumed partial
+/// request exactly.
+pub(crate) fn refilter_scored(scored: &Relation, filter: &FilterCondition) -> Relation {
+    let arity = scored.schema().arity();
+    let tuples = scored
+        .iter()
+        .filter(|t| filter.accepts(t.get(arity - 1)))
+        .cloned()
+        .collect();
+    Relation::from_sorted_dedup(scored.schema().clone(), tuples)
 }
 
 /// Render a relation as TSV text — the response body format. Stable

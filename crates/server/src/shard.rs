@@ -1,0 +1,722 @@
+//! `qf-shard`: scatter-gather flock execution over hash-partitioned
+//! `qf-server` workers.
+//!
+//! The [`Coordinator`] is a [`RequestHandler`]: it plugs into the same
+//! accept loop, framing, admission queue, and worker pool as the
+//! standalone server ([`crate::net::Server::serve_handler`]), but
+//! executes admitted flocks by **scatter-gather**:
+//!
+//! 1. The master catalog lives at the coordinator. Every mutation
+//!    (`load`/`gen`) applies there first, then the catalog is
+//!    hash-partitioned ([`qf_core::partition_database`], content-stable
+//!    hashing) and re-pushed to every shard over the ordinary framed
+//!    protocol.
+//! 2. A flock that passes the shardability check
+//!    ([`qf_core::shard_key_pos`]) is planned at the coordinator (plan
+//!    search sees full-catalog statistics), then each `FILTER` step is
+//!    sent to every shard as a `partial` request — the step as a
+//!    mini-flock at a *vacuous* threshold, plus the already-merged
+//!    upstream step outputs as scratch relations. Shards answer with
+//!    scored `(params…, agg)` partials.
+//! 3. The coordinator merges partials algebraically (`COUNT`/`SUM` add,
+//!    `MIN`/`MAX` extremize — [`qf_core::merge_scored_partials`]),
+//!    applies the **real** threshold globally, and broadcasts the
+//!    surviving step output to the next step. A-priori pruning thus
+//!    still happens between steps, on globally-correct counts, while
+//!    no shard ever prunes locally (a globally frequent group can be
+//!    locally rare — local pruning would be unsound).
+//!
+//! Failure model: a shard that dies mid-scatter (transport failure) is
+//! **re-scattered** — the coordinator re-derives that shard's fragment
+//! from the master catalog and evaluates the partial locally, so the
+//! run converges with the same bytes. If even that fails, the request
+//! gets a typed, retryable `shard-lost` error. A shard that answers
+//! with a typed `timeout` propagates as a global deadline trip
+//! (stage `shard`). Deadlines propagate: each partial carries the
+//! *remaining* milliseconds of the admission-stamped budget.
+//!
+//! The monotone scored-result cache moves to the coordinator tier:
+//! single-step runs are cached under the **vacuous** baseline (the
+//! merged scored relation holds every group, so one sharded run
+//! answers every future same-direction threshold of the query);
+//! multi-step runs prune between steps and are cached at their own
+//! threshold, exactly like the standalone server.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use qf_core::{
+    best_plan_with, direct_plan, evaluate_scored_partial, flock_result_from_scored,
+    merge_scored_partials, partial_flock, partition_database, scored_schema, shardable_program,
+    vacuous_filter, CancelToken, ExecContext, FilterStep, FlockProgram, JoinOrderStrategy,
+    QueryPlan,
+};
+use qf_storage::{tsv, Database, Relation, Schema, Tuple};
+
+use crate::cache::{CacheKey, CachedResult};
+use crate::client::{Client, ClientConfig};
+use crate::error::{Result, ServerError};
+use crate::pool::{Job, JobPayload};
+use crate::protocol::{Request, RequestLimits, Response};
+use crate::report::{extend_json, json_report, json_u64};
+use crate::service::{
+    parse_program, refilter_scored, render_tsv, FlockService, RequestHandler, ServerConfig,
+};
+
+/// Shard-tier configuration: the worker fleet and what is replicated.
+#[derive(Clone)]
+pub struct ShardConfig {
+    /// Worker addresses (`host:port`), one per shard. Shard `k` owns
+    /// the `k`-th hash fragment of every partitioned relation.
+    pub addrs: Vec<String>,
+    /// Relations replicated in full to every shard instead of being
+    /// hash-partitioned (small dimension tables the shardability check
+    /// may then treat as local everywhere).
+    pub replicated: BTreeSet<String>,
+    /// Robustness knobs for coordinator→shard RPC sessions.
+    pub client: ClientConfig,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            addrs: Vec::new(),
+            replicated: BTreeSet::new(),
+            client: ClientConfig {
+                // One transparent retry against a wobbly worker; real
+                // death is handled by re-scatter, not by retrying
+                // forever.
+                retries: 1,
+                ..ClientConfig::default()
+            },
+        }
+    }
+}
+
+/// Builds a client session to a shard address — swappable so the chaos
+/// tests can interpose [`crate::transport::NetChaos`] on every
+/// coordinator→shard dial.
+pub type ShardConnector = Arc<dyn Fn(&str, &ClientConfig) -> Result<Client> + Send + Sync>;
+
+struct ShardSlot {
+    addr: String,
+    client: Mutex<Option<Client>>,
+}
+
+/// Coordinator-side counters, surfaced as distinct fields in `stats` —
+/// never folded into the per-request counters of [`FlockService`] (a
+/// shard's timeout is not this coordinator's timeout).
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    /// Partial RPCs attempted.
+    pub scatters: AtomicU64,
+    /// Dead-shard fragments recovered by local re-evaluation.
+    pub rescatters: AtomicU64,
+    /// Flock requests executed scatter-gather.
+    pub sharded: AtomicU64,
+    /// Flock requests that failed the shardability check and ran
+    /// locally against the master catalog.
+    pub local_fallbacks: AtomicU64,
+}
+
+/// The scatter-gather front end over a fleet of `qf-server` workers.
+pub struct Coordinator {
+    service: Arc<FlockService>,
+    shards: Vec<ShardSlot>,
+    replicated: BTreeSet<String>,
+    client_config: ClientConfig,
+    connector: ShardConnector,
+    /// Coordinator-tier counters (distinct from the service's).
+    pub shard_counters: ShardCounters,
+}
+
+/// What one shard's partial RPC produced.
+enum ShardOutcome {
+    /// A scored partial, parsed and ready to merge.
+    Scored(Relation),
+    /// Transport-level failure: the shard is presumed dead; the
+    /// coordinator re-scatters its fragment locally.
+    Dead(String),
+    /// The shard answered with a typed error: propagate its class.
+    Refused { kind: String, detail: String },
+}
+
+impl Coordinator {
+    /// Build a coordinator over `shard.addrs` workers, holding `db` as
+    /// the master catalog. Connections are dialed lazily; call
+    /// [`Coordinator::push_catalog`] once the workers are reachable if
+    /// `db` is non-empty (mutations re-push automatically).
+    pub fn new(config: ServerConfig, shard: ShardConfig, db: Database) -> Coordinator {
+        Coordinator {
+            service: Arc::new(FlockService::new(config, db)),
+            shards: shard
+                .addrs
+                .into_iter()
+                .map(|addr| ShardSlot {
+                    addr,
+                    client: Mutex::new(None),
+                })
+                .collect(),
+            replicated: shard.replicated,
+            client_config: shard.client,
+            connector: Arc::new(|addr, cfg| Client::connect_with(addr, cfg.clone())),
+            shard_counters: ShardCounters::default(),
+        }
+    }
+
+    /// Replace the dial function (chaos tests wrap each shard session
+    /// in a fault-injecting transport).
+    pub fn with_connector(mut self, connector: ShardConnector) -> Coordinator {
+        self.connector = connector;
+        self
+    }
+
+    /// Number of shards in the fleet.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Run `f` over shard `k`'s session, dialing if needed. Any
+    /// transport-level error tears the session down so the next call
+    /// redials.
+    fn with_client<T>(&self, k: usize, f: impl FnOnce(&mut Client) -> Result<T>) -> Result<T> {
+        let slot = &self.shards[k];
+        let mut guard = slot.client.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.is_none() {
+            *guard = Some((self.connector)(&slot.addr, &self.client_config)?);
+        }
+        let client = guard.as_mut().expect("session just ensured");
+        match f(client) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                *guard = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Partition the master catalog and push every shard its fragment
+    /// (replicated relations go whole to everyone). Called after every
+    /// mutation; also available for initial seeding.
+    pub fn push_catalog(&self) -> Result<()> {
+        let (db, _) = self.service.snapshot();
+        let frags = partition_database(&db, self.shards.len(), &self.replicated);
+        for (k, frag) in frags.iter().enumerate() {
+            for rel in frag.iter() {
+                let body = render_tsv(rel);
+                let resp =
+                    self.with_client(k, |c| c.load(&body))
+                        .map_err(|e| ServerError::ShardLost {
+                            shard: k,
+                            detail: e.to_string(),
+                        })?;
+                if let Response::Err { kind, detail } = resp {
+                    return Err(ServerError::ShardLost {
+                        shard: k,
+                        detail: format!("load rejected ({kind}): {detail}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One shard's partial RPC, classified for the gather loop.
+    fn shard_partial(
+        &self,
+        k: usize,
+        text: &str,
+        scratch: &[String],
+        limits: RequestLimits,
+    ) -> ShardOutcome {
+        self.shard_counters.scatters.fetch_add(1, Ordering::Relaxed);
+        let sent = self.with_client(k, |c| c.partial(text, scratch.to_vec(), limits));
+        match sent {
+            Err(e) => ShardOutcome::Dead(e.to_string()),
+            // A draining shard answers typed `shutting-down` on a still
+            // -open session but will not serve this scatter or any
+            // later one: drop the session and recover like a death.
+            Ok(Response::Err { kind, detail }) if kind == "shutting-down" => {
+                let slot = &self.shards[k];
+                *slot.client.lock().unwrap_or_else(|e| e.into_inner()) = None;
+                ShardOutcome::Dead(format!("shard draining: {detail}"))
+            }
+            Ok(Response::Err { kind, detail }) => ShardOutcome::Refused { kind, detail },
+            Ok(Response::Ok { body, .. }) => {
+                match tsv::read_tsv(std::io::Cursor::new(body.as_bytes())) {
+                    Ok(rel) => ShardOutcome::Scored(rel),
+                    Err(e) => ShardOutcome::Refused {
+                        kind: "proto".to_string(),
+                        detail: format!("unparseable scored partial: {e}"),
+                    },
+                }
+            }
+        }
+    }
+
+    /// Scatter one step to every shard and gather the scored partials.
+    /// A dead shard's fragment is re-derived from the master snapshot
+    /// and evaluated locally (re-scatter); a typed shard error maps to
+    /// the corresponding coordinator error.
+    #[allow(clippy::too_many_arguments)]
+    fn scatter_step(
+        &self,
+        text: &str,
+        scratch: &[String],
+        limits: RequestLimits,
+        master: &Database,
+        scratch_rels: &[(String, Relation)],
+        mini: &qf_core::QueryFlock,
+        ctx: &ExecContext,
+        rescatters: &mut u64,
+    ) -> Result<Vec<Relation>> {
+        let n = self.shards.len();
+        let outcomes: Vec<ShardOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|k| s.spawn(move || self.shard_partial(k, text, scratch, limits)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| ShardOutcome::Refused {
+                        kind: "eval".to_string(),
+                        detail: "scatter thread panicked".to_string(),
+                    })
+                })
+                .collect()
+        });
+        let mut parts = Vec::with_capacity(n);
+        let mut frags: Option<Vec<Database>> = None;
+        for (k, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                ShardOutcome::Scored(rel) => parts.push(rel),
+                ShardOutcome::Refused { kind, detail } => {
+                    return Err(match kind.as_str() {
+                        "timeout" => ServerError::Timeout {
+                            stage: "shard",
+                            budget_ms: limits.timeout_ms.unwrap_or(0),
+                        },
+                        "cancelled" => ServerError::Cancelled,
+                        "budget" => ServerError::Budget(format!("shard {k}: {detail}")),
+                        _ => ServerError::Eval(format!("shard {k} ({kind}): {detail}")),
+                    })
+                }
+                ShardOutcome::Dead(detail) => {
+                    // Re-scatter: the master catalog can reproduce any
+                    // shard's fragment deterministically. Partition
+                    // once, lazily, and evaluate the dead shard's
+                    // share right here.
+                    let frags = frags
+                        .get_or_insert_with(|| partition_database(master, n, &self.replicated));
+                    let mut frag = frags[k].clone();
+                    for (_, rel) in scratch_rels {
+                        frag.insert(rel.clone());
+                    }
+                    let scored =
+                        evaluate_scored_partial(mini, &frag, JoinOrderStrategy::Greedy, ctx)
+                            .map_err(|e| ServerError::ShardLost {
+                                shard: k,
+                                detail: format!("{detail}; local re-scatter also failed: {e}"),
+                            })?;
+                    self.shard_counters
+                        .rescatters
+                        .fetch_add(1, Ordering::Relaxed);
+                    *rescatters += 1;
+                    parts.push(scored);
+                }
+            }
+        }
+        Ok(parts)
+    }
+
+    /// The sharded flock path: plan at the coordinator, scatter each
+    /// step vacuous, merge algebraically, threshold globally.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_scatter(
+        &self,
+        program: &FlockProgram,
+        limits: &RequestLimits,
+        granted_threads: usize,
+        deadline: Option<Instant>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Response> {
+        let start = Instant::now();
+        let flock = program.flock().clone();
+        let filter = *flock.filter();
+        let canonical_filter = flock.canonical_filter();
+        let effective = self.service.admission_limits(limits)?;
+        let (db, fp) = self.service.snapshot();
+        let key = CacheKey {
+            query: program.canonical_query_text(),
+            agg_pos: flock.agg_head_pos(),
+            catalog_fp: fp,
+        };
+        let n = self.shards.len();
+
+        // Coordinator-tier monotone cache: one sharded run answers
+        // every threshold its baseline subsumes, no scatter at all.
+        if let Some(hit) = self.service.result_cache_lookup(&key, &canonical_filter) {
+            self.service
+                .counters
+                .cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+            let result = flock_result_from_scored(&flock, &hit.scored, &filter);
+            let meta = extend_json(
+                &json_report(
+                    "shard-cache",
+                    result.len(),
+                    start.elapsed().as_millis(),
+                    &qf_core::ExecStats::default(),
+                    0,
+                    0,
+                    &self.service.counters.cache_report(true, true),
+                ),
+                &format!("\"sharded\":true,\"shards\":{n},\"rescatters\":0"),
+            );
+            return Ok(Response::Ok {
+                meta,
+                body: render_tsv(&result),
+            });
+        }
+        self.service
+            .counters
+            .cache_misses
+            .fetch_add(1, Ordering::Relaxed);
+
+        let ctx = self
+            .service
+            .exec_context(&effective, granted_threads, deadline, cancel);
+
+        // Plan at the coordinator: the search sees full-catalog
+        // statistics, and shards execute exactly the steps it picks.
+        let mut plan_cached = false;
+        let cached_steps = self.service.plan_cache_lookup(&key);
+        let (plan, strategy) =
+            match cached_steps.and_then(|steps| QueryPlan::new(flock.clone(), steps).ok()) {
+                Some(plan) => {
+                    plan_cached = true;
+                    (plan, "scatter-gather(plan-cache)")
+                }
+                None => {
+                    let searched = if filter.is_monotone() {
+                        best_plan_with(&flock, &db, &ctx).ok().map(|(plan, _)| plan)
+                    } else {
+                        None
+                    };
+                    match searched {
+                        Some(plan) => {
+                            self.service.plan_cache_insert(&key, plan.steps.clone());
+                            (plan, "scatter-gather")
+                        }
+                        None => (
+                            direct_plan(&flock).map_err(ServerError::from_eval)?,
+                            "scatter-gather(direct)",
+                        ),
+                    }
+                }
+            };
+
+        let budget_ms = effective.timeout_ms.unwrap_or(0);
+        let last = plan.steps.len() - 1;
+        let mut completed: Vec<(String, Relation)> = Vec::new();
+        let mut rescatters = 0u64;
+        let mut final_scored: Option<Relation> = None;
+        for (i, step) in plan.steps.iter().enumerate() {
+            if cancel.is_some_and(|c| c.is_cancelled()) {
+                return Err(ServerError::Cancelled);
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(ServerError::Timeout {
+                    stage: "eval",
+                    budget_ms,
+                });
+            }
+            let mini = partial_flock(step, &filter).map_err(ServerError::from_eval)?;
+            let text = mini.render();
+            let scratch_rels: Vec<(String, Relation)> = {
+                let referenced = referenced_preds(step);
+                completed
+                    .iter()
+                    .filter(|(name, _)| referenced.contains(name.as_str()))
+                    .cloned()
+                    .collect()
+            };
+            let scratch: Vec<String> = scratch_rels
+                .iter()
+                .map(|(_, rel)| render_tsv(rel))
+                .collect();
+            // Deadline propagation: each shard gets what is *left* of
+            // the admission-stamped budget, not a fresh clock.
+            let step_limits = RequestLimits {
+                max_rows: effective.max_rows,
+                mem_budget: effective.mem_budget,
+                timeout_ms: match deadline {
+                    Some(d) => Some(
+                        (d.saturating_duration_since(Instant::now()).as_millis() as u64).max(1),
+                    ),
+                    None => effective.timeout_ms,
+                },
+                threads: None,
+            };
+            let parts = self.scatter_step(
+                &text,
+                &scratch,
+                step_limits,
+                &db,
+                &scratch_rels,
+                &mini,
+                &ctx,
+                &mut rescatters,
+            )?;
+            let merged = merge_scored_partials(&filter.agg, scored_schema(step), &parts)
+                .map_err(ServerError::from_eval)?;
+            if i == last {
+                final_scored = Some(merged);
+            } else {
+                // A-priori pruning between steps, on globally-correct
+                // aggregates: threshold the merged partials with the
+                // *real* filter, project the aggregate away, broadcast.
+                let survivors = refilter_scored(&merged, &filter);
+                completed.push((step.output.clone(), project_step_output(&survivors, step)));
+            }
+        }
+        let scored = final_scored.expect("plans have at least one step");
+        let result = flock_result_from_scored(&flock, &scored, &filter);
+        // Single-step runs were evaluated vacuous end to end: the
+        // scored relation holds *every* group, so cache it under the
+        // vacuous baseline — one sharded run then answers every future
+        // same-direction threshold. Multi-step runs pruned between
+        // steps at the real threshold; they answer what it subsumes.
+        let baseline = if plan.steps.len() == 1 {
+            vacuous_filter(&canonical_filter)
+        } else {
+            canonical_filter
+        };
+        self.service.result_cache_insert(
+            key,
+            CachedResult {
+                baseline,
+                scored,
+                strategy: strategy.to_string(),
+            },
+        );
+        self.shard_counters.sharded.fetch_add(1, Ordering::Relaxed);
+        let meta = extend_json(
+            &json_report(
+                strategy,
+                result.len(),
+                start.elapsed().as_millis(),
+                &ctx.stats(),
+                0,
+                0,
+                &self.service.counters.cache_report(false, plan_cached),
+            ),
+            &format!("\"sharded\":true,\"shards\":{n},\"rescatters\":{rescatters}"),
+        );
+        Ok(Response::Ok {
+            meta,
+            body: render_tsv(&result),
+        })
+    }
+
+    /// The admitted flock path: sharded when the program qualifies,
+    /// local (against the master catalog) when it does not.
+    fn eval_flock_request(
+        &self,
+        text: &str,
+        support: Option<i64>,
+        limits: &RequestLimits,
+        granted_threads: usize,
+        deadline: Option<Instant>,
+        cancel: Option<&CancelToken>,
+    ) -> Response {
+        let program = match parse_program(text, support) {
+            Ok(p) => p,
+            Err(e) => {
+                self.service
+                    .counters
+                    .requests
+                    .fetch_add(1, Ordering::Relaxed);
+                return Response::from_error(&e);
+            }
+        };
+        let shardable =
+            !self.shards.is_empty() && shardable_program(&program, &self.replicated).is_some();
+        if !shardable {
+            self.shard_counters
+                .local_fallbacks
+                .fetch_add(1, Ordering::Relaxed);
+            let resp = self.service.handle_flock_admitted(
+                text,
+                support,
+                limits,
+                granted_threads,
+                deadline,
+                cancel,
+            );
+            return match resp {
+                Response::Ok { meta, body } => Response::Ok {
+                    meta: extend_json(&meta, "\"sharded\":false"),
+                    body,
+                },
+                err => err,
+            };
+        }
+        self.service
+            .counters
+            .requests
+            .fetch_add(1, Ordering::Relaxed);
+        match self.eval_scatter(&program, limits, granted_threads, deadline, cancel) {
+            Ok(resp) => resp,
+            Err(e) => {
+                match &e {
+                    ServerError::Timeout { .. } => self.service.note_timeout(),
+                    ServerError::Cancelled => self.service.note_cancelled(),
+                    _ => {}
+                }
+                Response::from_error(&e)
+            }
+        }
+    }
+
+    /// `stats` with the fleet rolled up: the coordinator's own counters
+    /// stay pure, and per-shard `timeouts`/`cancelled`/`cache_hits`
+    /// appear only under distinct `shard_*` keys — summing them into
+    /// the coordinator's fields would double-count every event once
+    /// here and once on the shard that served it.
+    fn stats_with_shards(&self) -> Response {
+        let base = self.service.stats_json();
+        let mut live = 0u64;
+        let mut rollup = [0u64; 6]; // requests, hits, misses, timeouts, cancelled, rejected
+        for k in 0..self.shards.len() {
+            let Ok(Response::Ok { meta, .. }) = self.with_client(k, |c| c.stats()) else {
+                continue;
+            };
+            live += 1;
+            for (slot, key) in [
+                "requests",
+                "cache_hits",
+                "cache_misses",
+                "timeouts",
+                "cancelled",
+                "rejected",
+            ]
+            .iter()
+            .enumerate()
+            {
+                rollup[slot] += json_u64(&meta, key).unwrap_or(0);
+            }
+        }
+        let sc = &self.shard_counters;
+        let extra = format!(
+            "\"shards\":{},\"shards_live\":{live},\"scatters\":{},\"rescatters\":{},\
+             \"sharded_runs\":{},\"local_fallbacks\":{},\"shard_requests\":{},\
+             \"shard_cache_hits\":{},\"shard_cache_misses\":{},\"shard_timeouts\":{},\
+             \"shard_cancelled\":{},\"shard_rejected\":{}",
+            self.shards.len(),
+            sc.scatters.load(Ordering::Relaxed),
+            sc.rescatters.load(Ordering::Relaxed),
+            sc.sharded.load(Ordering::Relaxed),
+            sc.local_fallbacks.load(Ordering::Relaxed),
+            rollup[0],
+            rollup[1],
+            rollup[2],
+            rollup[3],
+            rollup[4],
+            rollup[5],
+        );
+        Response::Ok {
+            meta: extend_json(&base, &extra),
+            body: String::new(),
+        }
+    }
+}
+
+impl RequestHandler for Coordinator {
+    fn service(&self) -> &Arc<FlockService> {
+        &self.service
+    }
+
+    fn handle_light(&self, req: &Request) -> Response {
+        match req {
+            Request::Load { .. } | Request::Gen { .. } => {
+                // Mutate the master first (also clears the coordinator
+                // caches), then re-push the partitioned catalog. A
+                // failed push is a typed, retryable error: replaying
+                // the mutation is safe (`load`/`gen` replace by name).
+                let resp = self.service.handle_light(req);
+                if resp.is_ok() {
+                    if let Err(e) = self.push_catalog() {
+                        return Response::from_error(&e);
+                    }
+                }
+                resp
+            }
+            Request::Stats => {
+                self.service
+                    .counters
+                    .requests
+                    .fetch_add(1, Ordering::Relaxed);
+                self.stats_with_shards()
+            }
+            Request::Shutdown => {
+                // The workers exist to serve this coordinator: drain
+                // them too (best effort — a dead shard is already
+                // down).
+                for k in 0..self.shards.len() {
+                    let _ = self.with_client(k, |c| c.shutdown());
+                }
+                self.service.handle_light(req)
+            }
+            other => self.service.handle_light(other),
+        }
+    }
+
+    fn handle_admitted(&self, job: &Job, granted_threads: usize) -> Response {
+        match &job.payload {
+            JobPayload::Flock { text, support } => self.eval_flock_request(
+                text,
+                *support,
+                &job.limits,
+                granted_threads,
+                job.deadline,
+                Some(&job.cancel),
+            ),
+            // A coordinator can serve `partial` itself (it holds the
+            // full catalog — a superset of any fragment), which keeps
+            // the protocol uniform for nested topologies and tests.
+            JobPayload::Partial { text, scratch } => self.service.handle_partial_admitted(
+                text,
+                scratch,
+                &job.limits,
+                granted_threads,
+                job.deadline,
+                Some(&job.cancel),
+            ),
+        }
+    }
+}
+
+/// Predicates a step's query mentions — used to ship exactly the
+/// upstream step outputs the shard will scan.
+fn referenced_preds(step: &FilterStep) -> BTreeSet<&str> {
+    step.query
+        .rules()
+        .iter()
+        .flat_map(|r| r.body.iter())
+        .filter_map(|l| l.atom().map(|a| a.pred.as_str()))
+        .collect()
+}
+
+/// Project the aggregate column away from a thresholded scored
+/// relation, yielding the step's output relation (named and columned
+/// like the single-node executor would).
+fn project_step_output(survivors: &Relation, step: &FilterStep) -> Relation {
+    let arity = survivors.schema().arity();
+    let cols: Vec<usize> = (0..arity.saturating_sub(1)).collect();
+    let tuples: Vec<Tuple> = survivors.iter().map(|t| t.project(&cols)).collect();
+    let columns: Vec<String> = step.params.iter().map(|p| p.to_string()).collect();
+    Relation::from_tuples(Schema::from_columns(step.output.clone(), columns), tuples)
+}

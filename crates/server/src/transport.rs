@@ -182,7 +182,7 @@ impl NetChaosState {
                 .map(|s| s.fault)
         };
         let fault = scheduled.or_else(|| {
-            if self.fault_every == 0 || h % self.fault_every != 0 {
+            if self.fault_every == 0 || !h.is_multiple_of(self.fault_every) {
                 return None;
             }
             let menu = op.applicable();

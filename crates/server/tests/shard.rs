@@ -1,0 +1,321 @@
+//! Scatter-gather integration tests: a real coordinator fronting real
+//! `qf-server` workers over TCP. Acceptance criteria from the shard
+//! work: 2-shard runs are bitwise-identical to single-node evaluation,
+//! a killed worker is recovered by local re-scatter, per-shard counters
+//! roll up under distinct `shard_*` stats fields (never summed into the
+//! coordinator's own), and the coordinator→shard path survives the
+//! chaos transport with pinned seeds.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use qf_core::{evaluate_direct, JoinOrderStrategy, QueryFlock};
+use qf_server::report::json_u64;
+use qf_server::service::render_tsv;
+use qf_server::{
+    Client, ClientConfig, Coordinator, NetChaos, RequestLimits, Response, Server, ServerConfig,
+    ServerError, ShardConfig, ShardConnector, Transport,
+};
+use qf_storage::{Database, Relation, Schema, Value};
+
+/// `baskets(bid, item)` with non-numeric item symbols (the TSV wire
+/// path parses digit-like symbols as integers) and enough pair
+/// structure for the support threshold to bite.
+fn demo_db(baskets: i64) -> Database {
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for b in 0..baskets {
+        rows.push(vec![Value::int(b), Value::str("ale")]);
+        if b % 2 == 0 {
+            rows.push(vec![Value::int(b), Value::str("brie")]);
+        }
+        if b % 3 == 0 {
+            rows.push(vec![Value::int(b), Value::str("cod")]);
+        }
+    }
+    let mut db = Database::new();
+    db.insert(Relation::from_rows(
+        Schema::new("baskets", &["bid", "item"]),
+        rows,
+    ));
+    db
+}
+
+/// The fig. 5 shape: frequent item pairs, shardable on the basket id.
+fn pair_flock(support: i64) -> String {
+    format!(
+        "QUERY:\nanswer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2\n\
+         FILTER:\nCOUNT(answer.B) >= {support}"
+    )
+}
+
+fn expected_body(text: &str, db: &Database) -> String {
+    let flock = QueryFlock::parse(text).unwrap();
+    render_tsv(&evaluate_direct(&flock, db, JoinOrderStrategy::Greedy).unwrap())
+}
+
+fn ok_parts(resp: Response) -> (String, String) {
+    match resp {
+        Response::Ok { meta, body } => (meta, body),
+        Response::Err { kind, detail } => panic!("unexpected err {kind}: {detail}"),
+    }
+}
+
+/// Spin up `n` empty workers plus a coordinator over them, and load
+/// `db` through the coordinator (which partitions and pushes).
+fn cluster(n: usize, db: &Database) -> (Vec<Server>, Server, Client) {
+    let workers: Vec<Server> = (0..n)
+        .map(|_| Server::serve(ServerConfig::default(), Database::new(), "127.0.0.1:0").unwrap())
+        .collect();
+    let shard = ShardConfig {
+        addrs: workers.iter().map(|w| w.addr().to_string()).collect(),
+        replicated: BTreeSet::new(),
+        ..ShardConfig::default()
+    };
+    let coord = Server::serve_handler(
+        Arc::new(Coordinator::new(
+            ServerConfig::default(),
+            shard,
+            Database::new(),
+        )),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut client = Client::connect(&coord.addr().to_string()).unwrap();
+    for rel in db.iter() {
+        assert!(client.load(&render_tsv(rel)).unwrap().is_ok());
+    }
+    (workers, coord, client)
+}
+
+#[test]
+fn two_shard_run_matches_single_node_bitwise() {
+    let db = demo_db(12);
+    let (workers, coord, mut client) = cluster(2, &db);
+
+    // Shardable flock: scatter-gather, bitwise-identical result.
+    let text = pair_flock(2);
+    let (meta, body) = ok_parts(client.flock(&text, None, RequestLimits::default()).unwrap());
+    assert!(meta.contains("\"sharded\":true"), "{meta}");
+    assert!(meta.contains("\"shards\":2"), "{meta}");
+    assert_eq!(body, expected_body(&text, &db));
+
+    // A tightened threshold of the same query is answered from the
+    // coordinator-tier cache (single-step runs cache the vacuous
+    // baseline), still bitwise-identical.
+    let (meta, body) = ok_parts(
+        client
+            .flock(&text, Some(4), RequestLimits::default())
+            .unwrap(),
+    );
+    assert!(meta.contains("\"strategy\":\"shard-cache\""), "{meta}");
+    let tight = pair_flock(4);
+    assert_eq!(body, expected_body(&tight, &db));
+
+    // A non-shardable flock (head var is not the subgoals' first
+    // argument) falls back to local evaluation on the master catalog.
+    let local = "QUERY:\nanswer(I) :- baskets(B,I)\nFILTER:\nCOUNT(answer.I) >= 3";
+    let (meta, body) = ok_parts(client.flock(local, None, RequestLimits::default()).unwrap());
+    assert!(meta.contains("\"sharded\":false"), "{meta}");
+    assert_eq!(body, expected_body(local, &db));
+
+    drop(client);
+    for w in workers {
+        w.shutdown();
+        w.join();
+    }
+    coord.shutdown();
+    coord.join();
+}
+
+#[test]
+fn dead_worker_is_recovered_by_rescatter() {
+    let db = demo_db(10);
+    let (mut workers, coord, mut client) = cluster(2, &db);
+
+    // Kill worker 1 *before* the first flock: the scatter hits a dead
+    // shard cold and must converge by re-deriving that fragment from
+    // the master catalog.
+    let victim = workers.pop().unwrap();
+    victim.shutdown();
+    victim.join();
+
+    let text = pair_flock(2);
+    let (meta, body) = ok_parts(client.flock(&text, None, RequestLimits::default()).unwrap());
+    assert!(meta.contains("\"sharded\":true"), "{meta}");
+    let rescatters = json_u64(&meta, "rescatters").unwrap_or(0);
+    assert!(rescatters >= 1, "no re-scatter recorded: {meta}");
+    assert_eq!(body, expected_body(&text, &db));
+
+    drop(client);
+    for w in workers {
+        w.shutdown();
+        w.join();
+    }
+    coord.shutdown();
+    coord.join();
+}
+
+#[test]
+fn shard_counters_roll_up_in_distinct_fields() {
+    let db = demo_db(8);
+    let (workers, coord, mut client) = cluster(2, &db);
+
+    let text = pair_flock(2);
+    assert!(client
+        .flock(&text, None, RequestLimits::default())
+        .unwrap()
+        .is_ok());
+    // Same query again: a coordinator-tier cache hit, no scatter.
+    assert!(client
+        .flock(&text, None, RequestLimits::default())
+        .unwrap()
+        .is_ok());
+
+    let (stats, _) = ok_parts(client.stats().unwrap());
+    assert_eq!(json_u64(&stats, "shards"), Some(2), "{stats}");
+    assert_eq!(json_u64(&stats, "shards_live"), Some(2), "{stats}");
+    assert!(json_u64(&stats, "scatters").unwrap() >= 2, "{stats}");
+    assert_eq!(json_u64(&stats, "sharded_runs"), Some(1), "{stats}");
+    assert_eq!(json_u64(&stats, "rescatters"), Some(0), "{stats}");
+
+    // The rollup is the satellite-3 regression: worker-side activity
+    // appears ONLY under shard_* keys. The coordinator's own cache saw
+    // exactly one miss (first flock) and one hit (second); the workers'
+    // partial-cache traffic must not inflate those fields.
+    assert_eq!(json_u64(&stats, "cache_hits"), Some(1), "{stats}");
+    assert_eq!(json_u64(&stats, "cache_misses"), Some(1), "{stats}");
+    assert!(json_u64(&stats, "shard_requests").unwrap() >= 2, "{stats}");
+    assert_eq!(json_u64(&stats, "shard_timeouts"), Some(0), "{stats}");
+    assert_eq!(json_u64(&stats, "shard_cancelled"), Some(0), "{stats}");
+    // Workers evaluated at least one partial each, all cold.
+    assert!(
+        json_u64(&stats, "shard_cache_misses").unwrap() >= 1,
+        "{stats}"
+    );
+
+    drop(client);
+    for w in workers {
+        w.shutdown();
+        w.join();
+    }
+    coord.shutdown();
+    coord.join();
+}
+
+/// Wrap every coordinator→shard dial in the seeded chaos transport.
+fn chaos_connector(chaos: NetChaos) -> ShardConnector {
+    Arc::new(move |addr: &str, config: &ClientConfig| {
+        let addr = addr.to_string();
+        let chaos = chaos.clone();
+        let factory: qf_server::TransportFactory = Box::new(move || {
+            let stream =
+                std::net::TcpStream::connect(&addr).map_err(|e| ServerError::Io(e.to_string()))?;
+            let mut t: Box<dyn Transport> = Box::new(chaos.wrap(Box::new(stream)));
+            t.set_read_timeout(Some(Duration::from_secs(2)))
+                .map_err(|e| ServerError::Io(e.to_string()))?;
+            t.set_write_timeout(Some(Duration::from_secs(2)))
+                .map_err(|e| ServerError::Io(e.to_string()))?;
+            Ok(t)
+        });
+        Client::connect_via(factory, config.clone())
+    })
+}
+
+fn chaos_seeds() -> Vec<u64> {
+    match std::env::var("QF_NET_CHAOS_SEEDS") {
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => vec![11, 23, 37],
+    }
+}
+
+/// Chaos on the coordinator→shard wire: every run must either produce
+/// single-node-identical bytes (retries and local re-scatter both heal
+/// dead sessions) or a typed retryable error — never a wrong answer.
+#[test]
+fn chaos_between_tiers_converges_or_fails_typed() {
+    let db = demo_db(10);
+    let text = pair_flock(2);
+    let expected = expected_body(&text, &db);
+
+    for seed in chaos_seeds() {
+        let workers: Vec<Server> = (0..2)
+            .map(|_| {
+                Server::serve(
+                    ServerConfig {
+                        io_timeout_ms: 2_000,
+                        ..Default::default()
+                    },
+                    Database::new(),
+                    "127.0.0.1:0",
+                )
+                .unwrap()
+            })
+            .collect();
+        let shard = ShardConfig {
+            addrs: workers.iter().map(|w| w.addr().to_string()).collect(),
+            replicated: BTreeSet::new(),
+            client: ClientConfig {
+                retries: 10,
+                io_timeout: Some(Duration::from_secs(2)),
+                backoff_base: Duration::from_millis(2),
+                backoff_cap: Duration::from_millis(40),
+                jitter_seed: seed,
+                ..ClientConfig::default()
+            },
+        };
+        let chaos = NetChaos::seeded(seed, 8);
+        let coordinator = Coordinator::new(ServerConfig::default(), shard, Database::new())
+            .with_connector(chaos_connector(chaos));
+        let coord = Server::serve_handler(Arc::new(coordinator), "127.0.0.1:0").unwrap();
+
+        // The coordinator-facing client is fault-free; only the
+        // coordinator→shard tier sees chaos. It still retries typed
+        // retryable responses (a failed catalog push is `shard-lost`).
+        let mut client = Client::connect_with(
+            &coord.addr().to_string(),
+            ClientConfig {
+                retries: 10,
+                backoff_base: Duration::from_millis(5),
+                backoff_cap: Duration::from_millis(100),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+
+        let mut loaded = true;
+        for rel in db.iter() {
+            match client.load(&render_tsv(rel)).unwrap() {
+                Response::Ok { .. } => {}
+                Response::Err { kind, detail } => {
+                    assert!(
+                        ServerError::retryable_kind(&kind),
+                        "seed {seed}: load failed non-retryably: {kind}: {detail}"
+                    );
+                    loaded = false;
+                }
+            }
+        }
+        if loaded {
+            match client.flock(&text, None, RequestLimits::default()).unwrap() {
+                Response::Ok { body, .. } => {
+                    assert_eq!(body, expected, "seed {seed}: wrong bytes through chaos");
+                }
+                Response::Err { kind, detail } => {
+                    assert!(
+                        ServerError::retryable_kind(&kind),
+                        "seed {seed}: non-retryable terminal error {kind}: {detail}"
+                    );
+                }
+            }
+        }
+
+        drop(client);
+        for w in workers {
+            w.shutdown();
+            w.join();
+        }
+        coord.shutdown();
+        coord.join();
+    }
+}
