@@ -643,14 +643,20 @@ pub fn serve_main(args: &[String]) -> Result<String, String> {
 }
 
 /// `qfsh shard --addr host:port --shards host:port,host:port,…
-/// [--replicate rel1,rel2,… --shard-retries K --shard-io-timeout MS
-/// and every `serve` flag]`: run the scatter-gather coordinator over a
-/// fleet of already-running `qfsh serve` workers. The coordinator
-/// speaks the same protocol as a standalone server — `qfsh client`
-/// points at it unchanged — and holds the master catalog: `load`/`gen`
-/// mutations partition and re-push to every shard, shardable flocks
-/// scatter per `FILTER` step and merge algebraically, and everything
-/// else runs locally against the master.
+/// [--replicas R --fail-threshold K --probe-interval MS
+/// --hedge-after-ms MS --replicate rel1,rel2,… --shard-retries K
+/// --shard-io-timeout MS and every `serve` flag]`: run the
+/// scatter-gather coordinator over a fleet of already-running
+/// `qfsh serve` workers. The coordinator speaks the same protocol as a
+/// standalone server — `qfsh client` points at it unchanged — and
+/// holds the master catalog: `load`/`gen` mutations partition and
+/// re-push every fragment to its `--replicas` hosts, shardable flocks
+/// scatter per `FILTER` step (failing over across replicas, hedging
+/// slow primaries after `--hedge-after-ms`) and merge algebraically,
+/// and everything else runs locally against the master. Workers that
+/// fail `--fail-threshold` RPCs in a row are circuit-broken until the
+/// background probe (every `--probe-interval` ms) re-syncs and
+/// readmits them.
 pub fn shard_main(args: &[String]) -> Result<String, String> {
     let mut config = qf_server::ServerConfig::default();
     let mut shard = qf_server::ShardConfig::default();
@@ -676,6 +682,10 @@ pub fn shard_main(args: &[String]) -> Result<String, String> {
                     .map(String::from)
                     .collect()
             }
+            "replicas" => shard.replicas = parse_count(&value)? as usize,
+            "fail-threshold" => shard.fail_threshold = parse_count(&value)? as u32,
+            "probe-interval" => shard.probe_interval_ms = parse_millis(&value)?,
+            "hedge-after-ms" => shard.hedge_after_ms = Some(parse_millis(&value)?),
             "shard-retries" => shard.client.retries = parse_count(&value)? as u32,
             "shard-io-timeout" => {
                 shard.client.io_timeout =
@@ -698,11 +708,12 @@ pub fn shard_main(args: &[String]) -> Result<String, String> {
         return Err("shard needs --shards host:port[,host:port…] (the worker fleet)".to_string());
     }
     let shards = shard.addrs.len();
+    let replicas = shard.replicas.clamp(1, shards.max(1));
     let coordinator = qf_server::Coordinator::new(config, shard, Database::new());
     let server = qf_server::Server::serve_handler(std::sync::Arc::new(coordinator), &addr)
         .map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
-        "qf-shard coordinator on {} ({shards} shard(s))",
+        "qf-shard coordinator on {} ({shards} shard(s), {replicas} replica(s))",
         server.addr()
     );
     server.join();
@@ -892,8 +903,9 @@ server mode (top-level subcommands, not shell commands):
              --max-rows N --mem-budget BYTES --timeout MS --max-conns N
              --idle-timeout MS --io-timeout MS --retry-after MS]
   qfsh shard --addr host:port --shards host:port,host:port,…
-             [--replicate rel1,rel2,… --shard-retries K --shard-io-timeout MS
-             + every serve flag]
+             [--replicas R --fail-threshold K --probe-interval MS
+             --hedge-after-ms MS --replicate rel1,rel2,…
+             --shard-retries K --shard-io-timeout MS + every serve flag]
   qfsh client --addr host:port [--support N --max-rows N --mem-budget BYTES
               --timeout MS --threads N --retries K --connect-timeout MS
               --io-timeout MS] <ping|stats|shutdown|gen|load|fingerprint|flock> …";

@@ -87,8 +87,8 @@ pub use plangen::{
 pub use program::FlockProgram;
 pub use shard::{
     evaluate_scored_partial, is_vacuous, merge_scored_partials, partial_flock, partition_database,
-    partition_relation, scored_schema, shard_key_pos, shard_of, shardable_program,
-    stable_value_hash, vacuous_filter,
+    partition_relation, replica_workers, scored_schema, shard_key_pos, shard_of, shardable_program,
+    stable_value_hash, vacuous_filter, worker_fragments,
 };
 pub use sql::{plan_to_sql, to_sql};
 // Governor types, re-exported so downstream crates can budget flock

@@ -97,6 +97,29 @@ pub fn partition_database(
     frags
 }
 
+/// The workers hosting copies of fragment `frag` under `replicas`-way
+/// replication: fragment *i* lands on workers *i*, *i+1 mod n*, … up to
+/// `replicas` distinct workers. The first entry is the fragment's
+/// *primary*; the rest are failover/hedge targets holding bitwise-
+/// identical copies. `replicas` is clamped to `[1, shards]`.
+pub fn replica_workers(frag: usize, shards: usize, replicas: usize) -> Vec<usize> {
+    let n = shards.max(1);
+    let r = replicas.clamp(1, n);
+    (0..r).map(|k| (frag + k) % n).collect()
+}
+
+/// The inverse map: every fragment hosted on worker `worker`. Worker
+/// *w* holds fragment *i* exactly when *w ∈ replica_workers(i)*, i.e.
+/// fragments *w*, *w-1 mod n*, … back through `replicas` slots. Sorted
+/// ascending so re-sync ships fragments in a stable order.
+pub fn worker_fragments(worker: usize, shards: usize, replicas: usize) -> Vec<usize> {
+    let n = shards.max(1);
+    let r = replicas.clamp(1, n);
+    let mut frags: Vec<usize> = (0..r).map(|k| (worker + n - k) % n).collect();
+    frags.sort_unstable();
+    frags
+}
+
 /// The vacuous (keep-everything) version of a filter: same aggregate,
 /// threshold pushed to the extreme of the filter's direction. `≤`-family
 /// filters become `≤ i64::MAX`; everything else becomes `≥ i64::MIN`
@@ -293,6 +316,38 @@ mod tests {
                 assert!(rel.contains(t));
                 // Re-hashing sends the tuple back to the same fragment.
                 assert!(parts[shard_of(t.get(0), 4)].contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn replica_placement_round_trips_and_clamps() {
+        // fragment i → workers i, i+1 mod n, … for R distinct workers.
+        assert_eq!(replica_workers(0, 3, 2), vec![0, 1]);
+        assert_eq!(replica_workers(2, 3, 2), vec![2, 0]);
+        // R clamps to [1, n]: R=0 behaves like 1, R>n like n.
+        assert_eq!(replica_workers(1, 3, 0), vec![1]);
+        assert_eq!(replica_workers(1, 3, 9), vec![1, 2, 0]);
+        // The two maps are inverses: w hosts f  ⇔  f scatters to w.
+        for n in 1..=5 {
+            for r in 1..=n {
+                for f in 0..n {
+                    for w in 0..n {
+                        let hosts = replica_workers(f, n, r);
+                        let held = worker_fragments(w, n, r);
+                        assert_eq!(
+                            hosts.contains(&w),
+                            held.contains(&f),
+                            "n={n} r={r} f={f} w={w}"
+                        );
+                    }
+                    // Exactly R distinct hosts, primary first.
+                    let hosts = replica_workers(f, n, r);
+                    assert_eq!(hosts.len(), r);
+                    assert_eq!(hosts[0], f);
+                    let dedup: BTreeSet<usize> = hosts.iter().copied().collect();
+                    assert_eq!(dedup.len(), r);
+                }
             }
         }
     }

@@ -16,8 +16,8 @@ use proptest::prelude::*;
 
 use qf_core::{
     direct_plan, evaluate_scored_partial, execute_plan_scored_with, flock_result_from_scored,
-    merge_scored_partials, partial_flock, partition_database, scored_schema, shard_key_pos,
-    ExecContext, JoinOrderStrategy, QueryFlock,
+    merge_scored_partials, partial_flock, partition_database, replica_workers, scored_schema,
+    shard_key_pos, worker_fragments, ExecContext, JoinOrderStrategy, QueryFlock,
 };
 use qf_storage::{Database, Relation, Schema, Value};
 
@@ -113,6 +113,73 @@ proptest! {
             // real-threshold single-node result bitwise.
             let sharded_result = flock_result_from_scored(&flock, &merged, flock.filter());
             prop_assert_eq!(sharded_result.tuples(), single_result.tuples());
+        }
+    }
+
+    /// The replica-failover exactness property: under R=2 replication
+    /// (fragment *i* on workers *i* and *i+1 mod n*), kill ANY single
+    /// worker, serve every fragment from its surviving copy, and the
+    /// merged result is still bitwise-identical to single-node — for
+    /// all four merge algebras. Replication never changes the bytes
+    /// because each fragment is evaluated exactly once, whichever host
+    /// serves it.
+    #[test]
+    fn replica_failover_matches_single_node(
+        rows in prop::collection::vec((0i64..12, 0usize..5, 1i64..20), 0..40),
+        agg in 0usize..4,
+        threshold in -5i64..30,
+        skew in any::<bool>(),
+        shards in prop::sample::select(vec![2usize, 3, 4]),
+    ) {
+        let db = basket_db(&rows, skew);
+        let flock = flock_for(agg, threshold);
+        let ctx = ExecContext::default();
+        let plan = direct_plan(&flock).expect("direct plan");
+        let single =
+            execute_plan_scored_with(&plan, &db, JoinOrderStrategy::Greedy, &ctx).expect("single");
+        let single_result = flock_result_from_scored(&flock, &single.scored, flock.filter());
+        let step = &plan.steps[0];
+        let mini = partial_flock(step, flock.filter()).expect("partial flock");
+
+        let replicas = 2usize;
+        let frags = partition_database(&db, shards, &BTreeSet::new());
+        // Every worker's hosted set is consistent with the placement
+        // map, and with one worker dead every fragment still has a
+        // live host when R=2 and n≥2.
+        for w in 0..shards {
+            for f in worker_fragments(w, shards, replicas) {
+                prop_assert!(replica_workers(f, shards, replicas).contains(&w));
+            }
+        }
+        // Kill each worker in turn; the property must hold for ALL of
+        // them, not just a sampled one.
+        for dead in 0..shards {
+            let mut parts: Vec<Relation> = Vec::with_capacity(shards);
+            for (f, frag) in frags.iter().enumerate() {
+                let host = replica_workers(f, shards, replicas)
+                    .into_iter()
+                    .find(|&w| w != dead)
+                    .expect("R=2 leaves a live replica for any single dead worker");
+                // All copies of a fragment are bitwise-identical (they
+                // come from the same partition), so "read from `host`"
+                // is just: evaluate fragment f — after checking host
+                // really holds f.
+                prop_assert!(worker_fragments(host, shards, replicas).contains(&f));
+                parts.push(
+                    evaluate_scored_partial(&mini, frag, JoinOrderStrategy::Greedy, &ctx)
+                        .expect("partial eval"),
+                );
+            }
+            let merged = merge_scored_partials(&flock.filter().agg, scored_schema(step), &parts)
+                .expect("merge");
+            let sharded_result = flock_result_from_scored(&flock, &merged, flock.filter());
+            prop_assert_eq!(
+                sharded_result.tuples(),
+                single_result.tuples(),
+                "failover result diverged: {} shards, worker {} dead",
+                shards,
+                dead
+            );
         }
     }
 

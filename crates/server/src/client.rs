@@ -267,17 +267,31 @@ impl Client {
     }
 
     /// Evaluate one scatter-gather step against this shard's fragment
-    /// (coordinator use).
+    /// (coordinator use). `frag` scopes the evaluation to a synced
+    /// replica fragment `(id, expected fingerprint)`; `None` evaluates
+    /// against the worker's whole catalog.
     pub fn partial(
         &mut self,
         text: &str,
         scratch: Vec<String>,
+        frag: Option<(usize, u64)>,
         limits: RequestLimits,
     ) -> Result<Response> {
         self.request(&Request::Partial {
             text: text.to_string(),
             scratch,
             limits,
+            frag,
+        })
+    }
+
+    /// Ship one catalog fragment to a replica worker (coordinator and
+    /// probe use). The worker verifies `fp` before installing.
+    pub fn sync(&mut self, frag: usize, fp: u64, relations: Vec<String>) -> Result<Response> {
+        self.request(&Request::Sync {
+            frag,
+            fp,
+            relations,
         })
     }
 

@@ -53,6 +53,18 @@ pub enum ServerError {
         /// What the shard RPC failed with.
         detail: String,
     },
+    /// A fragment-scoped `partial` named a fragment this worker does
+    /// not hold, or holds at a *different* fingerprint (a stale copy
+    /// that missed a catalog push). Deliberately **not** retryable on
+    /// the same connection: re-asking the same worker cannot help, so
+    /// the coordinator's per-shard client surfaces it immediately and
+    /// the coordinator fails over to a replica.
+    FragMissing {
+        /// Fragment id the request named.
+        frag: usize,
+        /// Why the worker refused (missing vs fingerprint mismatch).
+        detail: String,
+    },
     /// The server is draining for shutdown; no new work is accepted.
     ShuttingDown,
     /// The request frame or header line could not be understood.
@@ -75,6 +87,7 @@ impl ServerError {
             ServerError::Timeout { .. } => "timeout",
             ServerError::Cancelled => "cancelled",
             ServerError::ShardLost { .. } => "shard-lost",
+            ServerError::FragMissing { .. } => "no-frag",
             ServerError::ShuttingDown => "shutting-down",
             ServerError::Proto(_) => "proto",
             ServerError::Parse(_) => "parse",
@@ -148,6 +161,9 @@ impl std::fmt::Display for ServerError {
             }
             ServerError::ShardLost { shard, detail } => {
                 write!(f, "shard {shard} lost mid-scatter: {detail}")
+            }
+            ServerError::FragMissing { frag, detail } => {
+                write!(f, "fragment {frag} not served here: {detail}")
             }
             ServerError::ShuttingDown => f.write_str("server is shutting down"),
             ServerError::Proto(d) => write!(f, "protocol: {d}"),

@@ -335,7 +335,15 @@ fn dispatch(
             text,
             scratch,
             limits,
-        } => (JobPayload::Partial { text, scratch }, limits),
+            frag,
+        } => (
+            JobPayload::Partial {
+                text,
+                scratch,
+                frag,
+            },
+            limits,
+        ),
         light => return handler.handle_light(&light),
     };
     // Over-cap budgets are rejected before queueing: typed error,

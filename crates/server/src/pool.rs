@@ -49,6 +49,9 @@ pub enum JobPayload {
         text: String,
         /// Scratch relations (TSV) to overlay on the catalog snapshot.
         scratch: Vec<String>,
+        /// Fragment scope: `(fragment id, expected fingerprint)` for a
+        /// replica-hosted fragment, `None` for whole-catalog partials.
+        frag: Option<(usize, u64)>,
     },
 }
 

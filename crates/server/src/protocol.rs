@@ -64,6 +64,28 @@ pub enum Request {
         /// Per-request budgets (the coordinator forwards its remaining
         /// deadline and per-shard row/memory budgets here).
         limits: RequestLimits,
+        /// Evaluate against a synced catalog **fragment** instead of
+        /// the master catalog: `(fragment id, expected fragment
+        /// fingerprint)`. A worker holding no such fragment — or a
+        /// *stale* copy whose fingerprint disagrees — answers a typed
+        /// `no-frag` error so the coordinator fails over to a replica
+        /// rather than merging wrong bytes. `None` keeps the PR-7
+        /// behavior (the worker's whole catalog is the fragment).
+        frag: Option<(usize, u64)>,
+    },
+    /// Replace one catalog fragment on a replica worker: the body is
+    /// the fragment's relations as byte-framed TSV sections (the same
+    /// framing `partial` uses for scratch). The worker re-assembles the
+    /// fragment, verifies its catalog fingerprint against `fp`, and
+    /// only then installs it — a corrupted or torn ship can never be
+    /// served. Idempotent: syncing the same fragment twice is a no-op.
+    Sync {
+        /// Fragment id (index into the coordinator's partition map).
+        frag: usize,
+        /// Expected content-based catalog fingerprint of the fragment.
+        fp: u64,
+        /// Fragment relations as TSV text, one per section.
+        relations: Vec<String>,
     },
     /// Canonicalize a flock program and return its fingerprint.
     Fingerprint {
@@ -84,7 +106,9 @@ impl Request {
     /// after an ambiguous failure could double-apply it, so the
     /// retrying client surfaces the error instead (unless the server
     /// certified non-execution with a typed `proto`/`overloaded`
-    /// response, which is safe for any request).
+    /// response, which is safe for any request). `sync` *is* retryable:
+    /// it replaces a fragment with fingerprint-verified content, so a
+    /// replay lands the same bytes.
     pub fn is_idempotent(&self) -> bool {
         !matches!(self, Request::Load { .. } | Request::Gen { .. })
     }
@@ -122,6 +146,7 @@ impl Request {
                 text,
                 scratch,
                 limits,
+                frag,
             } => {
                 // Sections (program text, then each scratch TSV) are
                 // byte-concatenated and framed by explicit lengths in
@@ -131,6 +156,9 @@ impl Request {
                 let mut parts: Vec<String> = vec![text.len().to_string()];
                 parts.extend(scratch.iter().map(|s| s.len().to_string()));
                 header.push_str(&format!(" parts={}", parts.join(",")));
+                if let Some((frag, fp)) = frag {
+                    header.push_str(&format!(" frag={frag} frag-fp={fp}"));
+                }
                 if let Some(r) = limits.max_rows {
                     header.push_str(&format!(" max-rows={r}"));
                 }
@@ -147,6 +175,16 @@ impl Request {
                 for s in scratch {
                     body.push_str(s);
                 }
+                format!("{header}\n\n{body}")
+            }
+            Request::Sync {
+                frag,
+                fp,
+                relations,
+            } => {
+                let lens: Vec<String> = relations.iter().map(|s| s.len().to_string()).collect();
+                let header = format!("sync frag={frag} fp={fp} parts={}", lens.join(","));
+                let body: String = relations.concat();
                 format!("{header}\n\n{body}")
             }
             Request::Fingerprint { text } => format!("fingerprint\n\n{text}"),
@@ -225,19 +263,13 @@ impl Request {
             "partial" => {
                 let mut lens: Option<Vec<usize>> = None;
                 let mut limits = RequestLimits::default();
+                let mut frag_id: Option<usize> = None;
+                let mut frag_fp: Option<u64> = None;
                 for (k, v) in kv(parts)? {
                     match k.as_str() {
-                        "parts" => {
-                            lens = Some(
-                                v.split(',')
-                                    .map(|p| {
-                                        p.parse::<usize>().map_err(|_| {
-                                            ServerError::Proto(format!("bad part length `{p}`"))
-                                        })
-                                    })
-                                    .collect::<Result<Vec<usize>>>()?,
-                            )
-                        }
+                        "parts" => lens = Some(parse_lens(&v)?),
+                        "frag" => frag_id = Some(parse_u64(&v)? as usize),
+                        "frag-fp" => frag_fp = Some(parse_u64(&v)?),
                         "max-rows" => limits.max_rows = Some(parse_u64(&v)?),
                         "mem-budget" => limits.mem_budget = Some(parse_u64(&v)?),
                         "timeout" => limits.timeout_ms = Some(parse_u64(&v)?),
@@ -249,35 +281,48 @@ impl Request {
                         }
                     }
                 }
+                let frag = match (frag_id, frag_fp) {
+                    (Some(i), Some(fp)) => Some((i, fp)),
+                    (None, None) => None,
+                    _ => {
+                        return Err(ServerError::Proto(
+                            "partial frag= and frag-fp= must appear together".into(),
+                        ))
+                    }
+                };
                 let lens =
                     lens.ok_or_else(|| ServerError::Proto("partial needs parts=…".into()))?;
                 if lens.is_empty() {
                     return Err(ServerError::Proto("partial needs at least one part".into()));
                 }
-                let mut sections = Vec::with_capacity(lens.len());
-                let mut at = 0usize;
-                for len in &lens {
-                    let end = at.checked_add(*len).filter(|&e| e <= body.len());
-                    let section = end.and_then(|e| body.get(at..e)).ok_or_else(|| {
-                        ServerError::Proto(format!(
-                            "partial parts overrun the {}-byte body",
-                            body.len()
-                        ))
-                    })?;
-                    sections.push(section.to_string());
-                    at += len;
-                }
-                if at != body.len() {
-                    return Err(ServerError::Proto(format!(
-                        "partial parts cover {at} of {} body bytes",
-                        body.len()
-                    )));
-                }
+                let mut sections = split_sections(&lens, body)?;
                 let text = sections.remove(0);
                 Ok(Request::Partial {
                     text,
                     scratch: sections,
                     limits,
+                    frag,
+                })
+            }
+            "sync" => {
+                let mut frag = None;
+                let mut fp = None;
+                let mut lens: Option<Vec<usize>> = None;
+                for (k, v) in kv(parts)? {
+                    match k.as_str() {
+                        "frag" => frag = Some(parse_u64(&v)? as usize),
+                        "fp" => fp = Some(parse_u64(&v)?),
+                        "parts" => lens = Some(parse_lens(&v)?),
+                        other => {
+                            return Err(ServerError::Proto(format!("unknown sync key `{other}`")))
+                        }
+                    }
+                }
+                let lens = lens.ok_or_else(|| ServerError::Proto("sync needs parts=…".into()))?;
+                Ok(Request::Sync {
+                    frag: frag.ok_or_else(|| ServerError::Proto("sync needs frag=…".into()))?,
+                    fp: fp.ok_or_else(|| ServerError::Proto("sync needs fp=…".into()))?,
+                    relations: split_sections(&lens, body)?,
                 })
             }
             other => Err(ServerError::Proto(format!("unknown command `{other}`"))),
@@ -364,6 +409,43 @@ fn parse_u64(v: &str) -> Result<u64> {
         .map_err(|_| ServerError::Proto(format!("bad number `{v}`")))
 }
 
+/// Parse a `parts=len,len,…` section-length list. An empty value is an
+/// empty list — `sync` ships empty fragments (a hash partition can
+/// leave a fragment with no relations at all) as `parts=` with no body.
+fn parse_lens(v: &str) -> Result<Vec<usize>> {
+    if v.is_empty() {
+        return Ok(Vec::new());
+    }
+    v.split(',')
+        .map(|p| {
+            p.parse::<usize>()
+                .map_err(|_| ServerError::Proto(format!("bad part length `{p}`")))
+        })
+        .collect()
+}
+
+/// Cut `body` into sections of the given byte lengths; the lengths must
+/// cover the body exactly.
+fn split_sections(lens: &[usize], body: &str) -> Result<Vec<String>> {
+    let mut sections = Vec::with_capacity(lens.len());
+    let mut at = 0usize;
+    for len in lens {
+        let end = at.checked_add(*len).filter(|&e| e <= body.len());
+        let section = end.and_then(|e| body.get(at..e)).ok_or_else(|| {
+            ServerError::Proto(format!("parts overrun the {}-byte body", body.len()))
+        })?;
+        sections.push(section.to_string());
+        at += len;
+    }
+    if at != body.len() {
+        return Err(ServerError::Proto(format!(
+            "parts cover {at} of {} body bytes",
+            body.len()
+        )));
+    }
+    Ok(sections)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +513,7 @@ mod tests {
                 timeout_ms: Some(500),
                 threads: None,
             },
+            frag: None,
         };
         assert_eq!(Request::parse(&req.render()).unwrap(), req);
         assert!(req.is_idempotent());
@@ -439,8 +522,40 @@ mod tests {
             text: "QUERY: …".into(),
             scratch: vec![],
             limits: RequestLimits::default(),
+            frag: None,
         };
         assert_eq!(Request::parse(&bare.render()).unwrap(), bare);
+        // Fragment-scoped partial carries (id, expected fingerprint).
+        let scoped = Request::Partial {
+            text: "QUERY: …".into(),
+            scratch: vec!["aux\tq\n".into()],
+            limits: RequestLimits::default(),
+            frag: Some((3, 0xdead_beef_u64)),
+        };
+        assert_eq!(Request::parse(&scoped.render()).unwrap(), scoped);
+    }
+
+    #[test]
+    fn sync_roundtrip() {
+        let req = Request::Sync {
+            frag: 1,
+            fp: 987654321,
+            relations: vec![
+                // TSV sections with embedded blank lines survive the
+                // byte framing, like partial scratch.
+                "baskets\tbid\titem\n1\tale\n\n2\tbrie\n".into(),
+                "dict\tw\n".into(),
+            ],
+        };
+        assert_eq!(Request::parse(&req.render()).unwrap(), req);
+        assert!(req.is_idempotent());
+        // An empty fragment ships as parts= with no body.
+        let empty = Request::Sync {
+            frag: 0,
+            fp: 42,
+            relations: vec![],
+        };
+        assert_eq!(Request::parse(&empty.render()).unwrap(), empty);
     }
 
     #[test]
@@ -453,5 +568,11 @@ mod tests {
         assert!(Request::parse("partial parts=99\n\nshort").is_err()); // overrun
         assert!(Request::parse("partial parts=2\n\nlonger body").is_err()); // leftover bytes
         assert!(Request::parse("partial parts=x\n\nbody").is_err()); // bad length
+        assert!(Request::parse("partial parts=4 frag=0\n\nbody").is_err()); // frag sans fp
+        assert!(Request::parse("partial parts=4 frag-fp=9\n\nbody").is_err()); // fp sans frag
+        assert!(Request::parse("sync fp=1 parts=\n\n").is_err()); // missing frag
+        assert!(Request::parse("sync frag=0 parts=\n\n").is_err()); // missing fp
+        assert!(Request::parse("sync frag=0 fp=1\n\n").is_err()); // missing parts
+        assert!(Request::parse("sync frag=0 fp=1 parts=9\n\nshort").is_err()); // overrun
     }
 }

@@ -9,6 +9,7 @@
 //! everything observable lives here, which is what makes the service
 //! unit-testable without sockets.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
@@ -183,9 +184,14 @@ impl RequestHandler for LocalHandler {
                 job.deadline,
                 Some(&job.cancel),
             ),
-            JobPayload::Partial { text, scratch } => self.service.handle_partial_admitted(
+            JobPayload::Partial {
                 text,
                 scratch,
+                frag,
+            } => self.service.handle_partial_admitted(
+                text,
+                scratch,
+                *frag,
                 &job.limits,
                 granted_threads,
                 job.deadline,
@@ -198,6 +204,12 @@ impl RequestHandler for LocalHandler {
 /// The resident service state shared by every connection and worker.
 pub struct FlockService {
     db: RwLock<Database>,
+    /// Replicated catalog fragments installed by the coordinator's
+    /// `sync` verb: fragment id → (fingerprint, catalog). Kept apart
+    /// from the master catalog — a worker hosting several replicas
+    /// must evaluate each `partial` against exactly one fragment, or
+    /// `COUNT`/`SUM` partials would double-count the overlap.
+    frags: RwLock<BTreeMap<usize, (u64, Database)>>,
     result_cache: Mutex<ResultCache>,
     plan_cache: Mutex<PlanCache>,
     /// Counters, public for the pool/net layers and tests.
@@ -220,6 +232,7 @@ impl FlockService {
     pub fn new(config: ServerConfig, db: Database) -> FlockService {
         FlockService {
             db: RwLock::new(db),
+            frags: RwLock::new(BTreeMap::new()),
             result_cache: Mutex::new(ResultCache::new(config.cache_entries)),
             plan_cache: Mutex::new(PlanCache::new(config.cache_entries)),
             counters: Counters::default(),
@@ -252,6 +265,11 @@ impl FlockService {
             }
             Request::Gen { kind, seed } => self.generate(kind, *seed),
             Request::Load { tsv } => self.load(tsv),
+            Request::Sync {
+                frag,
+                fp,
+                relations,
+            } => self.sync_fragment(*frag, *fp, relations),
             Request::Fingerprint { text } => fingerprint(text),
             Request::Flock { .. } | Request::Partial { .. } => Err(ServerError::Proto(
                 "flock/partial requests must go through admission".to_string(),
@@ -314,17 +332,27 @@ impl FlockService {
     /// against this shard's catalog fragment, answered with the
     /// **scored** relation so the coordinator can merge it
     /// algebraically. Called on a pool worker.
+    #[allow(clippy::too_many_arguments)]
     pub fn handle_partial_admitted(
         &self,
         text: &str,
         scratch: &[String],
+        frag: Option<(usize, u64)>,
         limits: &RequestLimits,
         granted_threads: usize,
         deadline: Option<Instant>,
         cancel: Option<&CancelToken>,
     ) -> Response {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
-        match self.eval_partial(text, scratch, limits, granted_threads, deadline, cancel) {
+        match self.eval_partial(
+            text,
+            scratch,
+            frag,
+            limits,
+            granted_threads,
+            deadline,
+            cancel,
+        ) {
             Ok(resp) => resp,
             Err(e) => {
                 match &e {
@@ -337,10 +365,12 @@ impl FlockService {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn eval_partial(
         &self,
         text: &str,
         scratch: &[String],
+        frag: Option<(usize, u64)>,
         limits: &RequestLimits,
         granted_threads: usize,
         deadline: Option<Instant>,
@@ -351,7 +381,13 @@ impl FlockService {
         let filter = *flock.filter();
         let canonical_filter = flock.canonical_filter();
         let effective = self.admission_limits(limits)?;
-        let (mut db, fp) = self.snapshot();
+        // Fragment-scoped partials evaluate against the synced replica
+        // fragment (fingerprint-checked); frag-less partials keep the
+        // single-copy behavior where the whole catalog IS the fragment.
+        let (mut db, fp) = match frag {
+            Some((id, want)) => (self.fragment_snapshot(id, want)?, want),
+            None => self.snapshot(),
+        };
         // The cache key folds the scratch overlays into the catalog
         // fingerprint by content, so a step re-scattered with the same
         // upstream outputs hits, and any change to either misses.
@@ -707,6 +743,67 @@ impl FlockService {
         Ok((String::from("{}"), note))
     }
 
+    /// Install one replicated catalog fragment (the `sync` verb): parse
+    /// the shipped TSV sections, verify the assembled fragment's
+    /// content-based fingerprint against the coordinator's declared
+    /// `fp`, and only then swap it in. A torn or corrupted ship is
+    /// rejected with a retryable `proto` error *before* touching the
+    /// stored fragment, so a worker never serves bytes the coordinator
+    /// did not certify. Idempotent by construction.
+    fn sync_fragment(
+        &self,
+        frag: usize,
+        fp: u64,
+        relations: &[String],
+    ) -> Result<(String, String)> {
+        let mut db = Database::new();
+        for text in relations {
+            let rel = tsv::read_tsv(std::io::Cursor::new(text.as_bytes()))
+                .map_err(|e| ServerError::Parse(e.to_string()))?;
+            db.insert(rel);
+        }
+        let got = db.fingerprint();
+        if got != fp {
+            return Err(ServerError::Proto(format!(
+                "sync of fragment {frag} arrived with fingerprint {got:016x}, expected {fp:016x}"
+            )));
+        }
+        let n = relations.len();
+        self.frags
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(frag, (fp, db));
+        Ok((
+            format!("{{\"frag\":{frag},\"relations\":{n}}}"),
+            format!("synced fragment {frag} [{n} relation(s)]"),
+        ))
+    }
+
+    /// The stored fragment for a fragment-scoped `partial`, validated
+    /// against the coordinator's expected fingerprint. Missing or stale
+    /// (fingerprint mismatch — the fragment missed a catalog push while
+    /// this worker was down) both answer typed `no-frag`, which the
+    /// coordinator treats as "fail over and re-sync", never "retry me".
+    fn fragment_snapshot(&self, frag: usize, fp: u64) -> Result<Database> {
+        let frags = self.frags.read().unwrap_or_else(|e| e.into_inner());
+        match frags.get(&frag) {
+            Some((have, db)) if *have == fp => Ok(db.clone()),
+            Some((have, _)) => Err(ServerError::FragMissing {
+                frag,
+                detail: format!("stale copy {have:016x}, coordinator expects {fp:016x}"),
+            }),
+            None => Err(ServerError::FragMissing {
+                frag,
+                detail: "no such fragment synced to this worker".to_string(),
+            }),
+        }
+    }
+
+    /// Number of synced fragments this worker holds.
+    pub fn fragment_count(&self) -> usize {
+        self.frags.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
     fn load(&self, text: &str) -> Result<(String, String)> {
         let rel = tsv::read_tsv(std::io::Cursor::new(text.as_bytes()))
             .map_err(|e| ServerError::Parse(e.to_string()))?;
@@ -742,7 +839,7 @@ impl FlockService {
              \"timeouts\":{},\"cancelled\":{},\"conn_rejected\":{},\"conns\":{},\
              \"queue_depth\":{},\"queue_depth_max\":{},\"active\":{},\"live_workers\":{},\
              \"cached_results\":{},\"relations\":{relations},\"tuples\":{tuples},\
-             \"shutting_down\":{}}}",
+             \"frags\":{},\"shutting_down\":{}}}",
             c.requests.load(Ordering::Relaxed),
             c.cache_hits.load(Ordering::Relaxed),
             c.cache_misses.load(Ordering::Relaxed),
@@ -756,6 +853,7 @@ impl FlockService {
             c.active.load(Ordering::Relaxed),
             c.live_workers.load(Ordering::Relaxed),
             unpoison(self.result_cache.lock()).len(),
+            self.fragment_count(),
             self.is_shutting_down(),
         )
     }
