@@ -337,57 +337,13 @@ impl Drop for RunJournal {
 /// already held by *this* process (reentrant open — the earlier owner
 /// keeps responsibility for removal). A lock held by a process that no
 /// longer exists is reclaimed; one held by a live foreign process is a
-/// hard error.
+/// hard error. The PID-lock mechanics (dead-owner reclaim, same-pid
+/// reentrancy) are shared with the catalog WAL via
+/// [`qf_storage::wal::acquire_pid_lock`].
 fn acquire_lock(vfs: &dyn Vfs, dir: &Path) -> Result<Option<PathBuf>> {
-    let path = dir.join(LOCK_FILE);
-    for _ in 0..2 {
-        match vfs.create_new(&path) {
-            Ok(mut f) => {
-                let _ = f.write_all(std::process::id().to_string().as_bytes());
-                let _ = f.flush();
-                return Ok(Some(path));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                let holder = vfs
-                    .read_to_string(&path)
-                    .ok()
-                    .and_then(|s| s.trim().parse::<u32>().ok());
-                match holder {
-                    Some(pid) if pid == std::process::id() => return Ok(None),
-                    Some(pid) if process_alive(pid) => {
-                        return Err(FlockError::Journal {
-                            detail: format!(
-                                "journal directory {} is locked by running process {pid}",
-                                dir.display()
-                            ),
-                        });
-                    }
-                    // Dead owner or torn lock content: reclaim.
-                    _ => {
-                        vfs.remove_file(&path)
-                            .map_err(|e| io_err("reclaim stale journal.lock", &path, &e))?;
-                    }
-                }
-            }
-            Err(e) => return Err(io_err("create journal.lock", &path, &e)),
-        }
-    }
-    Err(FlockError::Journal {
-        detail: format!(
-            "could not acquire journal.lock in {} (lock keeps reappearing)",
-            dir.display()
-        ),
+    qf_storage::wal::acquire_pid_lock(vfs, &dir.join(LOCK_FILE)).map_err(|e| FlockError::Journal {
+        detail: format!("journal directory {}: {e}", dir.display()),
     })
-}
-
-#[cfg(unix)]
-fn process_alive(pid: u32) -> bool {
-    Path::new(&format!("/proc/{pid}")).exists()
-}
-
-#[cfg(not(unix))]
-fn process_alive(_pid: u32) -> bool {
-    true // no cheap liveness probe: never steal a foreign lock
 }
 
 /// Remove every piece of journal state (meta, log, snapshots) except

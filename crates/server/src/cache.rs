@@ -87,6 +87,22 @@ impl<V> Lru<V> {
         self.entries.clear();
     }
 
+    /// Precise invalidation after an `append` to one relation: drop
+    /// entries the delta could change (`touches` their query) and any
+    /// entry keyed at a fingerprint other than `old_fp` (already
+    /// unreachable — reclaim the memory); re-key the survivors from
+    /// `old_fp` to `new_fp`, since a query that never reads the
+    /// appended relation evaluates identically against the new catalog.
+    fn retain_rekey(&mut self, old_fp: u64, new_fp: u64, touches: &dyn Fn(&CacheKey) -> bool) {
+        self.entries.retain_mut(|(k, _)| {
+            if k.catalog_fp != old_fp || touches(k) {
+                return false;
+            }
+            k.catalog_fp = new_fp;
+            true
+        });
+    }
+
     fn len(&self) -> usize {
         self.entries.len()
     }
@@ -135,6 +151,11 @@ impl ResultCache {
         self.lru.clear();
     }
 
+    /// Precise invalidation for an `append`: see [`Lru::retain_rekey`].
+    pub fn retain_rekey(&mut self, old_fp: u64, new_fp: u64, touches: &dyn Fn(&CacheKey) -> bool) {
+        self.lru.retain_rekey(old_fp, new_fp, touches);
+    }
+
     /// Number of cached results.
     pub fn len(&self) -> usize {
         self.lru.len()
@@ -173,6 +194,13 @@ impl PlanCache {
     /// catalog statistics).
     pub fn clear(&mut self) {
         self.lru.clear();
+    }
+
+    /// Precise invalidation for an `append`: see [`Lru::retain_rekey`].
+    /// Plan shapes of queries reading the appended relation are dropped
+    /// too — plan choice depends on its statistics.
+    pub fn retain_rekey(&mut self, old_fp: u64, new_fp: u64, touches: &dyn Fn(&CacheKey) -> bool) {
+        self.lru.retain_rekey(old_fp, new_fp, touches);
     }
 }
 
@@ -254,6 +282,31 @@ mod tests {
         assert!(c
             .lookup(&key("a", 1), &FilterCondition::support(2))
             .is_some());
+    }
+
+    #[test]
+    fn retain_rekey_drops_touched_and_rekeys_the_rest() {
+        let mut c = ResultCache::new(8);
+        c.insert(key("answer :- baskets(B,I)", 1), entry(2));
+        c.insert(key("answer :- dict(W)", 1), entry(2));
+        c.insert(key("answer :- dict(W), aux(W)", 7), entry(2)); // stale fp
+        c.retain_rekey(1, 9, &|k| k.query.contains("baskets"));
+        // The query over the appended relation is gone at both fps.
+        assert!(c
+            .lookup(
+                &key("answer :- baskets(B,I)", 9),
+                &FilterCondition::support(2)
+            )
+            .is_none());
+        // The untouched query moved from fp 1 to fp 9.
+        assert!(c
+            .lookup(&key("answer :- dict(W)", 9), &FilterCondition::support(2))
+            .is_some());
+        assert!(c
+            .lookup(&key("answer :- dict(W)", 1), &FilterCondition::support(2))
+            .is_none());
+        // The already-unreachable stale-fp entry was reclaimed.
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

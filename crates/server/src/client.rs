@@ -3,15 +3,18 @@
 //!
 //! The retry policy is deliberately conservative about what it replays:
 //!
-//! * **Typed retryable responses** (`overloaded`, `timeout`, `proto` —
-//!   see [`ServerError::retryable_kind`]) certify the request did not
+//! * **Typed retryable responses** (`overloaded`, `timeout`, `proto`,
+//!   `shard-lost`, `shutting-down` — see
+//!   [`ServerError::retryable_kind`]) certify the request did not
 //!   execute (or is safe to repeat), so they are retried for *any*
-//!   request, including mutations.
+//!   request, including mutations. `overloaded` and `shutting-down`
+//!   rejections carry a `retry-after-ms` hint, honored by sleeping the
+//!   longer of the hint and our own backoff.
 //! * **Transport failures** (reset, timeout, corrupt frame) after the
 //!   request may have reached the server are ambiguous: they are
 //!   retried only for idempotent requests ([`Request::is_idempotent`]).
-//!   Replaying a `load`/`gen` after an ambiguous failure could
-//!   double-apply it, so the error surfaces instead.
+//!   Replaying a `load`/`gen`/`append` after an ambiguous failure
+//!   could double-apply it, so the error surfaces instead.
 //!
 //! Backoff is bounded exponential with deterministic jitter (splitmix64
 //! over the attempt counter — no `rand` dependency), and every
@@ -252,6 +255,17 @@ impl Client {
         })
     }
 
+    /// Stream a TSV delta into relation `rel` (set-semantics union).
+    /// Like `load`/`gen` this is **not** idempotent under the retry
+    /// policy: only typed responses certifying non-execution are
+    /// replayed, never ambiguous transport failures.
+    pub fn append(&mut self, rel: &str, tsv: &str) -> Result<Response> {
+        self.request(&Request::Append {
+            rel: rel.to_string(),
+            tsv: tsv.to_string(),
+        })
+    }
+
     /// Evaluate a flock program.
     pub fn flock(
         &mut self,
@@ -336,6 +350,15 @@ fn retry_after_hint(detail: &str) -> Option<Duration> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shutting_down_hint_is_honored() {
+        // A draining server sends the same retry-after hint a shed
+        // connection does; the backoff path parses it from the detail.
+        let detail = ServerError::ShuttingDown { retry_after_ms: 75 }.to_string();
+        assert_eq!(retry_after_hint(&detail), Some(Duration::from_millis(75)));
+        assert!(ServerError::retryable_kind("shutting-down"));
+    }
 
     #[test]
     fn retry_after_hint_parses_typed_details() {

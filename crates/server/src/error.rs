@@ -66,7 +66,13 @@ pub enum ServerError {
         detail: String,
     },
     /// The server is draining for shutdown; no new work is accepted.
-    ShuttingDown,
+    /// Carries the same retry-after hint [`ServerError::ConnRejected`]
+    /// sends, so a retrying client backs off and lands on whatever
+    /// replaces the draining server instead of hammering it.
+    ShuttingDown {
+        /// Suggested backoff before retrying elsewhere, milliseconds.
+        retry_after_ms: u64,
+    },
     /// The request frame or header line could not be understood.
     Proto(String),
     /// Flock/program/TSV text was rejected by a parser.
@@ -88,7 +94,7 @@ impl ServerError {
             ServerError::Cancelled => "cancelled",
             ServerError::ShardLost { .. } => "shard-lost",
             ServerError::FragMissing { .. } => "no-frag",
-            ServerError::ShuttingDown => "shutting-down",
+            ServerError::ShuttingDown { .. } => "shutting-down",
             ServerError::Proto(_) => "proto",
             ServerError::Parse(_) => "parse",
             ServerError::Eval(_) => "eval",
@@ -98,12 +104,17 @@ impl ServerError {
 
     /// Is a *response* carrying this wire kind worth retrying? True for
     /// failures that are transient (`overloaded`, `timeout`,
-    /// `shard-lost` — the cluster heals or re-partitions) or that
+    /// `shard-lost` — the cluster heals or re-partitions;
+    /// `shutting-down` — the rejection certifies nothing ran, and a
+    /// redial lands on whatever replaces the draining server) or that
     /// certify the request was never executed after a wire mangling
     /// (`proto` — the server could not even parse it, so resending is
     /// safe for any request, including mutations).
     pub fn retryable_kind(kind: &str) -> bool {
-        matches!(kind, "overloaded" | "timeout" | "proto" | "shard-lost")
+        matches!(
+            kind,
+            "overloaded" | "timeout" | "proto" | "shard-lost" | "shutting-down"
+        )
     }
 
     /// Classify an evaluation failure: deadline trips become typed
@@ -165,7 +176,10 @@ impl std::fmt::Display for ServerError {
             ServerError::FragMissing { frag, detail } => {
                 write!(f, "fragment {frag} not served here: {detail}")
             }
-            ServerError::ShuttingDown => f.write_str("server is shutting down"),
+            ServerError::ShuttingDown { retry_after_ms } => write!(
+                f,
+                "server is shutting down; retry-after-ms={retry_after_ms}"
+            ),
             ServerError::Proto(d) => write!(f, "protocol: {d}"),
             ServerError::Parse(d) => write!(f, "parse: {d}"),
             ServerError::Eval(d) => write!(f, "evaluation: {d}"),

@@ -3,11 +3,11 @@
 //!
 //! One thread per connection reads framed requests in a loop. Light
 //! requests (`ping`, `stats`, `load`, `gen`, `fingerprint`,
-//! `shutdown`) are answered inline on the connection thread; `flock`
-//! requests are stamped with an absolute deadline at admission and go
-//! through the admission queue to the worker pool, with over-cap
-//! budgets rejected *before* queueing so an impossible request never
-//! occupies a queue slot.
+//! `shutdown`) are answered inline on the connection thread; `flock`,
+//! `partial`, and `append` requests are stamped with an absolute
+//! deadline at admission and go through the admission queue to the
+//! worker pool, with over-cap budgets rejected *before* queueing so an
+//! impossible request never occupies a queue slot.
 //!
 //! Robustness decisions live here:
 //!
@@ -344,6 +344,10 @@ fn dispatch(
             },
             limits,
         ),
+        Request::Append { rel, tsv } => (
+            JobPayload::Append { rel, tsv },
+            crate::protocol::RequestLimits::default(),
+        ),
         light => return handler.handle_light(&light),
     };
     // Over-cap budgets are rejected before queueing: typed error,
@@ -396,10 +400,16 @@ fn await_reply(
             Ok(resp) => return resp,
             Err(mpsc::RecvTimeoutError::Disconnected) => {
                 // The worker died (pool closed mid-job or panicked
-                // past its catch): typed, not a hang.
+                // past its catch): typed, not a hang — and it carries
+                // the same retry-after hint every other shutting-down
+                // rejection sends, so a backing-off client redials at
+                // the hinted pace instead of hammering a drain.
+                let e = ServerError::ShuttingDown {
+                    retry_after_ms: service.config.retry_after_ms,
+                };
                 return Response::Err {
-                    kind: "shutting-down".to_string(),
-                    detail: "worker exited before replying".to_string(),
+                    kind: e.kind().to_string(),
+                    detail: format!("worker exited before replying; {e}"),
                 };
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {

@@ -53,6 +53,16 @@ pub enum JobPayload {
         /// replica-hosted fragment, `None` for whole-catalog partials.
         frag: Option<(usize, u64)>,
     },
+    /// A streaming catalog delta (`append`): union the TSV tuples into
+    /// an existing relation through the write-ahead log. Admitted (not
+    /// light-path) because the merge re-sorts the whole relation and
+    /// the WAL commit fsyncs — both too heavy for a connection thread.
+    Append {
+        /// Target relation name (cross-checked against the TSV header).
+        rel: String,
+        /// The delta as full TSV content including the header line.
+        tsv: String,
+    },
 }
 
 /// One admitted request, carrying its reply channel, its
@@ -153,10 +163,13 @@ impl WorkerPool {
     /// [`ServerError::Overloaded`] when the bounded queue is full (the
     /// latter counts toward the server's `rejected` total).
     pub fn submit(&self, job: Job) -> Result<()> {
-        let counters = &self.inner.handler.service().counters;
+        let service = self.inner.handler.service();
+        let counters = &service.counters;
         let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
         if !state.open {
-            return Err(ServerError::ShuttingDown);
+            return Err(ServerError::ShuttingDown {
+                retry_after_ms: service.config.retry_after_ms,
+            });
         }
         if state.jobs.len() >= self.inner.cap {
             counters.rejected.fetch_add(1, Ordering::Relaxed);

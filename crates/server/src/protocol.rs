@@ -39,6 +39,17 @@ pub enum Request {
         /// Full TSV content including the header line.
         tsv: String,
     },
+    /// Stream a TSV delta into an existing relation (set-semantics
+    /// union; the relation is created if absent). The header carries
+    /// the target relation name redundantly with the TSV header line —
+    /// the server cross-checks them, so a mis-framed body can never
+    /// mutate the wrong relation.
+    Append {
+        /// Target relation name (must match the TSV header).
+        rel: String,
+        /// The delta as full TSV content including the header line.
+        tsv: String,
+    },
     /// Evaluate a flock program.
     Flock {
         /// Program text (`[views…] QUERY: … FILTER: …`).
@@ -102,15 +113,18 @@ impl Request {
     /// Is this request safe to retry transparently after a failure that
     /// may or may not have reached the server? Reads (`ping`, `stats`,
     /// `fingerprint`, `flock`) and the idempotent `shutdown` flag are;
-    /// catalog mutations (`load`, `gen`) are **not** — replaying one
-    /// after an ambiguous failure could double-apply it, so the
-    /// retrying client surfaces the error instead (unless the server
-    /// certified non-execution with a typed `proto`/`overloaded`
+    /// catalog mutations (`load`, `gen`, `append`) are **not** —
+    /// replaying one after an ambiguous failure could double-apply it,
+    /// so the retrying client surfaces the error instead (unless the
+    /// server certified non-execution with a typed `proto`/`overloaded`
     /// response, which is safe for any request). `sync` *is* retryable:
     /// it replaces a fragment with fingerprint-verified content, so a
     /// replay lands the same bytes.
     pub fn is_idempotent(&self) -> bool {
-        !matches!(self, Request::Load { .. } | Request::Gen { .. })
+        !matches!(
+            self,
+            Request::Load { .. } | Request::Gen { .. } | Request::Append { .. }
+        )
     }
 
     /// Render as a framed payload.
@@ -119,6 +133,7 @@ impl Request {
             Request::Ping => "ping\n\n".to_string(),
             Request::Gen { kind, seed } => format!("gen kind={kind} seed={seed}\n\n"),
             Request::Load { tsv } => format!("load\n\n{tsv}"),
+            Request::Append { rel, tsv } => format!("append rel={rel}\n\n{tsv}"),
             Request::Flock {
                 text,
                 support,
@@ -214,6 +229,21 @@ impl Request {
             "load" => Ok(Request::Load {
                 tsv: body.to_string(),
             }),
+            "append" => {
+                let mut rel = None;
+                for (k, v) in kv(parts)? {
+                    match k.as_str() {
+                        "rel" => rel = Some(v),
+                        other => {
+                            return Err(ServerError::Proto(format!("unknown append key `{other}`")))
+                        }
+                    }
+                }
+                Ok(Request::Append {
+                    rel: rel.ok_or_else(|| ServerError::Proto("append needs rel=…".into()))?,
+                    tsv: body.to_string(),
+                })
+            }
             "fingerprint" => Ok(Request::Fingerprint {
                 text: body.to_string(),
             }),
@@ -463,6 +493,10 @@ mod tests {
             Request::Load {
                 tsv: "r\ta\n1\n".into(),
             },
+            Request::Append {
+                rel: "r".into(),
+                tsv: "r\ta\n2\n".into(),
+            },
             Request::Fingerprint {
                 text: "QUERY: answer(B) :- r(B,$1) FILTER: COUNT(answer.B) >= 2".into(),
             },
@@ -562,6 +596,8 @@ mod tests {
     fn malformed_requests_rejected() {
         assert!(Request::parse("bogus\n\n").is_err());
         assert!(Request::parse("gen seed=1\n\n").is_err()); // missing kind
+        assert!(Request::parse("append\n\nr\ta\n1\n").is_err()); // missing rel
+        assert!(Request::parse("append rel=r bogus=1\n\nr\ta\n").is_err());
         assert!(Request::parse("flock support=abc\n\nQUERY: …").is_err());
         assert!(Request::parse("flock rows\n\n").is_err()); // not key=value
         assert!(Request::parse("partial\n\nbody").is_err()); // missing parts

@@ -6,6 +6,7 @@
 use std::fmt::Write as _;
 
 use qf_core::ExecStats;
+use qf_storage::WalStats;
 
 /// Cache/admission accounting attached to every report. Local runs use
 /// [`CacheReport::default`] (all zeros, no cache in play); server
@@ -33,6 +34,9 @@ pub struct CacheReport {
     pub retries: u64,
     /// High-water mark of the admission queue depth.
     pub queue_depth_max: u64,
+    /// Durability counters (all zeros when the server runs without a
+    /// `--data-dir`: no WAL in play).
+    pub wal: WalStats,
 }
 
 /// Render one evaluation as a single-line JSON object.
@@ -63,7 +67,9 @@ pub fn json_report(
          \"io_retries\":{},\"corruption_recoveries\":{},\"spill_files_live\":{},\
          \"tsv_skipped_lines\":{},\"cache_hit\":{},\"plan_cached\":{},\"cache_hits\":{},\
          \"cache_misses\":{},\"rejected\":{},\"timeouts\":{},\"cancelled\":{},\
-         \"conn_rejected\":{},\"retries\":{},\"queue_depth_max\":{},\"degradations\":[{}]}}",
+         \"conn_rejected\":{},\"retries\":{},\"queue_depth_max\":{},\"wal_records\":{},\
+         \"wal_bytes\":{},\"snapshots\":{},\"compactions\":{},\"recovered_records\":{},\
+         \"recovery_ms\":{},\"degradations\":[{}]}}",
         json_escape(strategy),
         results,
         elapsed_ms,
@@ -87,6 +93,12 @@ pub fn json_report(
         cache.conn_rejected,
         cache.retries,
         cache.queue_depth_max,
+        cache.wal.wal_records,
+        cache.wal.wal_bytes,
+        cache.wal.snapshots,
+        cache.wal.compactions,
+        cache.wal.recovered_records,
+        cache.wal.recovery_ms,
         degradations.join(",")
     )
 }
@@ -160,6 +172,14 @@ mod tests {
                 conn_rejected: 7,
                 retries: 8,
                 queue_depth_max: 4,
+                wal: WalStats {
+                    wal_records: 9,
+                    wal_bytes: 640,
+                    snapshots: 2,
+                    compactions: 1,
+                    recovered_records: 3,
+                    recovery_ms: 11,
+                },
             },
         );
         assert!(out.starts_with('{') && out.ends_with('}'));
@@ -177,6 +197,12 @@ mod tests {
             "\"conn_rejected\":7",
             "\"retries\":8",
             "\"queue_depth_max\":4",
+            "\"wal_records\":9",
+            "\"wal_bytes\":640",
+            "\"snapshots\":2",
+            "\"compactions\":1",
+            "\"recovered_records\":3",
+            "\"recovery_ms\":11",
         ] {
             assert!(out.contains(key), "missing {key} in {out}");
         }

@@ -19,7 +19,9 @@ use qf_core::{
     ExecContext, ExecStats, FilterCondition, FlockProgram, JoinOrderStrategy, QueryFlock,
     QueryPlan,
 };
-use qf_storage::{spill::content_hash, tsv, Database, Fnv1a, Relation};
+use qf_storage::{
+    spill::content_hash, tsv, Database, Fnv1a, Relation, StorageError, Wal, WalCounters, WalRecord,
+};
 
 use crate::cache::{CacheKey, CachedResult, PlanCache, ResultCache};
 use crate::error::{Result, ServerError};
@@ -131,6 +133,7 @@ impl Counters {
             conn_rejected: self.conn_rejected.load(Ordering::Relaxed),
             retries: 0,
             queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
+            wal: qf_storage::WalStats::default(),
         }
     }
 }
@@ -197,6 +200,7 @@ impl RequestHandler for LocalHandler {
                 job.deadline,
                 Some(&job.cancel),
             ),
+            JobPayload::Append { rel, tsv } => self.service.handle_append_admitted(rel, tsv),
         }
     }
 }
@@ -217,6 +221,14 @@ pub struct FlockService {
     /// Immutable configuration.
     pub config: ServerConfig,
     shutting_down: AtomicBool,
+    /// The write-ahead log behind `--data-dir`, absent for a purely
+    /// in-memory server. Mutations hold the catalog write lock across
+    /// apply + commit, so the log's record order always matches the
+    /// installed catalog's.
+    wal: Option<Mutex<Wal>>,
+    /// Durability counters: shared with the WAL when one is configured,
+    /// all-zero otherwise (so `stats` always carries the fields).
+    wal_counters: Arc<WalCounters>,
 }
 
 /// Locks here never protect panicking code paths, but a poisoned lock
@@ -228,8 +240,23 @@ fn unpoison<'a, T>(
 }
 
 impl FlockService {
-    /// Service over an initial catalog (possibly empty).
+    /// Service over an initial catalog (possibly empty), no durability:
+    /// mutations live only in memory.
     pub fn new(config: ServerConfig, db: Database) -> FlockService {
+        FlockService::build(config, db, None)
+    }
+
+    /// Service over a WAL-recovered catalog: every mutation is
+    /// committed (fsynced and read-back verified) to `wal` *before* it
+    /// is installed or acknowledged, so a restart recovers exactly the
+    /// acknowledged catalog. `db` must be the catalog [`Wal::open`]
+    /// returned alongside `wal`.
+    pub fn with_wal(config: ServerConfig, db: Database, wal: Wal) -> FlockService {
+        FlockService::build(config, db, Some(wal))
+    }
+
+    fn build(config: ServerConfig, db: Database, wal: Option<Wal>) -> FlockService {
+        let wal_counters = wal.as_ref().map_or_else(Default::default, Wal::counters);
         FlockService {
             db: RwLock::new(db),
             frags: RwLock::new(BTreeMap::new()),
@@ -238,6 +265,17 @@ impl FlockService {
             counters: Counters::default(),
             config,
             shutting_down: AtomicBool::new(false),
+            wal: wal.map(Mutex::new),
+            wal_counters,
+        }
+    }
+
+    /// Per-request cache/admission report with the durability counters
+    /// merged in (zeros when no WAL is configured).
+    pub fn cache_report(&self, cache_hit: bool, plan_cached: bool) -> CacheReport {
+        CacheReport {
+            wal: self.wal_counters.stats(),
+            ..self.counters.cache_report(cache_hit, plan_cached)
         }
     }
 
@@ -271,9 +309,11 @@ impl FlockService {
                 relations,
             } => self.sync_fragment(*frag, *fp, relations),
             Request::Fingerprint { text } => fingerprint(text),
-            Request::Flock { .. } | Request::Partial { .. } => Err(ServerError::Proto(
-                "flock/partial requests must go through admission".to_string(),
-            )),
+            Request::Flock { .. } | Request::Partial { .. } | Request::Append { .. } => {
+                Err(ServerError::Proto(
+                    "flock/partial/append requests must go through admission".to_string(),
+                ))
+            }
         };
         match result {
             Ok((meta, body)) => Response::Ok { meta, body },
@@ -416,7 +456,7 @@ impl FlockService {
                 &ExecStats::default(),
                 0,
                 0,
-                &self.counters.cache_report(true, true),
+                &self.cache_report(true, true),
             );
             return Ok(Response::Ok {
                 meta,
@@ -447,7 +487,7 @@ impl FlockService {
             &ctx.stats(),
             0,
             0,
-            &self.counters.cache_report(false, false),
+            &self.cache_report(false, false),
         );
         Ok(Response::Ok {
             meta,
@@ -609,7 +649,7 @@ impl FlockService {
                 &ExecStats::default(),
                 0,
                 0,
-                &self.counters.cache_report(true, true),
+                &self.cache_report(true, true),
             );
             return Ok(Response::Ok {
                 meta,
@@ -675,7 +715,7 @@ impl FlockService {
             &ctx.stats(),
             0,
             0,
-            &self.counters.cache_report(false, plan_cached),
+            &self.cache_report(false, plan_cached),
         );
         Ok(Response::Ok {
             meta,
@@ -735,12 +775,11 @@ impl FlockService {
                 )))
             }
         }
-        self.mutate_catalog(|db| {
-            for rel in rels {
-                db.insert(rel);
-            }
-        });
-        Ok((String::from("{}"), note))
+        let record = WalRecord::Put {
+            relations: rels.iter().map(render_tsv).collect(),
+        };
+        let fp = self.commit_record(&record, None)?;
+        Ok((format!("{{\"fp\":\"{fp:016x}\"}}"), note))
     }
 
     /// Install one replicated catalog fragment (the `sync` verb): parse
@@ -809,36 +848,127 @@ impl FlockService {
             .map_err(|e| ServerError::Parse(e.to_string()))?;
         let name = rel.name().to_string();
         let n = rel.len();
-        self.mutate_catalog(|db| db.insert(rel));
+        let record = WalRecord::Put {
+            relations: vec![text.to_string()],
+        };
+        let fp = self.commit_record(&record, None)?;
         Ok((
-            format!("{{\"relation\":\"{}\",\"tuples\":{n}}}", json_escape(&name)),
+            format!(
+                "{{\"relation\":\"{}\",\"tuples\":{n},\"fp\":\"{fp:016x}\"}}",
+                json_escape(&name)
+            ),
             format!("loaded {name} [{n} tuples]"),
         ))
     }
 
-    /// Apply a catalog mutation and invalidate both caches. The
-    /// fingerprint key already makes stale entries unreachable; the
-    /// clear reclaims their memory immediately. Crate-visible so the
-    /// shard coordinator can mutate its master catalog the same way.
-    pub(crate) fn mutate_catalog(&self, f: impl FnOnce(&mut Database)) {
+    /// Handle an admitted `append`: stream a TSV delta into one
+    /// relation (set-semantics union) through the WAL. Admitted rather
+    /// than light because the union re-sorts the whole target relation
+    /// and the durable commit fsyncs. Called on a pool worker.
+    pub fn handle_append_admitted(&self, rel: &str, tsv: &str) -> Response {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        match self.append(rel, tsv) {
+            Ok((meta, body)) => Response::Ok { meta, body },
+            Err(e) => Response::from_error(&e),
+        }
+    }
+
+    fn append(&self, rel: &str, tsv_text: &str) -> Result<(String, String)> {
+        // Parse before touching the WAL so a malformed delta fails
+        // typed without a durability round trip, and cross-check the
+        // request header's relation name against the TSV's own — a
+        // mis-framed body can never mutate the wrong relation.
+        let delta = tsv::read_tsv(std::io::Cursor::new(tsv_text.as_bytes()))
+            .map_err(|e| ServerError::Parse(e.to_string()))?;
+        if delta.name() != rel {
+            return Err(ServerError::Proto(format!(
+                "append header names rel={rel} but the TSV header names {}",
+                delta.name()
+            )));
+        }
+        let before = {
+            let db = self.db.read().unwrap_or_else(|e| e.into_inner());
+            db.get(rel).map_or(0, Relation::len)
+        };
+        let record = WalRecord::Append {
+            tsv: tsv_text.to_string(),
+        };
+        let fp = self.commit_record(&record, Some(rel))?;
+        let after = {
+            let db = self.db.read().unwrap_or_else(|e| e.into_inner());
+            db.get(rel).map_or(0, Relation::len)
+        };
+        let added = after.saturating_sub(before);
+        Ok((
+            format!(
+                "{{\"relation\":\"{}\",\"tuples\":{after},\"added\":{added},\"fp\":\"{fp:016x}\"}}",
+                json_escape(rel)
+            ),
+            format!("appended {added} new tuple(s) to {rel} [{after} total]"),
+        ))
+    }
+
+    /// Apply one catalog mutation: apply the record to a copy of the
+    /// catalog, commit it durably to the WAL (when configured), then
+    /// install the copy and fix up the caches. Nothing is installed —
+    /// let alone acknowledged — unless the record is already durable,
+    /// so a crash at any point recovers a prefix of the acknowledged
+    /// mutations, never a half-applied one. Returns the post-mutation
+    /// catalog fingerprint — the value clients and the shard
+    /// coordinator verify installs against. Crate-visible so the
+    /// coordinator mutates its master catalog the same way.
+    ///
+    /// `touched` narrows cache invalidation for single-relation deltas:
+    /// entries whose query reads that relation are dropped, the rest
+    /// are re-keyed to the new fingerprint and keep serving. `None`
+    /// (bulk mutations) clears both caches.
+    pub(crate) fn commit_record(&self, record: &WalRecord, touched: Option<&str>) -> Result<u64> {
         let mut guard = self.db.write().unwrap_or_else(|e| e.into_inner());
-        f(&mut guard);
-        unpoison(self.result_cache.lock()).clear();
-        unpoison(self.plan_cache.lock()).clear();
+        let old_fp = guard.fingerprint();
+        let mut next = guard.clone();
+        Wal::apply(&mut next, record).map_err(storage_error)?;
+        let fp = next.fingerprint();
+        if let Some(wal) = &self.wal {
+            let mut w = unpoison(wal.lock());
+            w.commit(record, fp).map_err(storage_error)?;
+            // A failed compaction is non-fatal: the record above is
+            // already durable and the old snapshot generation stays
+            // authoritative — the log just keeps growing.
+            if let Err(e) = w.maybe_compact(&next) {
+                eprintln!("qf-serve: wal compaction failed ({e}); log keeps growing");
+            }
+        }
+        *guard = next;
+        drop(guard);
+        match touched {
+            Some(rel) => {
+                let touches = move |k: &CacheKey| k.query.contains(rel);
+                unpoison(self.result_cache.lock()).retain_rekey(old_fp, fp, &touches);
+                unpoison(self.plan_cache.lock()).retain_rekey(old_fp, fp, &touches);
+            }
+            None => {
+                unpoison(self.result_cache.lock()).clear();
+                unpoison(self.plan_cache.lock()).clear();
+            }
+        }
+        Ok(fp)
     }
 
     /// Server-wide counters as a one-line JSON object (`stats`).
     pub fn stats_json(&self) -> String {
         let c = &self.counters;
-        let (relations, tuples) = {
+        let w = self.wal_counters.stats();
+        let (relations, tuples, fp) = {
             let db = self.db.read().unwrap_or_else(|e| e.into_inner());
-            (db.len(), db.total_tuples())
+            (db.len(), db.total_tuples(), db.fingerprint())
         };
         format!(
             "{{\"requests\":{},\"cache_hits\":{},\"cache_misses\":{},\"rejected\":{},\
              \"timeouts\":{},\"cancelled\":{},\"conn_rejected\":{},\"conns\":{},\
              \"queue_depth\":{},\"queue_depth_max\":{},\"active\":{},\"live_workers\":{},\
              \"cached_results\":{},\"relations\":{relations},\"tuples\":{tuples},\
+             \"fp\":\"{fp:016x}\",\"wal_records\":{},\"wal_bytes\":{},\"snapshots\":{},\
+             \"compactions\":{},\"recovered_records\":{},\"recovery_ms\":{},\
              \"frags\":{},\"shutting_down\":{}}}",
             c.requests.load(Ordering::Relaxed),
             c.cache_hits.load(Ordering::Relaxed),
@@ -853,9 +983,29 @@ impl FlockService {
             c.active.load(Ordering::Relaxed),
             c.live_workers.load(Ordering::Relaxed),
             unpoison(self.result_cache.lock()).len(),
+            w.wal_records,
+            w.wal_bytes,
+            w.snapshots,
+            w.compactions,
+            w.recovered_records,
+            w.recovery_ms,
             self.fragment_count(),
             self.is_shutting_down(),
         )
+    }
+}
+
+/// Map storage-layer failures onto wire errors: malformed TSV and
+/// mismatched delta schemas are the client's fault (`parse`);
+/// everything else — I/O, detected corruption, a poisoned WAL — is the
+/// server's (`io`, not retryable: a mutation that failed ambiguously
+/// must not be replayed blind).
+fn storage_error(e: StorageError) -> ServerError {
+    match &e {
+        StorageError::Malformed { .. } | StorageError::ArityMismatch { .. } => {
+            ServerError::Parse(e.to_string())
+        }
+        _ => ServerError::Io(e.to_string()),
     }
 }
 

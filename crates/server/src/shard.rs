@@ -620,9 +620,18 @@ impl Coordinator {
     /// `db` is non-empty (mutations re-push automatically). Spawns the
     /// health-probe thread unless `shard.probe_interval_ms` is zero.
     pub fn new(config: ServerConfig, shard: ShardConfig, db: Database) -> Coordinator {
+        Coordinator::with_service(Arc::new(FlockService::new(config, db)), shard)
+    }
+
+    /// Build a coordinator over a pre-constructed service — the
+    /// `--data-dir` deployment passes a WAL-backed
+    /// [`FlockService::with_wal`] so master-catalog mutations are
+    /// durable and a coordinator restart recovers, re-partitions, and
+    /// re-syncs the exact acknowledged catalog.
+    pub fn with_service(service: Arc<FlockService>, shard: ShardConfig) -> Coordinator {
         let n = shard.addrs.len();
         let core = Arc::new(ShardCore {
-            service: Arc::new(FlockService::new(config, db)),
+            service,
             slots: shard
                 .addrs
                 .into_iter()
@@ -869,7 +878,7 @@ impl Coordinator {
                     &qf_core::ExecStats::default(),
                     0,
                     0,
-                    &service.counters.cache_report(true, true),
+                    &service.cache_report(true, true),
                 ),
                 &format!(
                     "\"sharded\":true,\"shards\":{n},\"rescatters\":0,\"failovers\":0,\
@@ -1016,7 +1025,7 @@ impl Coordinator {
                 &ctx.stats(),
                 0,
                 0,
-                &service.counters.cache_report(false, plan_cached),
+                &service.cache_report(false, plan_cached),
             ),
             &format!(
                 "\"sharded\":true,\"shards\":{n},\"rescatters\":{},\"failovers\":{},\
@@ -1336,6 +1345,21 @@ impl RequestHandler for Coordinator {
                 job.deadline,
                 Some(&job.cancel),
             ),
+            // Mutate the master durably first, then re-push the
+            // re-partitioned catalog, exactly like `load`/`gen` on the
+            // light path. A failed push is typed and retryable — but
+            // the mutation itself already committed, so the client's
+            // retry policy only replays `append` on responses that
+            // certify non-execution.
+            JobPayload::Append { rel, tsv } => {
+                let resp = self.core.service.handle_append_admitted(rel, tsv);
+                if resp.is_ok() {
+                    if let Err(e) = self.push_catalog() {
+                        return Response::from_error(&e);
+                    }
+                }
+                resp
+            }
         }
     }
 }

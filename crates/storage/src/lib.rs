@@ -53,6 +53,7 @@ pub mod tsv;
 pub mod tuple;
 pub mod value;
 pub mod vfs;
+pub mod wal;
 
 pub use catalog::Database;
 pub use cmp::CmpOp;
@@ -67,3 +68,4 @@ pub use symbol::Symbol;
 pub use tuple::Tuple;
 pub use value::Value;
 pub use vfs::{real_fs, ChaosConfig, ChaosFs, Fault, OpClass, RealFs, Vfs, VfsFile};
+pub use wal::{acquire_pid_lock, process_alive, Wal, WalCounters, WalOptions, WalRecord, WalStats};
