@@ -616,7 +616,7 @@ fn json_report(
 /// client sends `shutdown` (the server drains in-flight work first).
 ///
 /// With `--data-dir` the catalog is durable: every mutation
-/// (`load`/`gen`/`append`) is committed to a write-ahead log in DIR
+/// (`load`/`gen`/`append`/`retract`) is committed to a write-ahead log in DIR
 /// before it is acknowledged, and a restart on the same DIR recovers
 /// exactly the acknowledged catalog (snapshot + log replay,
 /// checksum-verified, torn tail truncated).
@@ -687,7 +687,9 @@ fn open_durable_service(
 /// `qfsh serve` workers. The coordinator speaks the same protocol as a
 /// standalone server — `qfsh client` points at it unchanged — and
 /// holds the master catalog: `load`/`gen` mutations partition and
-/// re-push every fragment to its `--replicas` hosts, shardable flocks
+/// re-push every fragment to its `--replicas` hosts (`append`/`retract`
+/// ship only the delta tuples to the fragments they touch), shardable
+/// flocks
 /// scatter per `FILTER` step (failing over across replicas, hedging
 /// slow primaries after `--hedge-after-ms`) and merge algebraically,
 /// and everything else runs locally against the master. Workers that
@@ -780,16 +782,17 @@ pub fn shard_main(args: &[String]) -> Result<String, String> {
 /// --connect-timeout MS --io-timeout MS] <command…>`: one request
 /// against a running server. Commands: `ping`, `stats`, `shutdown`,
 /// `gen <kind> [seed]`, `load <file.tsv>`,
-/// `append <relation> <file.tsv>`, `fingerprint <program>`,
-/// `flock <program>`. A flock response prints the same one-line JSON
-/// report as a local `--report json` run, followed by the result TSV.
+/// `append <relation> <file.tsv>`, `retract <relation> <file.tsv>`,
+/// `fingerprint <program>`, `flock <program>`. A flock response prints
+/// the same one-line JSON report as a local `--report json` run,
+/// followed by the result TSV.
 ///
 /// `--timeout` doubles as the server-side request deadline (min'd with
 /// the server cap, counted from admission) and `--retries` bounds
 /// transparent retries: typed `overloaded`/`timeout`/`proto`/
 /// `shutting-down` responses retry for any command; ambiguous
 /// transport failures retry only for idempotent commands (everything
-/// except `load`/`gen`/`append`).
+/// except `load`/`gen`/`append`/`retract`).
 pub fn client_main(args: &[String]) -> Result<String, String> {
     let mut addr: Option<String> = None;
     let mut support: Option<i64> = None;
@@ -859,6 +862,14 @@ pub fn client_main(args: &[String]) -> Result<String, String> {
             let path = parts.next().ok_or(usage)?;
             let tsv = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             client.append(rel, &tsv)
+        }
+        "retract" => {
+            let mut parts = rest.split_whitespace();
+            let usage = "usage: retract <relation> <file.tsv>";
+            let rel = parts.next().ok_or(usage)?;
+            let path = parts.next().ok_or(usage)?;
+            let tsv = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            client.retract(rel, &tsv)
         }
         other => return Err(format!("unknown client command `{other}`")),
     }

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod compile;
+pub mod delta;
 pub mod dynamic;
 pub mod error;
 pub mod eval;
@@ -65,6 +66,7 @@ pub mod sql;
 pub use compile::{
     compile_answer, compile_rule, filter_answer_scored, CompiledRule, JoinOrderStrategy,
 };
+pub use delta::{DeltaApply, DeltaLimits, FlockDelta};
 pub use dynamic::{
     evaluate_dynamic, evaluate_dynamic_with, DecisionReason, DynamicConfig, DynamicDecision,
     DynamicReport,

@@ -29,6 +29,14 @@ pub enum EngineError {
         /// Description of the violation.
         detail: String,
     },
+    /// A delta-maintenance operation (see [`crate::delta`]) was fed an
+    /// update incoherent with its recorded state — e.g. a derivation
+    /// removed that was never inserted. The maintained view can no
+    /// longer be trusted and must be rebuilt from scratch.
+    DeltaInvariant {
+        /// Description of the violation.
+        detail: String,
+    },
     /// A governed execution exceeded one of its budgets (see
     /// [`crate::governor`]). `limit` and `observed` are in the
     /// resource's native unit: tuples for rows, bytes for memory,
@@ -86,6 +94,9 @@ impl std::fmt::Display for EngineError {
                 write!(f, "union inputs have arities {first} and {other}")
             }
             EngineError::AggregateType { detail } => write!(f, "aggregate type error: {detail}"),
+            EngineError::DeltaInvariant { detail } => {
+                write!(f, "delta maintenance invariant violated: {detail}")
+            }
             EngineError::ResourceExhausted {
                 resource,
                 limit,

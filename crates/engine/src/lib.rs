@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod delta;
 pub mod error;
 pub mod estimate;
 pub mod exec;
@@ -62,6 +63,7 @@ pub mod plan;
 mod spill;
 
 pub use cost::{cost, cost_with};
+pub use delta::{GroupAggView, RECHECK_BOUND};
 pub use error::{EngineError, Result};
 pub use estimate::{estimate, estimate_with, Estimate, MapStats, StatsSource};
 pub use exec::{execute, execute_with};

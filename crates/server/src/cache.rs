@@ -17,7 +17,9 @@
 //! steps so a repeat flock at a *non*-subsumed threshold still skips
 //! the exponential §4.3 plan search.
 
-use qf_core::FilterCondition;
+use std::sync::{Arc, Mutex};
+
+use qf_core::{FilterCondition, FlockDelta};
 use qf_storage::Relation;
 
 /// Cache key: canonical query text (threshold excluded — that is what
@@ -53,6 +55,13 @@ pub struct CachedResult {
     pub scored: Relation,
     /// Strategy label of the original run (for response meta).
     pub strategy: String,
+    /// Incremental-maintenance state ([`qf_core::FlockDelta`]) when the
+    /// flock is delta-maintainable: the full counted answer multiset,
+    /// updated in place on `append`/`retract` instead of dropping the
+    /// entry. Shared behind a mutex because [`CachedResult`] is cloned
+    /// out of the cache on hit while the mutation path updates the
+    /// cached copy. `None` for non-maintainable flocks.
+    pub delta: Option<Arc<Mutex<FlockDelta>>>,
 }
 
 /// A tiny exact-key LRU: most-recently-used at the front. Entry counts
@@ -103,6 +112,30 @@ impl<V> Lru<V> {
         });
     }
 
+    /// Like [`Lru::retain_rekey`], but a touched entry gets a chance to
+    /// *maintain itself*: `maintain` mutates the value in place (e.g.
+    /// applies a delta join) and returns whether the entry is still
+    /// valid. Entries it keeps are re-keyed to `new_fp` like untouched
+    /// ones; entries at any other fingerprint are reclaimed as before.
+    fn maintain_rekey(
+        &mut self,
+        old_fp: u64,
+        new_fp: u64,
+        touches: &dyn Fn(&CacheKey) -> bool,
+        maintain: &mut dyn FnMut(&mut V) -> bool,
+    ) {
+        self.entries.retain_mut(|(k, v)| {
+            if k.catalog_fp != old_fp {
+                return false;
+            }
+            if touches(k) && !maintain(v) {
+                return false;
+            }
+            k.catalog_fp = new_fp;
+            true
+        });
+    }
+
     fn len(&self) -> usize {
         self.entries.len()
     }
@@ -140,7 +173,16 @@ impl ResultCache {
     /// to the front — coverage and recency are separate concerns.
     pub fn insert(&mut self, key: CacheKey, entry: CachedResult) {
         let keep = match self.lru.get(&key) {
-            Some(old) if old.baseline.subsumes(&entry.baseline) => old.clone(),
+            Some(old) if old.baseline.subsumes(&entry.baseline) => {
+                let mut kept = old.clone();
+                // The maintenance state is baseline-independent (it
+                // tracks the full unfiltered multiset), so a surviving
+                // loose entry adopts the fresher run's delta handle.
+                if kept.delta.is_none() {
+                    kept.delta = entry.delta;
+                }
+                kept
+            }
             _ => entry,
         };
         self.lru.insert(key, keep);
@@ -154,6 +196,20 @@ impl ResultCache {
     /// Precise invalidation for an `append`: see [`Lru::retain_rekey`].
     pub fn retain_rekey(&mut self, old_fp: u64, new_fp: u64, touches: &dyn Fn(&CacheKey) -> bool) {
         self.lru.retain_rekey(old_fp, new_fp, touches);
+    }
+
+    /// Delta-aware invalidation for an `append`/`retract`: touched
+    /// entries are offered to `maintain` (which updates them in place
+    /// and says whether they survive) instead of being dropped
+    /// unconditionally. See [`Lru::maintain_rekey`].
+    pub fn maintain_rekey(
+        &mut self,
+        old_fp: u64,
+        new_fp: u64,
+        touches: &dyn Fn(&CacheKey) -> bool,
+        maintain: &mut dyn FnMut(&mut CachedResult) -> bool,
+    ) {
+        self.lru.maintain_rekey(old_fp, new_fp, touches, maintain);
     }
 
     /// Number of cached results.
@@ -225,7 +281,43 @@ mod tests {
                 vec![vec![Value::str("a"), Value::int(5)]],
             ),
             strategy: "static".to_string(),
+            delta: None,
         }
+    }
+
+    #[test]
+    fn maintain_rekey_lets_touched_entries_survive() {
+        let mut c = ResultCache::new(8);
+        c.insert(key("answer :- baskets(B,I)", 1), entry(2));
+        c.insert(key("answer :- dict(W)", 1), entry(2));
+        // The touched entry maintains itself (closure mutates + keeps).
+        let mut maintained = 0;
+        c.maintain_rekey(1, 9, &|k| k.query.contains("baskets"), &mut |e| {
+            e.strategy = "delta".to_string();
+            maintained += 1;
+            true
+        });
+        assert_eq!(maintained, 1);
+        let hit = c
+            .lookup(
+                &key("answer :- baskets(B,I)", 9),
+                &FilterCondition::support(2),
+            )
+            .expect("maintained entry must survive re-keyed");
+        assert_eq!(hit.strategy, "delta");
+        // Untouched entries re-key without the closure running.
+        assert!(c
+            .lookup(&key("answer :- dict(W)", 9), &FilterCondition::support(2))
+            .is_some());
+        // A declining closure drops the entry like retain_rekey would.
+        c.maintain_rekey(9, 11, &|k| k.query.contains("baskets"), &mut |_| false);
+        assert!(c
+            .lookup(
+                &key("answer :- baskets(B,I)", 11),
+                &FilterCondition::support(2),
+            )
+            .is_none());
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

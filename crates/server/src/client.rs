@@ -13,7 +13,7 @@
 //! * **Transport failures** (reset, timeout, corrupt frame) after the
 //!   request may have reached the server are ambiguous: they are
 //!   retried only for idempotent requests ([`Request::is_idempotent`]).
-//!   Replaying a `load`/`gen`/`append` after an ambiguous failure
+//!   Replaying a `load`/`gen`/`append`/`retract` after an ambiguous failure
 //!   could double-apply it, so the error surfaces instead.
 //!
 //! Backoff is bounded exponential with deterministic jitter (splitmix64
@@ -263,6 +263,42 @@ impl Client {
         self.request(&Request::Append {
             rel: rel.to_string(),
             tsv: tsv.to_string(),
+            frag: None,
+        })
+    }
+
+    /// Stream a TSV delta into relation `rel` inside a worker-held
+    /// fragment (coordinator use). `fp` is the expected post-delta
+    /// fragment fingerprint; the worker answers a typed `no-frag` on
+    /// mismatch so the coordinator falls back to a full re-sync.
+    pub fn append_frag(&mut self, rel: &str, tsv: &str, frag: usize, fp: u64) -> Result<Response> {
+        self.request(&Request::Append {
+            rel: rel.to_string(),
+            tsv: tsv.to_string(),
+            frag: Some((frag, fp)),
+        })
+    }
+
+    /// Retract a TSV delta from relation `rel` (set-semantics
+    /// difference; absent tuples are ignored). Like `append` this is
+    /// **not** idempotent under the retry policy: only typed responses
+    /// certifying non-execution are replayed, never ambiguous transport
+    /// failures.
+    pub fn retract(&mut self, rel: &str, tsv: &str) -> Result<Response> {
+        self.request(&Request::Retract {
+            rel: rel.to_string(),
+            tsv: tsv.to_string(),
+            frag: None,
+        })
+    }
+
+    /// Retract a TSV delta from relation `rel` inside a worker-held
+    /// fragment (coordinator use), mirroring [`Client::append_frag`].
+    pub fn retract_frag(&mut self, rel: &str, tsv: &str, frag: usize, fp: u64) -> Result<Response> {
+        self.request(&Request::Retract {
+            rel: rel.to_string(),
+            tsv: tsv.to_string(),
+            frag: Some((frag, fp)),
         })
     }
 

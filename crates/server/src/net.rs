@@ -4,7 +4,7 @@
 //! One thread per connection reads framed requests in a loop. Light
 //! requests (`ping`, `stats`, `load`, `gen`, `fingerprint`,
 //! `shutdown`) are answered inline on the connection thread; `flock`,
-//! `partial`, and `append` requests are stamped with an absolute
+//! `partial`, `append`, and `retract` requests are stamped with an absolute
 //! deadline at admission and go through the admission queue to the
 //! worker pool, with over-cap budgets rejected *before* queueing so an
 //! impossible request never occupies a queue slot.
@@ -344,8 +344,12 @@ fn dispatch(
             },
             limits,
         ),
-        Request::Append { rel, tsv } => (
-            JobPayload::Append { rel, tsv },
+        Request::Append { rel, tsv, frag } => (
+            JobPayload::Append { rel, tsv, frag },
+            crate::protocol::RequestLimits::default(),
+        ),
+        Request::Retract { rel, tsv, frag } => (
+            JobPayload::Retract { rel, tsv, frag },
             crate::protocol::RequestLimits::default(),
         ),
         light => return handler.handle_light(&light),

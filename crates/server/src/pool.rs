@@ -62,6 +62,22 @@ pub enum JobPayload {
         rel: String,
         /// The delta as full TSV content including the header line.
         tsv: String,
+        /// Fragment scope: `(fragment id, expected post-delta
+        /// fingerprint)` routes the delta into the worker's fragment
+        /// store; `None` mutates the master catalog.
+        frag: Option<(usize, u64)>,
+    },
+    /// A streaming catalog retraction (`retract`): subtract the TSV
+    /// tuples from an existing relation through the write-ahead log.
+    /// Admitted for the same reason as `append` — the set difference
+    /// rewrites the relation and the WAL commit fsyncs.
+    Retract {
+        /// Target relation name (cross-checked against the TSV header).
+        rel: String,
+        /// The delta as full TSV content including the header line.
+        tsv: String,
+        /// Fragment scope, as in [`JobPayload::Append`].
+        frag: Option<(usize, u64)>,
     },
 }
 

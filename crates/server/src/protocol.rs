@@ -49,6 +49,27 @@ pub enum Request {
         rel: String,
         /// The delta as full TSV content including the header line.
         tsv: String,
+        /// Fragment scope: `(frag index, expected post-delta fragment
+        /// fingerprint)`. When set, the delta mutates the worker's
+        /// fragment store instead of its master catalog; the worker
+        /// verifies the resulting fragment fingerprint against the
+        /// declared one and answers a typed `no-frag` on mismatch so a
+        /// drifted replica is re-synced rather than silently diverging.
+        frag: Option<(usize, u64)>,
+    },
+    /// Remove a TSV delta from an existing relation (set-semantics
+    /// difference; tuples not present are ignored). Mirrors
+    /// [`Request::Append`]: the header names the target relation
+    /// redundantly with the TSV header line and the server cross-checks
+    /// them, and the same optional fragment scope routes the delta to a
+    /// worker-held fragment.
+    Retract {
+        /// Target relation name (must match the TSV header).
+        rel: String,
+        /// The delta as full TSV content including the header line.
+        tsv: String,
+        /// Fragment scope, as in [`Request::Append`].
+        frag: Option<(usize, u64)>,
     },
     /// Evaluate a flock program.
     Flock {
@@ -113,7 +134,7 @@ impl Request {
     /// Is this request safe to retry transparently after a failure that
     /// may or may not have reached the server? Reads (`ping`, `stats`,
     /// `fingerprint`, `flock`) and the idempotent `shutdown` flag are;
-    /// catalog mutations (`load`, `gen`, `append`) are **not** —
+    /// catalog mutations (`load`, `gen`, `append`, `retract`) are **not** —
     /// replaying one after an ambiguous failure could double-apply it,
     /// so the retrying client surfaces the error instead (unless the
     /// server certified non-execution with a typed `proto`/`overloaded`
@@ -123,7 +144,10 @@ impl Request {
     pub fn is_idempotent(&self) -> bool {
         !matches!(
             self,
-            Request::Load { .. } | Request::Gen { .. } | Request::Append { .. }
+            Request::Load { .. }
+                | Request::Gen { .. }
+                | Request::Append { .. }
+                | Request::Retract { .. }
         )
     }
 
@@ -133,7 +157,20 @@ impl Request {
             Request::Ping => "ping\n\n".to_string(),
             Request::Gen { kind, seed } => format!("gen kind={kind} seed={seed}\n\n"),
             Request::Load { tsv } => format!("load\n\n{tsv}"),
-            Request::Append { rel, tsv } => format!("append rel={rel}\n\n{tsv}"),
+            Request::Append { rel, tsv, frag } => {
+                let mut header = format!("append rel={rel}");
+                if let Some((frag, fp)) = frag {
+                    header.push_str(&format!(" frag={frag} frag-fp={fp}"));
+                }
+                format!("{header}\n\n{tsv}")
+            }
+            Request::Retract { rel, tsv, frag } => {
+                let mut header = format!("retract rel={rel}");
+                if let Some((frag, fp)) = frag {
+                    header.push_str(&format!(" frag={frag} frag-fp={fp}"));
+                }
+                format!("{header}\n\n{tsv}")
+            }
             Request::Flock {
                 text,
                 support,
@@ -231,9 +268,13 @@ impl Request {
             }),
             "append" => {
                 let mut rel = None;
+                let mut frag_id: Option<usize> = None;
+                let mut frag_fp: Option<u64> = None;
                 for (k, v) in kv(parts)? {
                     match k.as_str() {
                         "rel" => rel = Some(v),
+                        "frag" => frag_id = Some(parse_u64(&v)? as usize),
+                        "frag-fp" => frag_fp = Some(parse_u64(&v)?),
                         other => {
                             return Err(ServerError::Proto(format!("unknown append key `{other}`")))
                         }
@@ -242,6 +283,29 @@ impl Request {
                 Ok(Request::Append {
                     rel: rel.ok_or_else(|| ServerError::Proto("append needs rel=…".into()))?,
                     tsv: body.to_string(),
+                    frag: frag_scope(frag_id, frag_fp, "append")?,
+                })
+            }
+            "retract" => {
+                let mut rel = None;
+                let mut frag_id: Option<usize> = None;
+                let mut frag_fp: Option<u64> = None;
+                for (k, v) in kv(parts)? {
+                    match k.as_str() {
+                        "rel" => rel = Some(v),
+                        "frag" => frag_id = Some(parse_u64(&v)? as usize),
+                        "frag-fp" => frag_fp = Some(parse_u64(&v)?),
+                        other => {
+                            return Err(ServerError::Proto(format!(
+                                "unknown retract key `{other}`"
+                            )))
+                        }
+                    }
+                }
+                Ok(Request::Retract {
+                    rel: rel.ok_or_else(|| ServerError::Proto("retract needs rel=…".into()))?,
+                    tsv: body.to_string(),
+                    frag: frag_scope(frag_id, frag_fp, "retract")?,
                 })
             }
             "fingerprint" => Ok(Request::Fingerprint {
@@ -311,15 +375,7 @@ impl Request {
                         }
                     }
                 }
-                let frag = match (frag_id, frag_fp) {
-                    (Some(i), Some(fp)) => Some((i, fp)),
-                    (None, None) => None,
-                    _ => {
-                        return Err(ServerError::Proto(
-                            "partial frag= and frag-fp= must appear together".into(),
-                        ))
-                    }
-                };
+                let frag = frag_scope(frag_id, frag_fp, "partial")?;
                 let lens =
                     lens.ok_or_else(|| ServerError::Proto("partial needs parts=…".into()))?;
                 if lens.is_empty() {
@@ -439,6 +495,23 @@ fn parse_u64(v: &str) -> Result<u64> {
         .map_err(|_| ServerError::Proto(format!("bad number `{v}`")))
 }
 
+/// Fold the optional `frag=`/`frag-fp=` pair into a fragment scope —
+/// both keys or neither, so a half-specified scope fails typed instead
+/// of silently mutating the wrong store.
+fn frag_scope(
+    frag_id: Option<usize>,
+    frag_fp: Option<u64>,
+    verb: &str,
+) -> Result<Option<(usize, u64)>> {
+    match (frag_id, frag_fp) {
+        (Some(i), Some(fp)) => Ok(Some((i, fp))),
+        (None, None) => Ok(None),
+        _ => Err(ServerError::Proto(format!(
+            "{verb} frag= and frag-fp= must appear together"
+        ))),
+    }
+}
+
 /// Parse a `parts=len,len,…` section-length list. An empty value is an
 /// empty list — `sync` ships empty fragments (a hash partition can
 /// leave a fragment with no relations at all) as `parts=` with no body.
@@ -496,6 +569,22 @@ mod tests {
             Request::Append {
                 rel: "r".into(),
                 tsv: "r\ta\n2\n".into(),
+                frag: None,
+            },
+            Request::Append {
+                rel: "r".into(),
+                tsv: "r\ta\n2\n".into(),
+                frag: Some((1, 0xdead)),
+            },
+            Request::Retract {
+                rel: "r".into(),
+                tsv: "r\ta\n2\n".into(),
+                frag: None,
+            },
+            Request::Retract {
+                rel: "r".into(),
+                tsv: "r\ta\n2\n".into(),
+                frag: Some((0, 77)),
             },
             Request::Fingerprint {
                 text: "QUERY: answer(B) :- r(B,$1) FILTER: COUNT(answer.B) >= 2".into(),
@@ -598,6 +687,8 @@ mod tests {
         assert!(Request::parse("gen seed=1\n\n").is_err()); // missing kind
         assert!(Request::parse("append\n\nr\ta\n1\n").is_err()); // missing rel
         assert!(Request::parse("append rel=r bogus=1\n\nr\ta\n").is_err());
+        assert!(Request::parse("retract\n\nr\ta\n1\n").is_err()); // missing rel
+        assert!(Request::parse("retract rel=r bogus=1\n\nr\ta\n").is_err());
         assert!(Request::parse("flock support=abc\n\nQUERY: …").is_err());
         assert!(Request::parse("flock rows\n\n").is_err()); // not key=value
         assert!(Request::parse("partial\n\nbody").is_err()); // missing parts
@@ -606,6 +697,8 @@ mod tests {
         assert!(Request::parse("partial parts=x\n\nbody").is_err()); // bad length
         assert!(Request::parse("partial parts=4 frag=0\n\nbody").is_err()); // frag sans fp
         assert!(Request::parse("partial parts=4 frag-fp=9\n\nbody").is_err()); // fp sans frag
+        assert!(Request::parse("append rel=r frag=0\n\nr\ta\n").is_err()); // frag sans fp
+        assert!(Request::parse("retract rel=r frag-fp=9\n\nr\ta\n").is_err()); // fp sans frag
         assert!(Request::parse("sync fp=1 parts=\n\n").is_err()); // missing frag
         assert!(Request::parse("sync frag=0 parts=\n\n").is_err()); // missing fp
         assert!(Request::parse("sync frag=0 fp=1\n\n").is_err()); // missing parts

@@ -34,6 +34,18 @@ pub struct CacheReport {
     pub retries: u64,
     /// High-water mark of the admission queue depth.
     pub queue_depth_max: u64,
+    /// Server-wide `append`/`retract` batches applied through the
+    /// delta path (each batch counts once, whatever it touched).
+    pub delta_applied: u64,
+    /// Server-wide cached results incrementally maintained in place by
+    /// a delta batch (no recompute, no cache drop).
+    pub delta_maintained: u64,
+    /// Server-wide cached results dropped by a delta batch — not
+    /// maintainable, or maintenance failed and fell back to recompute.
+    pub delta_rebuilds: u64,
+    /// Server-wide tuples rescanned by the bounded MIN/MAX re-check
+    /// during delta maintenance.
+    pub recheck_tuples: u64,
     /// Durability counters (all zeros when the server runs without a
     /// `--data-dir`: no WAL in play).
     pub wal: WalStats,
@@ -67,7 +79,8 @@ pub fn json_report(
          \"io_retries\":{},\"corruption_recoveries\":{},\"spill_files_live\":{},\
          \"tsv_skipped_lines\":{},\"cache_hit\":{},\"plan_cached\":{},\"cache_hits\":{},\
          \"cache_misses\":{},\"rejected\":{},\"timeouts\":{},\"cancelled\":{},\
-         \"conn_rejected\":{},\"retries\":{},\"queue_depth_max\":{},\"wal_records\":{},\
+         \"conn_rejected\":{},\"retries\":{},\"queue_depth_max\":{},\"delta_applied\":{},\
+         \"delta_maintained\":{},\"delta_rebuilds\":{},\"recheck_tuples\":{},\"wal_records\":{},\
          \"wal_bytes\":{},\"snapshots\":{},\"compactions\":{},\"recovered_records\":{},\
          \"recovery_ms\":{},\"degradations\":[{}]}}",
         json_escape(strategy),
@@ -93,6 +106,10 @@ pub fn json_report(
         cache.conn_rejected,
         cache.retries,
         cache.queue_depth_max,
+        cache.delta_applied,
+        cache.delta_maintained,
+        cache.delta_rebuilds,
+        cache.recheck_tuples,
         cache.wal.wal_records,
         cache.wal.wal_bytes,
         cache.wal.snapshots,
@@ -172,6 +189,10 @@ mod tests {
                 conn_rejected: 7,
                 retries: 8,
                 queue_depth_max: 4,
+                delta_applied: 13,
+                delta_maintained: 14,
+                delta_rebuilds: 15,
+                recheck_tuples: 16,
                 wal: WalStats {
                     wal_records: 9,
                     wal_bytes: 640,
@@ -197,6 +218,10 @@ mod tests {
             "\"conn_rejected\":7",
             "\"retries\":8",
             "\"queue_depth_max\":4",
+            "\"delta_applied\":13",
+            "\"delta_maintained\":14",
+            "\"delta_rebuilds\":15",
+            "\"recheck_tuples\":16",
             "\"wal_records\":9",
             "\"wal_bytes\":640",
             "\"snapshots\":2",

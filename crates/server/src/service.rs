@@ -15,9 +15,9 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
 
 use qf_core::{
-    best_plan_with, direct_plan, execute_plan_scored_with, flock_result_from_scored, CancelToken,
-    ExecContext, ExecStats, FilterCondition, FlockProgram, JoinOrderStrategy, QueryFlock,
-    QueryPlan,
+    best_plan_with, direct_plan, execute_plan_scored_with, flock_result_from_scored,
+    vacuous_filter, CancelToken, DeltaLimits, ExecContext, ExecStats, FilterCondition, FlockDelta,
+    FlockProgram, JoinOrderStrategy, QueryFlock, QueryPlan,
 };
 use qf_storage::{
     spill::content_hash, tsv, Database, Fnv1a, Relation, StorageError, Wal, WalCounters, WalRecord,
@@ -117,6 +117,18 @@ pub struct Counters {
     pub active: AtomicUsize,
     /// Worker threads alive in the pool.
     pub live_workers: AtomicUsize,
+    /// `append`/`retract` batches applied through the delta
+    /// cache-maintenance path (each batch counts once).
+    pub delta_applied: AtomicU64,
+    /// Cached results incrementally maintained in place by a delta
+    /// batch instead of being dropped.
+    pub delta_maintained: AtomicU64,
+    /// Cached results a delta batch dropped for recompute — no
+    /// maintenance state, or maintenance failed/overflowed its budget.
+    pub delta_rebuilds: AtomicU64,
+    /// Tuples rescanned by the bounded MIN/MAX re-check during delta
+    /// maintenance (see [`qf_engine::RECHECK_BOUND`]).
+    pub recheck_tuples: AtomicU64,
 }
 
 impl Counters {
@@ -133,6 +145,10 @@ impl Counters {
             conn_rejected: self.conn_rejected.load(Ordering::Relaxed),
             retries: 0,
             queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
+            delta_applied: self.delta_applied.load(Ordering::Relaxed),
+            delta_maintained: self.delta_maintained.load(Ordering::Relaxed),
+            delta_rebuilds: self.delta_rebuilds.load(Ordering::Relaxed),
+            recheck_tuples: self.recheck_tuples.load(Ordering::Relaxed),
             wal: qf_storage::WalStats::default(),
         }
     }
@@ -200,7 +216,12 @@ impl RequestHandler for LocalHandler {
                 job.deadline,
                 Some(&job.cancel),
             ),
-            JobPayload::Append { rel, tsv } => self.service.handle_append_admitted(rel, tsv),
+            JobPayload::Append { rel, tsv, frag } => {
+                self.service.handle_append_admitted(rel, tsv, *frag)
+            }
+            JobPayload::Retract { rel, tsv, frag } => {
+                self.service.handle_retract_admitted(rel, tsv, *frag)
+            }
         }
     }
 }
@@ -309,11 +330,12 @@ impl FlockService {
                 relations,
             } => self.sync_fragment(*frag, *fp, relations),
             Request::Fingerprint { text } => fingerprint(text),
-            Request::Flock { .. } | Request::Partial { .. } | Request::Append { .. } => {
-                Err(ServerError::Proto(
-                    "flock/partial/append requests must go through admission".to_string(),
-                ))
-            }
+            Request::Flock { .. }
+            | Request::Partial { .. }
+            | Request::Append { .. }
+            | Request::Retract { .. } => Err(ServerError::Proto(
+                "flock/partial/append/retract requests must go through admission".to_string(),
+            )),
         };
         match result {
             Ok((meta, body)) => Response::Ok { meta, body },
@@ -478,6 +500,10 @@ impl FlockService {
                 baseline: canonical_filter,
                 scored: run.scored.clone(),
                 strategy: "partial".to_string(),
+                // Partials fold scratch overlays into their cache key;
+                // the overlays are not catalog relations the delta path
+                // could track, so these entries are never maintained.
+                delta: None,
             },
         );
         let meta = json_report(
@@ -700,12 +726,26 @@ impl FlockService {
         let run = execute_plan_scored_with(&plan, &extended, JoinOrderStrategy::Greedy, &ctx)
             .map_err(ServerError::from_eval)?;
         let result = flock_result_from_scored(&flock, &run.scored, &filter);
+        // Delta-maintainable flocks (single rule, no negation, no
+        // views) get incremental-maintenance state alongside the scored
+        // rows: subsequent `append`/`retract` batches on a touched
+        // relation then update the entry in place instead of dropping
+        // it. A failed build (budget, unsupported shape) degrades to a
+        // plain entry — never an error.
+        let delta = if program.views().is_empty() && FlockDelta::maintainable(&flock) {
+            FlockDelta::build(&flock, &db, &DeltaLimits::default())
+                .ok()
+                .map(|d| Arc::new(Mutex::new(d)))
+        } else {
+            None
+        };
         unpoison(self.result_cache.lock()).insert(
             key,
             CachedResult {
                 baseline: canonical_filter,
                 scored: run.scored,
                 strategy: strategy.to_string(),
+                delta,
             },
         );
         let meta = json_report(
@@ -843,6 +883,70 @@ impl FlockService {
         self.frags.read().unwrap_or_else(|e| e.into_inner()).len()
     }
 
+    /// Apply a fragment-scoped `append`/`retract` (coordinator use):
+    /// mutate the named fragment's catalog in place through the same
+    /// WAL apply routine the master path uses, then verify the result
+    /// against the coordinator's declared post-delta fingerprint.
+    /// Missing fragment or fingerprint mismatch both answer typed
+    /// `no-frag` — the coordinator falls back to a full fragment
+    /// re-sync, so a drifted replica can never silently diverge. Not
+    /// WAL-logged: fragments are derived state, rebuilt by `sync` on
+    /// recovery from the coordinator's own durable catalog.
+    fn frag_mutate(
+        &self,
+        rel: &str,
+        tsv_text: &str,
+        frag: usize,
+        expect_fp: u64,
+        retract: bool,
+    ) -> Result<(String, String)> {
+        let delta = tsv::read_tsv(std::io::Cursor::new(tsv_text.as_bytes()))
+            .map_err(|e| ServerError::Parse(e.to_string()))?;
+        if delta.name() != rel {
+            return Err(ServerError::Proto(format!(
+                "header names relation `{rel}` but TSV is for `{}`",
+                delta.name()
+            )));
+        }
+        let verb = if retract {
+            "retracted from"
+        } else {
+            "appended to"
+        };
+        let record = if retract {
+            WalRecord::Retract {
+                tsv: tsv_text.to_string(),
+            }
+        } else {
+            WalRecord::Append {
+                tsv: tsv_text.to_string(),
+            }
+        };
+        let mut frags = self.frags.write().unwrap_or_else(|e| e.into_inner());
+        let Some((_, db)) = frags.get(&frag) else {
+            return Err(ServerError::FragMissing {
+                frag,
+                detail: "no such fragment synced to this worker".to_string(),
+            });
+        };
+        let mut next = db.clone();
+        Wal::apply(&mut next, &record).map_err(storage_error)?;
+        let fp = next.fingerprint();
+        if fp != expect_fp {
+            return Err(ServerError::FragMissing {
+                frag,
+                detail: format!(
+                    "delta left fragment at {fp:016x}, coordinator expects {expect_fp:016x}"
+                ),
+            });
+        }
+        frags.insert(frag, (fp, next));
+        Ok((
+            format!("{{\"frag\":{frag},\"relation\":\"{rel}\",\"fp\":\"{fp:016x}\"}}"),
+            format!("delta {verb} `{rel}` in fragment {frag}"),
+        ))
+    }
+
     fn load(&self, text: &str) -> Result<(String, String)> {
         let rel = tsv::read_tsv(std::io::Cursor::new(text.as_bytes()))
             .map_err(|e| ServerError::Parse(e.to_string()))?;
@@ -865,9 +969,18 @@ impl FlockService {
     /// relation (set-semantics union) through the WAL. Admitted rather
     /// than light because the union re-sorts the whole target relation
     /// and the durable commit fsyncs. Called on a pool worker.
-    pub fn handle_append_admitted(&self, rel: &str, tsv: &str) -> Response {
+    pub fn handle_append_admitted(
+        &self,
+        rel: &str,
+        tsv: &str,
+        frag: Option<(usize, u64)>,
+    ) -> Response {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
-        match self.append(rel, tsv) {
+        let outcome = match frag {
+            Some((frag, fp)) => self.frag_mutate(rel, tsv, frag, fp, false),
+            None => self.append(rel, tsv),
+        };
+        match outcome {
             Ok((meta, body)) => Response::Ok { meta, body },
             Err(e) => Response::from_error(&e),
         }
@@ -908,6 +1021,61 @@ impl FlockService {
         ))
     }
 
+    /// Handle an admitted `retract`: subtract a TSV delta from one
+    /// relation (set-semantics difference; absent tuples are ignored)
+    /// through the WAL. Admitted for the same reason as `append`.
+    /// Called on a pool worker.
+    pub fn handle_retract_admitted(
+        &self,
+        rel: &str,
+        tsv: &str,
+        frag: Option<(usize, u64)>,
+    ) -> Response {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let outcome = match frag {
+            Some((frag, fp)) => self.frag_mutate(rel, tsv, frag, fp, true),
+            None => self.retract(rel, tsv),
+        };
+        match outcome {
+            Ok((meta, body)) => Response::Ok { meta, body },
+            Err(e) => Response::from_error(&e),
+        }
+    }
+
+    fn retract(&self, rel: &str, tsv_text: &str) -> Result<(String, String)> {
+        // Same shape as `append`: parse + cross-check before the WAL
+        // sees anything.
+        let delta = tsv::read_tsv(std::io::Cursor::new(tsv_text.as_bytes()))
+            .map_err(|e| ServerError::Parse(e.to_string()))?;
+        if delta.name() != rel {
+            return Err(ServerError::Proto(format!(
+                "retract header names rel={rel} but the TSV header names {}",
+                delta.name()
+            )));
+        }
+        let before = {
+            let db = self.db.read().unwrap_or_else(|e| e.into_inner());
+            db.get(rel).map_or(0, Relation::len)
+        };
+        let record = WalRecord::Retract {
+            tsv: tsv_text.to_string(),
+        };
+        let fp = self.commit_record(&record, Some(rel))?;
+        let after = {
+            let db = self.db.read().unwrap_or_else(|e| e.into_inner());
+            db.get(rel).map_or(0, Relation::len)
+        };
+        let removed = before.saturating_sub(after);
+        Ok((
+            format!(
+                "{{\"relation\":\"{}\",\"tuples\":{after},\"removed\":{removed},\
+                 \"fp\":\"{fp:016x}\"}}",
+                json_escape(rel)
+            ),
+            format!("retracted {removed} tuple(s) from {rel} [{after} remaining]"),
+        ))
+    }
+
     /// Apply one catalog mutation: apply the record to a copy of the
     /// catalog, commit it durably to the WAL (when configured), then
     /// install the copy and fix up the caches. Nothing is installed —
@@ -919,12 +1087,15 @@ impl FlockService {
     /// coordinator mutates its master catalog the same way.
     ///
     /// `touched` narrows cache invalidation for single-relation deltas:
-    /// entries whose query reads that relation are dropped, the rest
-    /// are re-keyed to the new fingerprint and keep serving. `None`
-    /// (bulk mutations) clears both caches.
+    /// entries carrying maintenance state update themselves in place
+    /// (the delta path), other entries whose query reads that relation
+    /// are dropped, and the rest are re-keyed to the new fingerprint
+    /// and keep serving. `None` (bulk mutations) clears both caches.
     pub(crate) fn commit_record(&self, record: &WalRecord, touched: Option<&str>) -> Result<u64> {
         let mut guard = self.db.write().unwrap_or_else(|e| e.into_inner());
         let old_fp = guard.fingerprint();
+        // Pre/post images of the touched relation, for the delta join.
+        let old_rel = touched.and_then(|rel| guard.get(rel).ok().cloned());
         let mut next = guard.clone();
         Wal::apply(&mut next, record).map_err(storage_error)?;
         let fp = next.fingerprint();
@@ -938,12 +1109,25 @@ impl FlockService {
                 eprintln!("qf-serve: wal compaction failed ({e}); log keeps growing");
             }
         }
+        let new_rel = touched.and_then(|rel| next.get(rel).ok().cloned());
+        let db_new = next.clone();
         *guard = next;
         drop(guard);
         match touched {
             Some(rel) => {
+                self.counters.delta_applied.fetch_add(1, Ordering::Relaxed);
                 let touches = move |k: &CacheKey| k.query.contains(rel);
-                unpoison(self.result_cache.lock()).retain_rekey(old_fp, fp, &touches);
+                let mut maintain = |entry: &mut CachedResult| {
+                    self.maintain_entry(entry, rel, old_rel.as_ref(), new_rel.as_ref(), &db_new)
+                };
+                unpoison(self.result_cache.lock()).maintain_rekey(
+                    old_fp,
+                    fp,
+                    &touches,
+                    &mut maintain,
+                );
+                // Plan shapes stay dropped: plan choice depends on the
+                // touched relation's statistics, which just changed.
                 unpoison(self.plan_cache.lock()).retain_rekey(old_fp, fp, &touches);
             }
             None => {
@@ -952,6 +1136,71 @@ impl FlockService {
             }
         }
         Ok(fp)
+    }
+
+    /// Try to maintain one touched cache entry through its delta state:
+    /// evaluate the delta join for the relation's pre/post images,
+    /// refresh the entry's scored rows from the maintained multiset,
+    /// and widen its baseline to vacuous (the maintained rows are the
+    /// *full* unfiltered answer, so the entry now serves every
+    /// threshold). Returns whether the entry survives; on any failure
+    /// the view is untrustworthy and the entry is dropped for a cold
+    /// recompute.
+    fn maintain_entry(
+        &self,
+        entry: &mut CachedResult,
+        rel: &str,
+        old: Option<&Relation>,
+        new: Option<&Relation>,
+        db: &Database,
+    ) -> bool {
+        let Some(handle) = entry.delta.clone() else {
+            self.counters.delta_rebuilds.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        let (old, new) = match (old, new) {
+            (Some(o), Some(n)) => (o.clone(), n.clone()),
+            (None, Some(n)) => (
+                Relation::from_rows(n.schema().clone(), Vec::new()),
+                n.clone(),
+            ),
+            (Some(o), None) => {
+                let empty = Relation::from_rows(o.schema().clone(), Vec::new());
+                (o.clone(), empty)
+            }
+            // The record named this relation but did not create or
+            // change it: the entry is still exact as-is.
+            (None, None) => return true,
+        };
+        let mut view = unpoison(handle.lock());
+        let applied = view
+            .apply(rel, &old, &new, db, &DeltaLimits::default())
+            .and_then(|r| {
+                let schema = entry.scored.schema();
+                let names = schema.columns()[..schema.arity() - 1].to_vec();
+                view.scored_relation(&names).map(|scored| (r, scored))
+            });
+        match applied {
+            Ok((r, scored)) => {
+                entry.scored = scored;
+                entry.baseline = vacuous_filter(&entry.baseline);
+                entry.strategy = "delta".to_string();
+                self.counters
+                    .delta_maintained
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .recheck_tuples
+                    .fetch_add(r.recheck_tuples, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                // A failed apply leaves the view undefined: drop the
+                // entry; the next request recomputes cold (and rebuilds
+                // fresh maintenance state).
+                self.counters.delta_rebuilds.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
     }
 
     /// Server-wide counters as a one-line JSON object (`stats`).
@@ -967,7 +1216,9 @@ impl FlockService {
              \"timeouts\":{},\"cancelled\":{},\"conn_rejected\":{},\"conns\":{},\
              \"queue_depth\":{},\"queue_depth_max\":{},\"active\":{},\"live_workers\":{},\
              \"cached_results\":{},\"relations\":{relations},\"tuples\":{tuples},\
-             \"fp\":\"{fp:016x}\",\"wal_records\":{},\"wal_bytes\":{},\"snapshots\":{},\
+             \"fp\":\"{fp:016x}\",\"delta_applied\":{},\"delta_maintained\":{},\
+             \"delta_rebuilds\":{},\"recheck_tuples\":{},\
+             \"wal_records\":{},\"wal_bytes\":{},\"snapshots\":{},\
              \"compactions\":{},\"recovered_records\":{},\"recovery_ms\":{},\
              \"frags\":{},\"shutting_down\":{}}}",
             c.requests.load(Ordering::Relaxed),
@@ -983,6 +1234,10 @@ impl FlockService {
             c.active.load(Ordering::Relaxed),
             c.live_workers.load(Ordering::Relaxed),
             unpoison(self.result_cache.lock()).len(),
+            c.delta_applied.load(Ordering::Relaxed),
+            c.delta_maintained.load(Ordering::Relaxed),
+            c.delta_rebuilds.load(Ordering::Relaxed),
+            c.recheck_tuples.load(Ordering::Relaxed),
             w.wal_records,
             w.wal_bytes,
             w.snapshots,

@@ -73,8 +73,8 @@ use std::time::{Duration, Instant};
 use qf_core::{
     best_plan_with, direct_plan, evaluate_scored_partial, flock_result_from_scored,
     merge_scored_partials, partial_flock, partition_database, replica_workers, scored_schema,
-    shardable_program, vacuous_filter, worker_fragments, CancelToken, ExecContext, FilterStep,
-    FlockProgram, JoinOrderStrategy, QueryPlan,
+    shard_of, shardable_program, vacuous_filter, worker_fragments, CancelToken, DeltaLimits,
+    ExecContext, FilterStep, FlockDelta, FlockProgram, JoinOrderStrategy, QueryPlan,
 };
 use qf_storage::{tsv, Database, Relation, Schema, Tuple};
 
@@ -216,6 +216,9 @@ pub struct ShardCounters {
     pub probes: AtomicU64,
     /// Down workers successfully re-synced and marked up again.
     pub rejoins: AtomicU64,
+    /// `append`/`retract` batches propagated to the fleet as
+    /// fragment-scoped deltas (no full fragment re-sync needed).
+    pub delta_pushes: AtomicU64,
 }
 
 /// The cached fragment partition of the master catalog, keyed by the
@@ -764,6 +767,171 @@ impl Coordinator {
         Ok(())
     }
 
+    /// Admitted `append`/`retract` at the coordinator: mutate the
+    /// master durably first (which also delta-maintains the
+    /// coordinator's own result cache), then ship **only the delta
+    /// tuples** to the affected fragments' replica workers —
+    /// partitioned by the same shard key as the catalog itself — via
+    /// [`Coordinator::push_delta`]. Any hiccup on the delta path
+    /// (cold/stale partition cache, a live worker refusing its
+    /// fragment delta) falls back to the full [`Coordinator::push_catalog`].
+    /// The mutation itself already committed, so the client's retry
+    /// policy only replays it on responses certifying non-execution.
+    ///
+    /// A frag-scoped mutation addresses *this* node's own fragment
+    /// store (nested topologies); no fleet push.
+    fn mutate_and_push(
+        &self,
+        rel: &str,
+        tsv: &str,
+        frag: Option<(usize, u64)>,
+        retract: bool,
+    ) -> Response {
+        let service = &self.core.service;
+        let local = |frag| {
+            if retract {
+                service.handle_retract_admitted(rel, tsv, frag)
+            } else {
+                service.handle_append_admitted(rel, tsv, frag)
+            }
+        };
+        if frag.is_some() {
+            return local(frag);
+        }
+        let (_, old_fp) = service.snapshot();
+        let resp = local(None);
+        if resp.is_ok() {
+            if self.push_delta(rel, tsv, retract, old_fp).is_err() {
+                if let Err(e) = self.push_catalog() {
+                    return Response::from_error(&e);
+                }
+            }
+        }
+        resp
+    }
+
+    /// Route a just-committed delta to the worker fleet without
+    /// re-shipping whole fragments: partition the delta's tuples by
+    /// the catalog's own shard key (first column; replicated relations
+    /// land on every fragment), apply each part to the cached
+    /// fragment through the same WAL routine workers use, and ship the
+    /// part to each live replica host as a fragment-scoped
+    /// `append`/`retract` carrying the expected post-delta fragment
+    /// fingerprint. The cached partition is updated in place on full
+    /// success, so the next scatter sees fingerprints consistent with
+    /// what workers now hold.
+    ///
+    /// Any error means "the cheap path could not prove the fleet
+    /// converged" — the caller falls back to a full catalog push.
+    /// Down workers are skipped (the probe's rejoin re-sync ships the
+    /// current partition anyway).
+    fn push_delta(&self, rel: &str, tsv: &str, retract: bool, old_fp: u64) -> Result<()> {
+        let core = &self.core;
+        let n = core.slots.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let delta = tsv::read_tsv(std::io::Cursor::new(tsv.as_bytes()))
+            .map_err(|e| ServerError::Parse(e.to_string()))?;
+        let (_, new_fp) = core.service.snapshot();
+        // The cached partition must describe exactly what workers hold
+        // — the pre-mutation catalog. Cold or stale (a concurrent
+        // mutation won the race) means the delta's base is unknown.
+        let (mut frags, mut fps) = {
+            let guard = core.frag_cache.lock().unwrap_or_else(|e| e.into_inner());
+            match guard.as_ref() {
+                Some(c) if c.master_fp == old_fp => ((*c.frags).clone(), (*c.fps).clone()),
+                _ => {
+                    return Err(ServerError::Eval(
+                        "fragment cache cold or stale; full push required".to_string(),
+                    ))
+                }
+            }
+        };
+        // Partition the delta exactly like the catalog itself.
+        let mut parts: Vec<Vec<Tuple>> = vec![Vec::new(); n];
+        if core.replicated.contains(rel) {
+            for part in &mut parts {
+                *part = delta.tuples().to_vec();
+            }
+        } else {
+            for t in delta.iter() {
+                parts[shard_of(t.get(0), n)].push(t.clone());
+            }
+        }
+        // Advance each affected cached fragment through the same WAL
+        // apply routine the workers run, yielding the fingerprints
+        // they must land on.
+        let mut shipments: Vec<(usize, String)> = Vec::new();
+        for (f, part) in parts.into_iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            let part_rel = Relation::from_tuples(delta.schema().clone(), part);
+            let part_tsv = render_tsv(&part_rel);
+            let record = if retract {
+                qf_storage::WalRecord::Retract {
+                    tsv: part_tsv.clone(),
+                }
+            } else {
+                qf_storage::WalRecord::Append {
+                    tsv: part_tsv.clone(),
+                }
+            };
+            qf_storage::Wal::apply(&mut frags[f], &record)
+                .map_err(|e| ServerError::Eval(e.to_string()))?;
+            fps[f] = frags[f].fingerprint();
+            shipments.push((f, part_tsv));
+        }
+        for (f, part_tsv) in &shipments {
+            for w in replica_workers(*f, n, core.replicas) {
+                if core.is_down(w) {
+                    continue;
+                }
+                let sent = core.with_client(w, |c| {
+                    if retract {
+                        c.retract_frag(rel, part_tsv, *f, fps[*f])
+                    } else {
+                        c.append_frag(rel, part_tsv, *f, fps[*f])
+                    }
+                });
+                match sent {
+                    Ok(Response::Ok { .. }) => core.note_success(w),
+                    Ok(Response::Err { kind, detail }) => {
+                        core.note_failure(w);
+                        return Err(ServerError::Eval(format!(
+                            "worker {w} refused fragment {f} delta ({kind}): {detail}"
+                        )));
+                    }
+                    Err(e) => {
+                        core.note_failure(w);
+                        return Err(ServerError::Eval(format!(
+                            "worker {w}: fragment {f} delta failed: {e}"
+                        )));
+                    }
+                }
+            }
+        }
+        // Install the advanced partition — but only if no concurrent
+        // mutation moved the cache underneath us (then *its* push is
+        // authoritative and ours must fall back to a full sync).
+        let mut guard = core.frag_cache.lock().unwrap_or_else(|e| e.into_inner());
+        match guard.as_ref() {
+            Some(c) if c.master_fp == old_fp => {
+                *guard = Some(FragCache {
+                    master_fp: new_fp,
+                    frags: Arc::new(frags),
+                    fps: Arc::new(fps),
+                });
+                core.counters.delta_pushes.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            _ => Err(ServerError::Eval(
+                "fragment cache moved during delta push".to_string(),
+            )),
+        }
+    }
+
     /// Scatter one step across the fragments and gather the scored
     /// partials: each fragment fails over through its replicas (hedging
     /// included), and a fragment with no usable replica is re-derived
@@ -1008,12 +1176,22 @@ impl Coordinator {
         } else {
             canonical_filter
         };
+        // Coordinator-tier entries are delta-maintainable too: the
+        // coordinator holds the master catalog, so its `commit_record`
+        // maintains these in place on `append`/`retract` exactly like
+        // the standalone server (shardable programs never carry views,
+        // so only the flock-shape gate applies).
+        let delta = FlockDelta::maintainable(&flock)
+            .then(|| FlockDelta::build(&flock, &db, &DeltaLimits::default()).ok())
+            .flatten()
+            .map(|d| Arc::new(Mutex::new(d)));
         service.result_cache_insert(
             key,
             CachedResult {
                 baseline,
                 scored,
                 strategy: strategy.to_string(),
+                delta,
             },
         );
         self.core.counters.sharded.fetch_add(1, Ordering::Relaxed);
@@ -1111,7 +1289,9 @@ impl Coordinator {
         let core = &self.core;
         let base = core.service.stats_json();
         let mut live = 0u64;
-        let mut rollup = [0u64; 6]; // requests, hits, misses, timeouts, cancelled, rejected
+        // requests, hits, misses, timeouts, cancelled, rejected, plus
+        // the four delta-maintenance counters.
+        let mut rollup = [0u64; 10];
         let mut missing: Vec<&str> = Vec::new();
         for k in 0..core.slots.len() {
             if core.is_down(k) {
@@ -1131,6 +1311,10 @@ impl Coordinator {
                 "timeouts",
                 "cancelled",
                 "rejected",
+                "delta_applied",
+                "delta_maintained",
+                "delta_rebuilds",
+                "recheck_tuples",
             ]
             .iter()
             .enumerate()
@@ -1152,7 +1336,9 @@ impl Coordinator {
              \"hedges_launched\":{},\"hedges_won\":{},\"probes\":{},\"rejoins\":{},\
              \"worker_state\":[{}],\"shard_stats_partial\":{},\"shard_stats_missing\":[{}],\
              \"shard_requests\":{},\"shard_cache_hits\":{},\"shard_cache_misses\":{},\
-             \"shard_timeouts\":{},\"shard_cancelled\":{},\"shard_rejected\":{}",
+             \"shard_timeouts\":{},\"shard_cancelled\":{},\"shard_rejected\":{},\
+             \"shard_delta_applied\":{},\"shard_delta_maintained\":{},\
+             \"shard_delta_rebuilds\":{},\"shard_recheck_tuples\":{},\"delta_pushes\":{}",
             core.slots.len(),
             core.replicas,
             sc.scatters.load(Ordering::Relaxed),
@@ -1173,6 +1359,11 @@ impl Coordinator {
             rollup[3],
             rollup[4],
             rollup[5],
+            rollup[6],
+            rollup[7],
+            rollup[8],
+            rollup[9],
+            sc.delta_pushes.load(Ordering::Relaxed),
         );
         Response::Ok {
             meta: extend_json(&base, &extra),
@@ -1345,21 +1536,8 @@ impl RequestHandler for Coordinator {
                 job.deadline,
                 Some(&job.cancel),
             ),
-            // Mutate the master durably first, then re-push the
-            // re-partitioned catalog, exactly like `load`/`gen` on the
-            // light path. A failed push is typed and retryable — but
-            // the mutation itself already committed, so the client's
-            // retry policy only replays `append` on responses that
-            // certify non-execution.
-            JobPayload::Append { rel, tsv } => {
-                let resp = self.core.service.handle_append_admitted(rel, tsv);
-                if resp.is_ok() {
-                    if let Err(e) = self.push_catalog() {
-                        return Response::from_error(&e);
-                    }
-                }
-                resp
-            }
+            JobPayload::Append { rel, tsv, frag } => self.mutate_and_push(rel, tsv, *frag, false),
+            JobPayload::Retract { rel, tsv, frag } => self.mutate_and_push(rel, tsv, *frag, true),
         }
     }
 }

@@ -82,7 +82,7 @@ proptest! {
             (fp_of(&m), b)
         };
         for delta in &deltas {
-            let (meta, _) = ok_parts(inc.handle_append_admitted("r", &rows_tsv(delta)));
+            let (meta, _) = ok_parts(inc.handle_append_admitted("r", &rows_tsv(delta), None));
             inc_fp = fp_of(&meta);
         }
         prop_assert_eq!(&inc_fp, &fp_of(&bulk_meta), "post-mutation fingerprints diverge");
@@ -120,7 +120,7 @@ fn restart_recovers_identical_catalog_and_answers() {
     ok_parts(svc.handle_light(&Request::Load {
         tsv: rows_tsv(&[(1, 1), (2, 1), (3, 1), (1, 2)]),
     }));
-    let (meta, _) = ok_parts(svc.handle_append_admitted("r", &rows_tsv(&[(2, 2), (3, 2)])));
+    let (meta, _) = ok_parts(svc.handle_append_admitted("r", &rows_tsv(&[(2, 2), (3, 2)]), None));
     let fp_before = fp_of(&meta);
     let (_, body_before) = ok_parts(svc.handle_flock(&text, None, &limits, 1));
     drop(svc); // releases the PID lock and closes the log

@@ -95,6 +95,7 @@ const RECORD_HEADER: usize = 20;
 /// Payload tag bytes.
 const TAG_PUT: u8 = 0x01;
 const TAG_APPEND: u8 = 0x02;
+const TAG_RETRACT: u8 = 0x03;
 
 /// Options for [`Wal::open`].
 #[derive(Debug, Clone, Copy)]
@@ -125,6 +126,12 @@ pub enum WalRecord {
     /// Merge a delta into one relation (set-semantics union): an
     /// `append`. The target relation is named by the TSV header.
     Append {
+        /// The delta as one TSV document.
+        tsv: String,
+    },
+    /// Remove a delta from one relation (set-semantics difference): a
+    /// `retract`. The target relation is named by the TSV header.
+    Retract {
         /// The delta as one TSV document.
         tsv: String,
     },
@@ -387,6 +394,10 @@ impl Wal {
                 let delta = read_tsv(std::io::Cursor::new(tsv.as_bytes()))?;
                 apply_append(db, delta)?;
             }
+            WalRecord::Retract { tsv } => {
+                let delta = read_tsv(std::io::Cursor::new(tsv.as_bytes()))?;
+                apply_retract(db, delta)?;
+            }
         }
         Ok(())
     }
@@ -585,6 +596,37 @@ fn apply_append(db: &mut Database, delta: Relation) -> Result<()> {
     tuples.extend(delta.iter().cloned());
     let merged = Relation::from_tuples(base.schema().clone(), tuples);
     db.insert(merged);
+    Ok(())
+}
+
+/// Remove `delta` from the catalog under set semantics (tuples
+/// difference; retracting from an absent relation is a no-op, and
+/// tuples not present are silently skipped — the difference is exact
+/// either way). The delta's columns must match the existing schema.
+fn apply_retract(db: &mut Database, delta: Relation) -> Result<()> {
+    let name = delta.name().to_string();
+    if !db.contains(&name) {
+        return Ok(());
+    }
+    let base = db.get(&name)?;
+    if base.schema().columns() != delta.schema().columns() {
+        return Err(StorageError::Malformed {
+            detail: format!(
+                "retract from `{name}`: delta columns {:?} do not match existing columns {:?}",
+                delta.schema().columns(),
+                base.schema().columns()
+            ),
+        });
+    }
+    let remaining: Vec<Tuple> = base
+        .tuples()
+        .iter()
+        .filter(|t| !delta.contains(t))
+        .cloned()
+        .collect();
+    // `base` is sorted and deduplicated; filtering preserves that.
+    let reduced = Relation::from_sorted_dedup(base.schema().clone(), remaining);
+    db.insert(reduced);
     Ok(())
 }
 
@@ -885,6 +927,11 @@ fn encode_payload(record: &WalRecord) -> Vec<u8> {
             out.extend_from_slice(&(tsv.len() as u32).to_le_bytes());
             out.extend_from_slice(tsv.as_bytes());
         }
+        WalRecord::Retract { tsv } => {
+            out.push(TAG_RETRACT);
+            out.extend_from_slice(&(tsv.len() as u32).to_le_bytes());
+            out.extend_from_slice(tsv.as_bytes());
+        }
     }
     out
 }
@@ -913,6 +960,9 @@ fn decode_payload(bytes: &[u8]) -> Option<WalRecord> {
             WalRecord::Put { relations }
         }
         TAG_APPEND => WalRecord::Append {
+            tsv: take_str(&mut rest)?,
+        },
+        TAG_RETRACT => WalRecord::Retract {
             tsv: take_str(&mut rest)?,
         },
         _ => return None,
@@ -1090,6 +1140,65 @@ mod tests {
     }
 
     #[test]
+    fn retract_is_set_difference() {
+        let mut db = Database::new();
+        Wal::apply(
+            &mut db,
+            &WalRecord::Put {
+                relations: vec![tsv("r", &[(1, "a"), (2, "b"), (3, "c")])],
+            },
+        )
+        .unwrap();
+        // Tuples absent from the base ((9, z)) are silently skipped —
+        // the set difference is exact either way.
+        Wal::apply(
+            &mut db,
+            &WalRecord::Retract {
+                tsv: tsv("r", &[(2, "b"), (9, "z")]),
+            },
+        )
+        .unwrap();
+        assert_eq!(db.get("r").unwrap().len(), 2);
+        assert!(!db.get("r").unwrap().is_empty());
+        // Retracting from a missing relation is a no-op.
+        Wal::apply(
+            &mut db,
+            &WalRecord::Retract {
+                tsv: tsv("missing", &[(1, "a")]),
+            },
+        )
+        .unwrap();
+        assert!(!db.contains("missing"));
+        // A schema mismatch is typed, and the catalog is untouched.
+        let err = Wal::apply(
+            &mut db,
+            &WalRecord::Retract {
+                tsv: "r\tother\n1\n".to_string(),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::Malformed { .. }), "{err}");
+        assert_eq!(db.get("r").unwrap().len(), 2);
+        // Append then retract of the same delta round-trips the catalog.
+        let fp = db.fingerprint();
+        Wal::apply(
+            &mut db,
+            &WalRecord::Append {
+                tsv: tsv("r", &[(7, "q")]),
+            },
+        )
+        .unwrap();
+        Wal::apply(
+            &mut db,
+            &WalRecord::Retract {
+                tsv: tsv("r", &[(7, "q")]),
+            },
+        )
+        .unwrap();
+        assert_eq!(db.fingerprint(), fp);
+    }
+
+    #[test]
     fn append_equals_bulk_load() {
         let full = tsv("r", &[(1, "a"), (2, "b"), (3, "c"), (4, "d")]);
         let mut bulk = Database::new();
@@ -1121,6 +1230,9 @@ mod tests {
             },
             WalRecord::Append {
                 tsv: tsv("a", &[(2, "y")]),
+            },
+            WalRecord::Retract {
+                tsv: tsv("a", &[(1, "x")]),
             },
             WalRecord::Put { relations: vec![] },
         ] {
